@@ -1,0 +1,135 @@
+//! Interleaving-only concurrency fuzzer (the Syzkaller-style baseline).
+//!
+//! This fuzzer has everything OZZ has — syscall templates, deterministic
+//! scheduling, breakpoints, the kernel oracles — *except* OEMU's reordering
+//! controls. §2.3's argument is that such tools cannot find OOO bugs: a
+//! breakpoint-driven context switch imposes in-order memory visibility, so
+//! the buggy reorderings never occur. The test suite demonstrates exactly
+//! that: over the same seeded kernels where OZZ finds every bug, this
+//! baseline finds none.
+
+use std::collections::BTreeMap;
+
+use kernelsim::{run_concurrent, BugSwitches, Kctx};
+use ksched::{BreakWhen, Breakpoint, SchedulePlan};
+use oemu::Tid;
+use ozz::profile_sti;
+use ozz::sti::StiGen;
+
+/// Statistics of an interleaving-only campaign.
+#[derive(Clone, Debug, Default)]
+pub struct InterleaveStats {
+    /// Programs generated.
+    pub stis_run: u64,
+    /// Concurrent tests executed.
+    pub tests_run: u64,
+}
+
+/// The interleaving-only fuzzer.
+pub struct InterleaveFuzzer {
+    bugs: BugSwitches,
+    gen: StiGen,
+    max_points_per_pair: usize,
+    found: BTreeMap<String, u64>,
+    stats: InterleaveStats,
+}
+
+impl InterleaveFuzzer {
+    /// Creates a fuzzer over the given kernel build.
+    pub fn new(seed: u64, bugs: BugSwitches) -> Self {
+        InterleaveFuzzer {
+            bugs,
+            gen: StiGen::new(seed),
+            max_points_per_pair: 8,
+            found: BTreeMap::new(),
+            stats: InterleaveStats::default(),
+        }
+    }
+
+    /// One iteration: generate an STI, then for every syscall pair try a
+    /// context switch at each of the first syscall's access sites — full
+    /// interleaving coverage, zero reordering.
+    pub fn step(&mut self) -> usize {
+        let sti = self.gen.generate();
+        self.stats.stis_run += 1;
+        let traces = profile_sti(&sti, self.bugs.clone());
+        let mut new = 0;
+        for i in 0..sti.calls.len() {
+            for j in (i + 1)..sti.calls.len() {
+                let points: Vec<_> = traces[i]
+                    .events
+                    .iter()
+                    .filter_map(|e| e.as_access().map(|a| a.iid))
+                    .take(self.max_points_per_pair)
+                    .collect();
+                for point in points {
+                    self.stats.tests_run += 1;
+                    let k = Kctx::new(self.bugs.clone());
+                    for (idx, &call) in sti.calls.iter().enumerate().take(j) {
+                        if idx != i {
+                            kernelsim::run_one(&k, Tid(0), call);
+                        }
+                    }
+                    let plan = SchedulePlan {
+                        first: Tid(0),
+                        breakpoint: Some(Breakpoint {
+                            iid: point,
+                            when: BreakWhen::After,
+                            hit: 1,
+                        }),
+                    };
+                    let out = run_concurrent(&k, plan, sti.calls[i], sti.calls[j]);
+                    for crash in out.crashes {
+                        if !self.found.contains_key(&crash.title) {
+                            new += 1;
+                        }
+                        *self.found.entry(crash.title).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        new
+    }
+
+    /// Unique crash titles found (should stay empty on OOO-only kernels).
+    pub fn found(&self) -> &BTreeMap<String, u64> {
+        &self.found
+    }
+
+    /// Campaign statistics.
+    pub fn stats(&self) -> &InterleaveStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleaving_alone_finds_no_ooo_bugs() {
+        // The central §2.3 claim: the all-bugs kernel survives pure
+        // interleaving exploration because every seeded bug needs a memory
+        // access reordering to manifest.
+        let mut f = InterleaveFuzzer::new(3, BugSwitches::all());
+        for _ in 0..8 {
+            f.step();
+        }
+        assert!(f.stats().tests_run > 50, "meaningful exploration happened");
+        assert!(
+            f.found().is_empty(),
+            "no OOO bug manifests without reordering: {:?}",
+            f.found()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut f = InterleaveFuzzer::new(seed, BugSwitches::all());
+            f.step();
+            f.stats().tests_run
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

@@ -1,0 +1,24 @@
+//! Baseline tools OZZ is compared against in the paper.
+//!
+//! - [`interleave`]: a Syzkaller-style concurrency fuzzer that controls
+//!   thread interleaving but performs **no** memory-access reordering — the
+//!   §6.3.2 throughput baseline, and the demonstration that interleaving
+//!   alone cannot expose OOO bugs (§2.3).
+//! - [`invitro`]: the in-vitro (offline trace analysis) approach of §3/§7:
+//!   it collects access traces after execution and searches them for
+//!   reorderable publication patterns, but has no kernel runtime context,
+//!   so it over-approximates and cannot confirm consequences.
+//! - [`kcsan`]: a KCSAN-like sampling watchpoint race detector (§7): it
+//!   stalls one access at a time and reports concurrent accesses to the
+//!   same location, skipping `READ_ONCE`/`WRITE_ONCE`-annotated accesses —
+//!   reproducing both of the paper's case-study observations (the
+//!   annotation mis-fix silences it; lock-protected reorder bugs have no
+//!   data race at all).
+//! - [`ofence`]: the OFence paired-barrier static pattern matcher (§6.4):
+//!   it flags an ordering-sensitive code pair only when exactly one half of
+//!   a standard barrier pair is present.
+
+pub mod interleave;
+pub mod invitro;
+pub mod kcsan;
+pub mod ofence;

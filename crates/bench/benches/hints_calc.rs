@@ -1,0 +1,59 @@
+//! Cost of the hint pipeline (§4.3): Algorithm 2 filtering plus Algorithm 1
+//! grouping/sorting, on traces of realistic sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kernelsim::{BugSwitches, Syscall};
+use ozz::hints::calc_hints;
+use ozz::profile_sti;
+use ozz::sti::Sti;
+
+fn hints(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hints_calc");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_millis(600));
+    group.warm_up_time(std::time::Duration::from_millis(150));
+
+    // A real pair: the Figure 1 watch_queue traces.
+    let sti = Sti {
+        calls: vec![Syscall::WqPost, Syscall::PipeRead],
+    };
+    let traces = profile_sti(&sti, BugSwitches::all());
+    group.bench_function("figure1_pair", |b| {
+        b.iter(|| calc_hints(&traces[0].events, &traces[1].events))
+    });
+
+    // A long STI: every pair of an 8-call program.
+    let sti = Sti {
+        calls: vec![
+            Syscall::TlsInit { fd: 0 },
+            Syscall::SetSockOpt { fd: 0 },
+            Syscall::GetSockOpt { fd: 0 },
+            Syscall::WqPost,
+            Syscall::PipeRead,
+            Syscall::XskBind { fd: 0 },
+            Syscall::XskPoll { fd: 0 },
+            Syscall::XskSendmsg { fd: 0 },
+        ],
+    };
+    let traces = profile_sti(&sti, BugSwitches::all());
+    group.bench_with_input(
+        BenchmarkId::new("all_pairs", traces.len()),
+        &traces,
+        |b, traces| {
+            b.iter(|| {
+                let mut total = 0;
+                for i in 0..traces.len() {
+                    for j in (i + 1)..traces.len() {
+                        total += calc_hints(&traces[i].events, &traces[j].events).len();
+                    }
+                }
+                total
+            })
+        },
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, hints);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Engine-level microbenchmarks and the DESIGN.md §7 ablations:
+//!
+//! - plain commit vs delayed store + flush (store-buffer cost);
+//! - load from memory vs store-to-load forwarding vs versioned load
+//!   (hierarchical-search cost);
+//! - store-history growth with and without GC (history-bound ablation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oemu::{iid, Engine, LoadAnn, StoreAnn, Tid};
+
+fn engine_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oemu_ops");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_millis(600));
+    group.warm_up_time(std::time::Duration::from_millis(150));
+
+    group.bench_function("store_commit", |b| {
+        let e = Engine::new(1);
+        let i = iid!();
+        b.iter(|| e.store(Tid(0), i, 0x1000, 1, StoreAnn::Plain));
+    });
+
+    group.bench_function("store_delayed_plus_flush", |b| {
+        let e = Engine::new(1);
+        let i = iid!();
+        e.delay_store_at(Tid(0), i);
+        b.iter(|| {
+            e.store(Tid(0), i, 0x1000, 1, StoreAnn::Plain);
+            e.flush_thread(Tid(0));
+        });
+    });
+
+    group.bench_function("load_memory", |b| {
+        let e = Engine::new(1);
+        e.store(Tid(0), iid!(), 0x1000, 7, StoreAnn::Plain);
+        let i = iid!();
+        b.iter(|| e.load(Tid(0), i, 0x1000, LoadAnn::Plain));
+    });
+
+    group.bench_function("load_forwarded", |b| {
+        let e = Engine::new(1);
+        let istore = iid!();
+        e.delay_store_at(Tid(0), istore);
+        e.store(Tid(0), istore, 0x1000, 7, StoreAnn::Plain);
+        let i = iid!();
+        b.iter(|| e.load(Tid(0), i, 0x1000, LoadAnn::Plain));
+    });
+
+    group.bench_function("load_versioned", |b| {
+        let e = Engine::new(2);
+        e.store(Tid(1), iid!(), 0x1000, 7, StoreAnn::Plain);
+        let i = iid!();
+        e.read_old_value_at(Tid(0), i);
+        b.iter(|| e.load(Tid(0), i, 0x1000, LoadAnn::Plain));
+    });
+
+    // History-bound ablation: versioned-load search cost against a long
+    // history, with and without GC.
+    for (label, gc) in [("history_unbounded", false), ("history_gc", true)] {
+        group.bench_function(label, |b| {
+            let e = Engine::new(2);
+            let istore = iid!();
+            for n in 0..4096 {
+                e.store(Tid(1), istore, 0x1000 + (n % 64) * 8, n, StoreAnn::Plain);
+            }
+            if gc {
+                e.smp_rmb(Tid(0), iid!());
+                e.smp_rmb(Tid(1), iid!());
+                e.gc_history();
+            }
+            let i = iid!();
+            e.read_old_value_at(Tid(0), i);
+            b.iter(|| e.load(Tid(0), i, 0x1000, LoadAnn::Plain));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, engine_ops);
+criterion_main!(benches);

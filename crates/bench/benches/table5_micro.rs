@@ -1,0 +1,62 @@
+//! Table 5 with Criterion statistics: every operation class measured in
+//! raw mode (the paper's uninstrumented Linux) and instrumented mode
+//! (Linux w/ OEMU).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kernelsim::{run_one, BugSwitches, Kctx, Syscall};
+use oemu::Tid;
+
+// Repeatable-in-place workloads, so boot cost stays out of the loop (the
+// paper's LMBench numbers exclude VM setup the same way).
+const CLASSES: &[(&str, &[Syscall])] = &[
+    ("null", &[Syscall::UnixGetname { fd: 0 }]),
+    ("stat", &[Syscall::VlanGet { id: 3 }]),
+    ("open_close", &[Syscall::BhReplace, Syscall::BhEvict]),
+    (
+        "file_create",
+        &[Syscall::SbitmapClear, Syscall::SbitmapGet],
+    ),
+    ("pipe", &[Syscall::WqPost, Syscall::PipeRead]),
+    (
+        "unix",
+        &[Syscall::RingBufferWrite { data: 7 }, Syscall::RingBufferRead],
+    ),
+    (
+        "file_rewrite",
+        &[Syscall::FilemapWrite { val: 9 }, Syscall::FilemapRead],
+    ),
+    ("mmap", &[Syscall::RdsSendXmit, Syscall::RdsLoopXmit]),
+];
+
+fn table5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(600));
+    group.warm_up_time(std::time::Duration::from_millis(150));
+    for (name, calls) in CLASSES {
+        for raw in [true, false] {
+            let label = if raw { "raw" } else { "oemu" };
+            group.bench_with_input(
+                BenchmarkId::new(*name, label),
+                &(raw, *calls),
+                |b, (raw, calls)| {
+                    let k = Kctx::new(BugSwitches::none());
+                    k.set_raw(*raw);
+                    b.iter(|| {
+                        for &call in *calls {
+                            run_one(&k, Tid(0), call);
+                        }
+                    })
+                },
+            );
+        }
+    }
+    // fork analog: machine boot.
+    group.bench_function("fork_boot", |b| {
+        b.iter(|| std::hint::black_box(Kctx::new(BugSwitches::none())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table5);
+criterion_main!(benches);

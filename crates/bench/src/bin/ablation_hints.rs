@@ -1,0 +1,93 @@
+//! Ablation: hint-ordering strategies (DESIGN.md §7).
+//!
+//! The §4.3 heuristic executes hints in decreasing reorder-set size. This
+//! ablation runs the same campaigns under the reversed (minimal-first) and
+//! shuffled orderings and compares tests-to-discovery per bug, showing why
+//! the paper's greedy choice pays: most bugs trigger on the largest
+//! deviations from sequential order, so testing those first front-loads the
+//! discoveries.
+
+use bench::row;
+use kernelsim::{BugId, BugSwitches};
+use ozz::fuzzer::{FuzzConfig, Fuzzer, HintOrder};
+
+fn tests_to_find(bug: BugId, order: HintOrder, budget: u64, cap: usize) -> Option<u64> {
+    let mut fuzzer = Fuzzer::new(FuzzConfig {
+        seed: 2024,
+        bugs: BugSwitches::only([bug]),
+        hint_order: order,
+        max_hints_per_pair: cap,
+        ..FuzzConfig::default()
+    });
+    while fuzzer.stats().mtis_run < budget {
+        fuzzer.step();
+        if let Some(found) = fuzzer.found().get(bug.expected_title()) {
+            return Some(found.tests_to_find);
+        }
+    }
+    None
+}
+
+fn main() {
+    let budget: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6000);
+    // A representative slice: one bug per mechanism/shape.
+    let bugs = [
+        BugId::TlsSkProt,       // classic publication, S-S
+        BugId::XskPoolPublish,  // mid-syscall group, S-S
+        BugId::GsmDlci,         // reader-side, L-L
+        BugId::PsockSavedReady, // non-maximal hint needed
+        BugId::SmcFput,         // write-side oracle
+    ];
+    for cap in [1usize, 8] {
+        println!(
+            "Hint-ordering ablation — {} hint(s) executed per pair, budget {budget} per cell\n",
+            cap
+        );
+        let widths = [8, 11, 12, 12, 10];
+        println!(
+            "{}",
+            row(
+                &["Bug", "Subsystem", "max-first", "min-first", "shuffled"],
+                &widths
+            )
+        );
+        let mut sums = [0u64; 3];
+        let mut misses = [0u32; 3];
+        for bug in bugs {
+            let cells: Vec<String> = [
+                HintOrder::MaxReorderFirst,
+                HintOrder::MinReorderFirst,
+                HintOrder::Shuffled,
+            ]
+            .iter()
+            .enumerate()
+            .map(|(i, &order)| match tests_to_find(bug, order, budget, cap) {
+                Some(n) => {
+                    sums[i] += n;
+                    n.to_string()
+                }
+                None => {
+                    misses[i] += 1;
+                    "miss".to_string()
+                }
+            })
+            .collect();
+            println!(
+                "{}",
+                row(
+                    &[bug.label(), bug.subsystem(), &cells[0], &cells[1], &cells[2]],
+                    &widths
+                )
+            );
+        }
+        println!(
+            "\ntotals: max-first {} tests ({} misses) | min-first {} ({}) | shuffled {} ({})\n",
+            sums[0], misses[0], sums[1], misses[1], sums[2], misses[2]
+        );
+    }
+    println!("With a tight per-pair budget (1 hint), the ordering decides discovery outright:");
+    println!("most bugs trigger only on the largest deviations from sequential order (§4.3).");
+}

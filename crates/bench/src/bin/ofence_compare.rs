@@ -1,0 +1,47 @@
+//! §6.4: comparison with OFence's paired-barrier pattern matching.
+//!
+//! OFence flags code where exactly one half of a standard barrier pair
+//! (`smp_wmb`/`smp_rmb`, release/acquire) is present. Applying that
+//! criterion to the 11 Table 3 bugs' pre-fix code shows 8 of them carry no
+//! unpaired half at all — custom locks, annotation mis-fixes, plain
+//! publication with neither barrier — matching the paper's "8 out of 11 are
+//! hardly detectable by OFence".
+
+use baselines::ofence::{compare_table3, facts};
+use bench::row;
+
+fn main() {
+    println!("OFence comparison over Table 3 (paired-barrier pattern matching)\n");
+    let widths = [8, 11, 14, 14, 12];
+    println!(
+        "{}",
+        row(
+            &["ID", "Subsystem", "writer wmb?", "reader rmb?", "OFence?"],
+            &widths
+        )
+    );
+    let rows = compare_table3();
+    for r in &rows {
+        let f = facts(r.bug);
+        println!(
+            "{}",
+            row(
+                &[
+                    r.bug.label(),
+                    r.bug.subsystem(),
+                    if f.writer_store_barrier { "present" } else { "-" },
+                    if f.reader_load_barrier { "present" } else { "-" },
+                    if r.detectable { "flagged" } else { "missed" },
+                ],
+                &widths
+            )
+        );
+    }
+    let missed = rows.iter().filter(|r| !r.detectable).count();
+    println!(
+        "\n{missed}/11 not detectable by the pattern (paper: 8/11); OZZ finds all 11 dynamically"
+    );
+    println!(
+        "(conversely, OFence needs no runnable target — the paper's OFence-found bugs live in\n driver submodules OZZ cannot generate inputs for, which this harness cannot model either)"
+    );
+}

@@ -1,0 +1,160 @@
+//! Table 5: OEMU instrumentation overhead per operation class.
+//!
+//! The paper measures LMBench operations on Linux with and without OEMU
+//! instrumentation (3.0x–59.0x). The analog here: each mini-kernel
+//! operation class runs in a loop on a booted machine — with full
+//! instrumentation (gates + KASAN + engine) and in raw mode (direct memory
+//! access, the uninstrumented-Linux baseline) — and the per-iteration
+//! latencies are compared. Boot cost is excluded from both sides, as the
+//! paper's LMBench numbers exclude VM setup.
+
+use bench::{ratio, row, time_us};
+use kernelsim::{run_one, BugSwitches, Kctx, Syscall};
+use oemu::Tid;
+
+struct Class {
+    name: &'static str,
+    /// A workload that can repeat indefinitely on one machine.
+    calls: &'static [Syscall],
+}
+
+/// Operation classes mirroring the LMBench rows (all repeatable in place).
+const CLASSES: &[Class] = &[
+    // null: the cheapest syscall path (an unbound getname).
+    Class {
+        name: "null",
+        calls: &[Syscall::UnixGetname { fd: 0 }],
+    },
+    // stat: a miss lookup touching a couple of words.
+    Class {
+        name: "stat",
+        calls: &[Syscall::VlanGet { id: 3 }],
+    },
+    // open/close analog: replace + evict a buffer head (alloc + free under
+    // a bit lock).
+    Class {
+        name: "open/close",
+        calls: &[Syscall::BhReplace, Syscall::BhEvict],
+    },
+    // File create/delete analog: sbitmap retire-and-refresh (alloc + free
+    // + atomic bitops).
+    Class {
+        name: "File create",
+        calls: &[Syscall::SbitmapClear, Syscall::SbitmapGet],
+    },
+    // pipe: the watch_queue post/read round trip.
+    Class {
+        name: "pipe",
+        calls: &[Syscall::WqPost, Syscall::PipeRead],
+    },
+    // unix: the tracing ring buffer round trip (stream of small messages).
+    Class {
+        name: "unix",
+        calls: &[
+            Syscall::RingBufferWrite { data: 7 },
+            Syscall::RingBufferRead,
+        ],
+    },
+    // File rewrite: buffered write + read on the page cache page.
+    Class {
+        name: "File rewrite",
+        calls: &[Syscall::FilemapWrite { val: 9 }, Syscall::FilemapRead],
+    },
+    // mmap analog: the RDS requeue+transmit path (cursor + message churn).
+    Class {
+        name: "mmap",
+        calls: &[Syscall::RdsSendXmit, Syscall::RdsLoopXmit],
+    },
+];
+
+fn measure(k: &std::sync::Arc<Kctx>, raw: bool, calls: &[Syscall], iters: u32) -> f64 {
+    k.set_raw(raw);
+    let us = time_us(iters, || {
+        for &c in calls {
+            run_one(k, Tid(0), c);
+        }
+    });
+    k.set_raw(false);
+    us
+}
+
+fn main() {
+    let iters: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+    println!("Table 5 — microbenchmark: raw (Linux) vs instrumented (Linux w/ OEMU)\n");
+    let widths = [12, 14, 20, 9];
+    println!(
+        "{}",
+        row(&["Tests", "raw (us)", "w/ OEMU (us)", "Overhead"], &widths)
+    );
+    let mut ratios = Vec::new();
+    for class in CLASSES {
+        // Separate machines per mode so history growth is comparable.
+        let kraw = Kctx::new(BugSwitches::none());
+        let kinst = Kctx::new(BugSwitches::none());
+        let raw = measure(&kraw, true, class.calls, iters);
+        let inst = measure(&kinst, false, class.calls, iters);
+        ratios.push(inst / raw);
+        println!(
+            "{}",
+            row(
+                &[
+                    class.name,
+                    &format!("{raw:.3}"),
+                    &format!("{inst:.3}"),
+                    &ratio(inst, raw),
+                ],
+                &widths
+            )
+        );
+    }
+    // fork analog: machine boot (process creation).
+    let boot = time_us(200, || {
+        std::hint::black_box(Kctx::new(BugSwitches::none()));
+    });
+    println!(
+        "{}",
+        row(&["fork (boot)", "-", &format!("{boot:.3}"), "-"], &widths)
+    );
+    // ctxsw: the custom scheduler's breakpoint-driven context switch vs the
+    // same two syscalls run sequentially.
+    let ctxsw = {
+        use ksched::{BreakWhen, Breakpoint, SchedulePlan};
+        let sti = ozz::sti::Sti {
+            calls: vec![Syscall::WqPost],
+        };
+        let traces = ozz::profile_sti(&sti, BugSwitches::none());
+        let point = traces[0].events[0].iid();
+        let k = Kctx::new(BugSwitches::none());
+        time_us(500, || {
+            let plan = SchedulePlan {
+                first: Tid(0),
+                breakpoint: Some(Breakpoint {
+                    iid: point,
+                    when: BreakWhen::After,
+                    hit: 1,
+                }),
+            };
+            kernelsim::run_concurrent(&k, plan, Syscall::WqPost, Syscall::PipeRead);
+        })
+    };
+    let kseq = Kctx::new(BugSwitches::none());
+    let seq = measure(&kseq, false, &[Syscall::WqPost, Syscall::PipeRead], 2000);
+    println!(
+        "{}",
+        row(
+            &[
+                "ctxsw 2p/0k",
+                &format!("{seq:.3}"),
+                &format!("{ctxsw:.3}"),
+                &ratio(ctxsw, seq),
+            ],
+            &widths
+        )
+    );
+    let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = ratios.iter().cloned().fold(0.0, f64::max);
+    println!("\noverhead range {min:.1}x - {max:.1}x (paper: 3.0x - 59.0x on LMBench)");
+}

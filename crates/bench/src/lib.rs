@@ -1,0 +1,71 @@
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! Binaries (one per experiment; see `DESIGN.md` §4 for the index):
+//!
+//! - `table3_campaign` — Table 3: the fuzzing campaign over the 11 seeded
+//!   new bugs;
+//! - `table4_repro` — Table 4: directed reproduction of the 9 known bugs;
+//! - `table5_table` — Table 5: instrumentation overhead per op class;
+//! - `throughput` — §6.3.2: OZZ vs interleaving-only baseline tests/s;
+//! - `ofence_compare` — §6.4: the paired-barrier matcher over Table 3;
+//! - `heuristic_rank` — §4.3: rank of the triggering scheduling hint;
+//! - `invitro_compare` — §7: offline candidates vs in-vivo confirmation;
+//! - `kcsan_compare` — §7: KCSAN race visibility vs OZZ detection.
+//!
+//! Criterion benches: `table5_micro` (the Table 5 measurement with proper
+//! statistics), `oemu_ops` (engine ablations), `hints_calc` (Algorithm 1).
+
+use std::time::Instant;
+
+/// Formats a ratio like the paper's overhead column (`24.9x`).
+pub fn ratio(instrumented: f64, raw: f64) -> String {
+    if raw <= 0.0 {
+        return "-".into();
+    }
+    format!("{:.1}x", instrumented / raw)
+}
+
+/// Times `iters` runs of `f` and returns the per-iteration microseconds.
+pub fn time_us(iters: u32, mut f: impl FnMut()) -> f64 {
+    // Warm-up.
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e6 / f64::from(iters)
+}
+
+/// Prints a fixed-width table row.
+pub fn row(cols: &[&str], widths: &[usize]) -> String {
+    cols.iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:<w$}"))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_formats_like_the_paper() {
+        assert_eq!(ratio(43.3, 1.74), "24.9x");
+        assert_eq!(ratio(1.0, 0.0), "-");
+    }
+
+    #[test]
+    fn time_us_is_positive() {
+        let us = time_us(10, || {
+            std::hint::black_box(42);
+        });
+        assert!(us >= 0.0);
+    }
+
+    #[test]
+    fn row_aligns_columns() {
+        let r = row(&["a", "bb"], &[4, 4]);
+        assert_eq!(r, "a     bb  ");
+    }
+}

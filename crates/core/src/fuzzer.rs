@@ -1,0 +1,364 @@
+//! The OZZ fuzzing loop (Figure 6).
+//!
+//! Each iteration follows the paper's three-step workflow: generate and run
+//! a single-threaded input while profiling memory accesses and barriers
+//! (§4.2), calculate scheduling hints for every syscall pair (§4.3), then
+//! construct and run multi-threaded inputs under those hints, watching the
+//! kernel's bug-detecting oracles (§4.4). Coverage (KCov-style, per
+//! instrumentation site) gates corpus growth; crashes are deduplicated by
+//! title like Syzkaller's dashboard.
+
+use std::collections::{BTreeMap, HashSet};
+
+use kernelsim::{BugSwitches, Kctx, ReorderType, Syscall};
+use oemu::Iid;
+
+use crate::hints::{calc_hints, HintKind};
+use crate::mti::build_mtis;
+use crate::profile_sti;
+use crate::sti::{Sti, StiGen};
+
+/// Ordering strategy for scheduling hints within a pair — the §4.3 search
+/// heuristic and its ablations (DESIGN.md §7).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum HintOrder {
+    /// The paper's heuristic: maximal reorder-set first.
+    MaxReorderFirst,
+    /// Ablation: minimal reorder-set first.
+    MinReorderFirst,
+    /// Ablation: deterministic pseudo-random order (seeded).
+    Shuffled,
+}
+
+/// Fuzzer configuration.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// RNG seed (campaigns are fully deterministic given the seed).
+    pub seed: u64,
+    /// Kernel build (which seeded bugs are present).
+    pub bugs: BugSwitches,
+    /// Cap on hints executed per syscall pair, in priority order.
+    pub max_hints_per_pair: usize,
+    /// Probability weight of mutating a corpus entry vs generating fresh.
+    pub mutate_ratio: f64,
+    /// Hint-ordering strategy (the §4.3 heuristic or an ablation).
+    pub hint_order: HintOrder,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 0,
+            bugs: BugSwitches::all(),
+            max_hints_per_pair: 8,
+            mutate_ratio: 0.5,
+            hint_order: HintOrder::MaxReorderFirst,
+        }
+    }
+}
+
+/// A deduplicated crash found during fuzzing, with the diagnosis the paper
+/// reports to developers (§4.1): the hypothetical barrier location and the
+/// reordering that was enforced.
+#[derive(Clone, Debug)]
+pub struct FoundBug {
+    /// Crash title (dedup key).
+    pub title: String,
+    /// Where the missing barrier belongs.
+    pub barrier_location: String,
+    /// Store-store or load-load (which OEMU mechanism fired).
+    pub reorder_type: ReorderType,
+    /// Total tests executed when this bug was first triggered.
+    pub tests_to_find: u64,
+    /// Rank of the triggering hint within its pair's sorted hint list
+    /// (0 = the maximal-reorder hint; the §4.3 heuristic statistic).
+    pub hint_rank: usize,
+    /// The concurrent syscall pair.
+    pub pair: (Syscall, Syscall),
+}
+
+/// Campaign statistics.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzStats {
+    /// STIs generated and profiled.
+    pub stis_run: u64,
+    /// MTIs executed (the paper's "tests").
+    pub mtis_run: u64,
+    /// Crash occurrences (before dedup).
+    pub crashes_total: u64,
+    /// Instrumentation sites covered (KCov analog).
+    pub coverage: usize,
+}
+
+/// The OZZ fuzzer.
+pub struct Fuzzer {
+    cfg: FuzzConfig,
+    gen: StiGen,
+    corpus: Vec<Sti>,
+    coverage: HashSet<Iid>,
+    found: BTreeMap<String, FoundBug>,
+    stats: FuzzStats,
+    rng_pick: u64,
+}
+
+impl Fuzzer {
+    /// Creates a fuzzer.
+    pub fn new(cfg: FuzzConfig) -> Self {
+        let gen = StiGen::new(cfg.seed);
+        Fuzzer {
+            cfg,
+            gen,
+            corpus: Vec::new(),
+            coverage: HashSet::new(),
+            found: BTreeMap::new(),
+            stats: FuzzStats::default(),
+            rng_pick: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Runs one full iteration (STI → profile → hints → MTIs); returns the
+    /// number of *new* unique crashes found in this iteration.
+    pub fn step(&mut self) -> usize {
+        let sti = self.next_sti();
+        self.stats.stis_run += 1;
+        // Step 1 (§4.2): run the STI with profiling.
+        let traces = profile_sti(&sti, self.cfg.bugs.clone());
+        // KCov-style coverage gates corpus growth.
+        let before = self.coverage.len();
+        for t in &traces {
+            for e in &t.events {
+                self.coverage.insert(e.iid());
+            }
+        }
+        if self.coverage.len() > before {
+            self.corpus.push(sti.clone());
+        }
+        self.stats.coverage = self.coverage.len();
+        // Steps 2+3 (§4.3, §4.4): hints and MTI execution. Hints are
+        // recomputed per pair; rank bookkeeping feeds the heuristic
+        // validation experiment.
+        let mut new_uniques = 0;
+        let order = self.cfg.hint_order;
+        let seed = self.cfg.seed;
+        let mtis = build_mtis(
+            &sti,
+            |i, j| {
+                let mut hints = calc_hints(&traces[i].events, &traces[j].events);
+                match order {
+                    HintOrder::MaxReorderFirst => {}
+                    HintOrder::MinReorderFirst => hints.reverse(),
+                    HintOrder::Shuffled => {
+                        // Deterministic per-pair shuffle (splitmix over the
+                        // seed and pair indices).
+                        let mut state = seed ^ ((i as u64) << 32) ^ (j as u64);
+                        for idx in (1..hints.len()).rev() {
+                            state = state
+                                .wrapping_mul(0x5851_f42d_4c95_7f2d)
+                                .wrapping_add(0x14057b7e_f767_814f);
+                            let pick = (state >> 33) as usize % (idx + 1);
+                            hints.swap(idx, pick);
+                        }
+                    }
+                }
+                hints
+            },
+            self.cfg.max_hints_per_pair,
+        );
+        // Rank within each pair (build_mtis preserves per-pair hint order).
+        let mut rank_of_pair: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        for mti in mtis {
+            let rank = rank_of_pair.entry((mti.i, mti.j)).or_insert(0);
+            let this_rank = *rank;
+            *rank += 1;
+            self.stats.mtis_run += 1;
+            let out = mti.run(self.cfg.bugs.clone());
+            if out.crashed() {
+                self.stats.crashes_total += out.crashes.len() as u64;
+                for crash in &out.crashes {
+                    if !self.found.contains_key(&crash.title) {
+                        new_uniques += 1;
+                        self.found.insert(
+                            crash.title.clone(),
+                            FoundBug {
+                                title: crash.title.clone(),
+                                barrier_location: mti.hint.barrier_location(),
+                                reorder_type: match mti.hint.kind {
+                                    HintKind::StoreBarrier => ReorderType::StoreStore,
+                                    HintKind::LoadBarrier => ReorderType::LoadLoad,
+                                },
+                                tests_to_find: self.stats.mtis_run,
+                                hint_rank: this_rank,
+                                pair: mti.pair(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        new_uniques
+    }
+
+    /// Runs iterations until `max_tests` MTIs have executed or `target`
+    /// unique crashes were found.
+    pub fn run_until(&mut self, max_tests: u64, target: usize) {
+        while self.stats.mtis_run < max_tests && self.found.len() < target {
+            self.step();
+        }
+    }
+
+    /// Picks the next STI: a corpus mutation or a fresh generation.
+    fn next_sti(&mut self) -> Sti {
+        // Deterministic corpus pick (splitmix-style scramble).
+        self.rng_pick = self
+            .rng_pick
+            .wrapping_mul(0x5851_f42d_4c95_7f2d)
+            .wrapping_add(1);
+        let toss = (self.rng_pick >> 33) as f64 / (1u64 << 31) as f64;
+        if !self.corpus.is_empty() && toss < self.cfg.mutate_ratio {
+            let idx = (self.rng_pick % self.corpus.len() as u64) as usize;
+            let base = self.corpus[idx].clone();
+            self.gen.mutate(&base)
+        } else {
+            self.gen.generate()
+        }
+    }
+
+    /// Unique crashes found so far, keyed by title.
+    pub fn found(&self) -> &BTreeMap<String, FoundBug> {
+        &self.found
+    }
+
+    /// Campaign statistics.
+    pub fn stats(&self) -> &FuzzStats {
+        &self.stats
+    }
+
+    /// Corpus size.
+    pub fn corpus_len(&self) -> usize {
+        self.corpus.len()
+    }
+}
+
+/// Runs a Table 3-style campaign: fuzz the all-bugs kernel until every
+/// expected crash title is found or the test budget runs out; returns the
+/// fuzzer for inspection.
+pub fn campaign(seed: u64, max_tests: u64) -> Fuzzer {
+    let expected: Vec<&str> = kernelsim::BugId::NEW
+        .iter()
+        .map(|b| b.expected_title())
+        .collect();
+    let mut fuzzer = Fuzzer::new(FuzzConfig {
+        seed,
+        bugs: BugSwitches::all(),
+        ..FuzzConfig::default()
+    });
+    while fuzzer.stats.mtis_run < max_tests {
+        fuzzer.step();
+        let found_all = expected
+            .iter()
+            .all(|t| fuzzer.found.contains_key(*t));
+        if found_all {
+            break;
+        }
+    }
+    fuzzer
+}
+
+/// Convenience: a fresh machine with the given switches (re-exported for
+/// benches that need raw access).
+pub fn boot_kernel(bugs: BugSwitches) -> std::sync::Arc<Kctx> {
+    Kctx::new(bugs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernelsim::BugId;
+
+    #[test]
+    fn fuzzer_is_deterministic() {
+        let run = |seed| {
+            let mut f = Fuzzer::new(FuzzConfig {
+                seed,
+                ..FuzzConfig::default()
+            });
+            for _ in 0..5 {
+                f.step();
+            }
+            (
+                f.stats().mtis_run,
+                f.found().keys().cloned().collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(11), run(11));
+    }
+
+    #[test]
+    fn fuzzer_finds_bugs_on_buggy_kernel() {
+        let mut f = Fuzzer::new(FuzzConfig {
+            seed: 1,
+            ..FuzzConfig::default()
+        });
+        f.run_until(3000, 3);
+        assert!(
+            !f.found().is_empty(),
+            "the all-bugs kernel must yield crashes within the budget: {:?}",
+            f.stats()
+        );
+        for bug in f.found().values() {
+            assert!(bug.tests_to_find <= f.stats().mtis_run);
+            assert!(!bug.barrier_location.is_empty());
+        }
+    }
+
+    #[test]
+    fn fuzzer_finds_nothing_on_fixed_kernel() {
+        let mut f = Fuzzer::new(FuzzConfig {
+            seed: 1,
+            bugs: BugSwitches::none(),
+            ..FuzzConfig::default()
+        });
+        for _ in 0..40 {
+            f.step();
+        }
+        assert!(
+            f.found().is_empty(),
+            "no false positives on the patched kernel: {:?}",
+            f.found().keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn coverage_grows_and_gates_corpus() {
+        let mut f = Fuzzer::new(FuzzConfig {
+            seed: 9,
+            ..FuzzConfig::default()
+        });
+        f.step();
+        let c1 = f.stats().coverage;
+        assert!(c1 > 0);
+        for _ in 0..10 {
+            f.step();
+        }
+        assert!(f.stats().coverage >= c1);
+        assert!(f.corpus_len() >= 1);
+    }
+
+    #[test]
+    fn campaign_finds_a_specific_seeded_bug() {
+        // A focused campaign on the TLS kernel build finds Figure 7's bug
+        // and diagnoses a store barrier.
+        let mut f = Fuzzer::new(FuzzConfig {
+            seed: 4,
+            bugs: BugSwitches::only([BugId::TlsSkProt]),
+            ..FuzzConfig::default()
+        });
+        f.run_until(4000, 1);
+        let bug = f
+            .found()
+            .get(BugId::TlsSkProt.expected_title())
+            .expect("Figure 7 bug found");
+        assert_eq!(bug.reorder_type, ReorderType::StoreStore);
+        assert!(bug.barrier_location.contains("smp_wmb"));
+    }
+}

@@ -1,0 +1,486 @@
+//! Scheduling-hint calculation: Algorithms 1 and 2 of the paper (§4.3).
+//!
+//! Given the profiled event sequences of two system calls, OZZ computes the
+//! set of *scheduling hints*, each describing one hypothetical memory
+//! barrier test: a scheduling point at which to interleave, and the memory
+//! accesses to reorder. The pipeline is:
+//!
+//! 1. **`filter_out`** (Algorithm 2): drop accesses that cannot touch
+//!    memory shared between the two calls — an OOO bug is a concurrency
+//!    bug, so private accesses are irrelevant.
+//! 2. **Grouping** (Algorithm 1, step 2): split each call's accesses into
+//!    groups bounded by barriers of the tested type (store-ordering
+//!    barriers for the hypothetical *store* barrier test, load-ordering
+//!    barriers for the *load* barrier test) — reordering across a real
+//!    barrier is impossible, so hints never span one.
+//! 3. **Hint construction** (Algorithm 1, step 3): within each group, slide
+//!    the hypothetical barrier one access at a time. For a store test the
+//!    scheduling point is the group's last access and the reorder set is
+//!    everything before it (Figure 5a); for a load test the scheduling
+//!    point is the group's first access and the reorder set is everything
+//!    after it (Figure 5b).
+//! 4. **Sorting**: hints are ordered by decreasing reorder-set size — the
+//!    paper's greedy search heuristic (§4.3): the further execution
+//!    deviates from sequential order, the likelier developers overlooked
+//!    the barrier.
+
+use std::collections::HashSet;
+
+use oemu::{AccessKind, AccessRecord, BarrierKind, TraceEvent};
+
+/// Which of the two paired system calls performs the reordering.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum PairSide {
+    /// The first call of the pair (runs on CPU 0).
+    First,
+    /// The second call of the pair (runs on CPU 1).
+    Second,
+}
+
+/// Which hypothetical barrier the hint tests.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum HintKind {
+    /// Hypothetical store barrier test: delayed stores, break *after* the
+    /// scheduling point (Figure 5a).
+    StoreBarrier,
+    /// Hypothetical load barrier test: versioned loads, break *before* the
+    /// scheduling point (Figure 5b).
+    LoadBarrier,
+}
+
+/// One scheduling hint (one hypothetical memory barrier test).
+#[derive(Clone, Debug)]
+pub struct SchedHint {
+    /// Store or load barrier test.
+    pub kind: HintKind,
+    /// Which call of the pair reorders its accesses.
+    pub reorderer: PairSide,
+    /// The scheduling-point access (`h.sched`).
+    pub sched: AccessRecord,
+    /// 1-based occurrence of `sched.iid` within the reorderer's trace, for
+    /// breakpoint hit-counting when the instruction executes in a loop.
+    pub sched_hit: u32,
+    /// The accesses to reorder (`h.reorder`): stores to delay for a store
+    /// test, loads to version for a load test.
+    pub reorder: Vec<AccessRecord>,
+}
+
+impl SchedHint {
+    /// Human-readable location of the hypothetical barrier, reported to
+    /// developers alongside a found bug (§4.1: "OZZ provides the location
+    /// of the hypothetical memory barrier").
+    pub fn barrier_location(&self) -> String {
+        match self.kind {
+            HintKind::StoreBarrier => format!(
+                "missing store barrier (e.g. smp_wmb) before {}",
+                self.sched.iid.describe()
+            ),
+            HintKind::LoadBarrier => format!(
+                "missing load barrier (e.g. smp_rmb) after {}",
+                self.sched.iid.describe()
+            ),
+        }
+    }
+}
+
+/// Algorithm 2: `filter_out` — removes accesses that cannot contribute to
+/// an OOO bug because they touch no location shared between the two calls
+/// (with at least one side writing). Barrier events always survive: they
+/// define the group boundaries.
+pub fn filter_out(si: &[TraceEvent], sj: &[TraceEvent]) -> (Vec<TraceEvent>, Vec<TraceEvent>) {
+    let mut shared: HashSet<u64> = HashSet::new();
+    for ai in si.iter().filter_map(TraceEvent::as_access) {
+        for aj in sj.iter().filter_map(TraceEvent::as_access) {
+            if !(ai.kind.writes() || aj.kind.writes()) {
+                continue;
+            }
+            if let Some(addr) = overlap(ai, aj) {
+                shared.insert(addr);
+            }
+        }
+    }
+    let keep = |events: &[TraceEvent]| {
+        events
+            .iter()
+            .filter(|e| match e {
+                TraceEvent::Access(a) => words_of(a).any(|w| shared.contains(&w)),
+                TraceEvent::Barrier(_) => true,
+            })
+            .cloned()
+            .collect::<Vec<_>>()
+    };
+    (keep(si), keep(sj))
+}
+
+/// Word addresses an access covers (accesses are word-granular in the
+/// simulated kernel, but sub-word sizes still map to their word slot).
+fn words_of(a: &AccessRecord) -> impl Iterator<Item = u64> {
+    let start = a.addr;
+    let end = a.addr + u64::from(a.size.max(1));
+    (start..end).step_by(8).chain(std::iter::once(start))
+}
+
+/// First overlapping word of two accesses, if their byte ranges intersect.
+fn overlap(a: &AccessRecord, b: &AccessRecord) -> Option<u64> {
+    let (a0, a1) = (a.addr, a.addr + u64::from(a.size.max(1)));
+    let (b0, b1) = (b.addr, b.addr + u64::from(b.size.max(1)));
+    if a0 < b1 && b0 < a1 {
+        Some(a0.max(b0))
+    } else {
+        None
+    }
+}
+
+/// Algorithm 1: computes all scheduling hints for the pair `(si, sj)`,
+/// sorted by decreasing reorder-set size (the search heuristic).
+pub fn calc_hints(si: &[TraceEvent], sj: &[TraceEvent]) -> Vec<SchedHint> {
+    // Step 1: filter out irrelevant memory accesses.
+    let (fi, fj) = filter_out(si, sj);
+    let mut hints = Vec::new();
+    // Step 2 & 3, for each reorderer side and barrier type.
+    for (side, events, full) in [(PairSide::First, &fi, si), (PairSide::Second, &fj, sj)] {
+        for kind in [HintKind::StoreBarrier, HintKind::LoadBarrier] {
+            for group in group_by_barrier(events, kind) {
+                build_hints(&group, kind, side, full, &mut hints);
+            }
+        }
+    }
+    // Sort by decreasing number of reordered accesses.
+    hints.sort_by(|a, b| b.reorder.len().cmp(&a.reorder.len()).then(a.sched.ts.cmp(&b.sched.ts)));
+    hints
+}
+
+/// Algorithm 1, step 2: group accesses between barriers of the same type.
+fn group_by_barrier(events: &[TraceEvent], kind: HintKind) -> Vec<Vec<AccessRecord>> {
+    let bounds = |b: BarrierKind| match kind {
+        HintKind::StoreBarrier => b.orders_stores(),
+        HintKind::LoadBarrier => b.orders_loads(),
+    };
+    let mut groups = Vec::new();
+    let mut g: Vec<AccessRecord> = Vec::new();
+    for e in events {
+        match e {
+            TraceEvent::Access(a) => g.push(*a),
+            TraceEvent::Barrier(b) if bounds(b.kind) => {
+                groups.push(std::mem::take(&mut g));
+            }
+            TraceEvent::Barrier(_) => {}
+        }
+    }
+    groups.push(g);
+    groups.retain(|g| g.len() >= 2);
+    groups
+}
+
+/// Algorithm 1, step 3: slide the hypothetical barrier through one group.
+///
+/// The scheduling point is *fixed per group*: for a store test it is the
+/// group's last access — the interleaving happens right before the *actual*
+/// barrier bounding the group (the solid line of Figure 5a), so even a
+/// relaxed lock-release RMW at the group's end has already executed when
+/// the other CPU runs. For a load test it is the group's first access — the
+/// interleaving happens right after the actual barrier (Figure 5b). Only
+/// the hypothetical barrier (the reorder set's boundary) slides.
+fn build_hints(
+    group: &[AccessRecord],
+    kind: HintKind,
+    side: PairSide,
+    full_trace: &[TraceEvent],
+    out: &mut Vec<SchedHint>,
+) {
+    let sched = match kind {
+        HintKind::StoreBarrier => *group.last().expect("group.len() >= 2"),
+        HintKind::LoadBarrier => group[0],
+    };
+    // Candidates for reordering: everything except the scheduling point.
+    let mut g: Vec<AccessRecord> = match kind {
+        HintKind::StoreBarrier => group[..group.len() - 1].to_vec(),
+        HintKind::LoadBarrier => group[1..].to_vec(),
+    };
+    let sched_hit = occurrence_of(full_trace, &sched);
+    let mut last_len = usize::MAX;
+    while !g.is_empty() {
+        // Only the matching operation kind can actually be reordered by the
+        // respective OEMU mechanism (delayed stores / versioned loads);
+        // atomic RMWs are single events OEMU never reorders (§3).
+        let reorder: Vec<AccessRecord> = g
+            .iter()
+            .filter(|a| match kind {
+                HintKind::StoreBarrier => a.kind == AccessKind::Store,
+                HintKind::LoadBarrier => a.kind == AccessKind::Load,
+            })
+            .copied()
+            .collect();
+        // Skip empty sets and duplicates (dropping a non-reorderable access
+        // does not change the effective reorder set).
+        if !reorder.is_empty() && reorder.len() != last_len {
+            last_len = reorder.len();
+            out.push(SchedHint {
+                kind,
+                reorderer: side,
+                sched,
+                sched_hit,
+                reorder,
+            });
+        }
+        // Slide the hypothetical barrier by one access: upward for the
+        // store test, downward for the load test.
+        match kind {
+            HintKind::StoreBarrier => {
+                g.pop();
+            }
+            HintKind::LoadBarrier => {
+                g.remove(0);
+            }
+        }
+    }
+}
+
+/// 1-based occurrence index of `target.iid` at `target.ts` within the full
+/// (unfiltered) trace — the breakpoint hit count.
+fn occurrence_of(full_trace: &[TraceEvent], target: &AccessRecord) -> u32 {
+    let mut n = 0;
+    for e in full_trace {
+        if let TraceEvent::Access(a) = e {
+            if a.iid == target.iid && a.ts <= target.ts {
+                n += 1;
+            }
+        }
+    }
+    n.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oemu::{BarrierRecord, Iid};
+
+    fn access(iid: u64, addr: u64, kind: AccessKind, ts: u64) -> TraceEvent {
+        TraceEvent::Access(AccessRecord {
+            iid: Iid(iid),
+            addr,
+            size: 8,
+            kind,
+            ts,
+        })
+    }
+
+    fn barrier(kind: BarrierKind, ts: u64) -> TraceEvent {
+        TraceEvent::Barrier(BarrierRecord {
+            iid: Iid(999),
+            kind,
+            ts,
+        })
+    }
+
+    #[test]
+    fn filter_out_drops_private_accesses() {
+        // Si stores to 0x10 and 0x90; Sj loads 0x10. Only 0x10 is shared.
+        let si = vec![
+            access(1, 0x10, AccessKind::Store, 1),
+            access(2, 0x90, AccessKind::Store, 2),
+        ];
+        let sj = vec![access(3, 0x10, AccessKind::Load, 3)];
+        let (fi, fj) = filter_out(&si, &sj);
+        assert_eq!(fi.len(), 1);
+        assert_eq!(fi[0].as_access().unwrap().addr, 0x10);
+        assert_eq!(fj.len(), 1);
+    }
+
+    #[test]
+    fn filter_out_requires_a_writer() {
+        // Both only load 0x10: no write, no sharing, no OOO bug.
+        let si = vec![access(1, 0x10, AccessKind::Load, 1)];
+        let sj = vec![access(2, 0x10, AccessKind::Load, 2)];
+        let (fi, fj) = filter_out(&si, &sj);
+        assert!(fi.is_empty());
+        assert!(fj.is_empty());
+    }
+
+    #[test]
+    fn filter_out_keeps_barriers() {
+        let si = vec![
+            access(1, 0x10, AccessKind::Store, 1),
+            barrier(BarrierKind::Wmb, 2),
+            access(2, 0x90, AccessKind::Store, 3),
+        ];
+        let sj = vec![access(3, 0x10, AccessKind::Load, 4)];
+        let (fi, _) = filter_out(&si, &sj);
+        assert_eq!(fi.len(), 2, "the barrier survives");
+        assert!(fi[1].as_barrier().is_some());
+    }
+
+    #[test]
+    fn figure5a_store_hints() {
+        // W(a), W(b), W(c), W(d) with no barrier: the maximal hint delays
+        // a, b, c and breaks after d.
+        let si: Vec<_> = (0..4)
+            .map(|i| access(i + 1, 0x10 + i * 8, AccessKind::Store, i + 1))
+            .collect();
+        let sj: Vec<_> = (0..4)
+            .map(|i| access(10 + i, 0x10 + i * 8, AccessKind::Load, 10 + i))
+            .collect();
+        let hints = calc_hints(&si, &sj);
+        let store_hints: Vec<_> = hints
+            .iter()
+            .filter(|h| h.kind == HintKind::StoreBarrier && h.reorderer == PairSide::First)
+            .collect();
+        assert_eq!(store_hints.len(), 3, "hypothetical barrier slides upward");
+        let max = &store_hints[0];
+        assert_eq!(max.reorder.len(), 3);
+        assert_eq!(max.sched.iid, Iid(4), "break at W(d)");
+        // Sliding: the hypothetical barrier moves up — the reorder set
+        // shrinks to {a, b}, then {a} — while the scheduling point stays at
+        // W(d), just before the group's actual boundary.
+        assert_eq!(store_hints[1].reorder.len(), 2);
+        assert_eq!(store_hints[1].sched.iid, Iid(4));
+        assert_eq!(store_hints[2].reorder.len(), 1);
+        assert_eq!(store_hints[2].sched.iid, Iid(4));
+    }
+
+    #[test]
+    fn figure5b_load_hints() {
+        // Reader R(w), R(z), R(y), R(x); writer stores to all four. The
+        // maximal load hint versions z, y, x and breaks before w.
+        let si: Vec<_> = (0..4)
+            .map(|i| access(i + 1, 0x10 + i * 8, AccessKind::Store, i + 1))
+            .collect();
+        let sj: Vec<_> = (0..4)
+            .map(|i| access(10 + i, 0x10 + i * 8, AccessKind::Load, 10 + i))
+            .collect();
+        let hints = calc_hints(&si, &sj);
+        let load_hints: Vec<_> = hints
+            .iter()
+            .filter(|h| h.kind == HintKind::LoadBarrier && h.reorderer == PairSide::Second)
+            .collect();
+        assert_eq!(load_hints.len(), 3);
+        let max = &load_hints[0];
+        assert_eq!(max.reorder.len(), 3);
+        assert_eq!(max.sched.iid, Iid(10), "break before R(w)");
+    }
+
+    #[test]
+    fn barriers_bound_groups() {
+        // W(a), wmb, W(b), W(c): store hints may only reorder within
+        // {b, c}, never across the wmb.
+        let si = vec![
+            access(1, 0x10, AccessKind::Store, 1),
+            barrier(BarrierKind::Wmb, 2),
+            access(2, 0x18, AccessKind::Store, 3),
+            access(3, 0x20, AccessKind::Store, 4),
+        ];
+        let sj: Vec<_> = (0..3)
+            .map(|i| access(10 + i, 0x10 + i * 8, AccessKind::Load, 10 + i))
+            .collect();
+        let hints = calc_hints(&si, &sj);
+        for h in hints.iter().filter(|h| h.reorderer == PairSide::First) {
+            assert!(
+                h.reorder.iter().all(|a| a.iid != Iid(1)),
+                "W(a) is protected by the real barrier"
+            );
+        }
+    }
+
+    #[test]
+    fn load_barriers_do_not_bound_store_groups() {
+        // An rmb between stores is irrelevant to the store test.
+        let si = vec![
+            access(1, 0x10, AccessKind::Store, 1),
+            barrier(BarrierKind::Rmb, 2),
+            access(2, 0x18, AccessKind::Store, 3),
+        ];
+        let sj = vec![
+            access(10, 0x10, AccessKind::Load, 10),
+            access(11, 0x18, AccessKind::Load, 11),
+        ];
+        let hints = calc_hints(&si, &sj);
+        assert!(
+            hints
+                .iter()
+                .any(|h| h.kind == HintKind::StoreBarrier
+                    && h.reorderer == PairSide::First
+                    && h.reorder.iter().any(|a| a.iid == Iid(1))),
+            "the rmb must not protect stores"
+        );
+    }
+
+    #[test]
+    fn hints_sorted_by_reorder_count() {
+        let si: Vec<_> = (0..5)
+            .map(|i| access(i + 1, 0x10 + i * 8, AccessKind::Store, i + 1))
+            .collect();
+        let sj: Vec<_> = (0..5)
+            .map(|i| access(10 + i, 0x10 + i * 8, AccessKind::Load, 10 + i))
+            .collect();
+        let hints = calc_hints(&si, &sj);
+        for w in hints.windows(2) {
+            assert!(w[0].reorder.len() >= w[1].reorder.len());
+        }
+        assert_eq!(hints[0].reorder.len(), 4, "maximal deviation first");
+    }
+
+    #[test]
+    fn rmw_accesses_are_never_in_reorder_sets() {
+        let si = vec![
+            access(1, 0x10, AccessKind::Store, 1),
+            TraceEvent::Access(AccessRecord {
+                iid: Iid(2),
+                addr: 0x18,
+                size: 8,
+                kind: AccessKind::Rmw,
+                ts: 2,
+            }),
+            access(3, 0x20, AccessKind::Store, 3),
+        ];
+        let sj: Vec<_> = (0..3)
+            .map(|i| access(10 + i, 0x10 + i * 8, AccessKind::Load, 10 + i))
+            .collect();
+        let hints = calc_hints(&si, &sj);
+        for h in &hints {
+            assert!(h.reorder.iter().all(|a| a.kind != AccessKind::Rmw));
+        }
+    }
+
+    #[test]
+    fn occurrence_counting_handles_loops() {
+        // The same iid executes three times; the scheduling point on its
+        // third occurrence must carry hit = 3.
+        let si = vec![
+            access(1, 0x10, AccessKind::Store, 1),
+            access(1, 0x18, AccessKind::Store, 2),
+            access(1, 0x20, AccessKind::Store, 3),
+        ];
+        let sj: Vec<_> = (0..3)
+            .map(|i| access(10 + i, 0x10 + i * 8, AccessKind::Load, 10 + i))
+            .collect();
+        let hints = calc_hints(&si, &sj);
+        let max = hints
+            .iter()
+            .find(|h| h.kind == HintKind::StoreBarrier && h.reorderer == PairSide::First)
+            .unwrap();
+        assert_eq!(max.sched_hit, 3);
+    }
+
+    #[test]
+    fn no_hints_without_shared_memory() {
+        let si = vec![access(1, 0x10, AccessKind::Store, 1)];
+        let sj = vec![access(2, 0x90, AccessKind::Load, 2)];
+        assert!(calc_hints(&si, &sj).is_empty());
+    }
+
+    #[test]
+    fn barrier_location_names_the_hint() {
+        let si: Vec<_> = (0..2)
+            .map(|i| access(i + 1, 0x10 + i * 8, AccessKind::Store, i + 1))
+            .collect();
+        let sj = vec![
+            access(10, 0x10, AccessKind::Load, 10),
+            access(11, 0x18, AccessKind::Load, 11),
+        ];
+        let hints = calc_hints(&si, &sj);
+        let store = hints.iter().find(|h| h.kind == HintKind::StoreBarrier).unwrap();
+        assert!(store.barrier_location().contains("smp_wmb"));
+        let load = hints.iter().find(|h| h.kind == HintKind::LoadBarrier).unwrap();
+        assert!(load.barrier_location().contains("smp_rmb"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Bug-report rendering (§4.4: "OZZ files up a report of memory accesses
+//! that were reordered as well as the hypothetical memory barrier").
+//!
+//! A report gives developers everything the paper says they need to
+//! comprehend the bug: the crash title, the concurrent syscall pair, the
+//! hypothetical barrier's location, and the *execution order* of the
+//! relevant memory accesses in the style the paper uses throughout
+//! (`#8 → #14 → #18 → #6` in Figure 1): the reordered accesses annotated
+//! with where they actually took effect relative to the scheduling point.
+
+use std::fmt;
+
+use kernelsim::Syscall;
+use kmem::CrashReport;
+use oemu::Tid;
+
+use crate::hints::{HintKind, PairSide, SchedHint};
+use crate::mti::Mti;
+
+/// A rendered OZZ bug report.
+#[derive(Clone, Debug)]
+pub struct BugReport {
+    /// Crash title (dedup key).
+    pub title: String,
+    /// The concurrent pair.
+    pub pair: (Syscall, Syscall),
+    /// Which side reordered, and on which simulated CPU it ran.
+    pub reorderer: (PairSide, Tid),
+    /// The hint that triggered the crash.
+    pub hint: SchedHint,
+    /// Tests executed up to (and including) the triggering one.
+    pub tests: u64,
+}
+
+impl BugReport {
+    /// Builds a report from the triggering MTI and its crash.
+    pub fn new(mti: &Mti, crash: &CrashReport, tests: u64) -> Self {
+        let reorderer_tid = match mti.hint.reorderer {
+            PairSide::First => Tid(0),
+            PairSide::Second => Tid(1),
+        };
+        BugReport {
+            title: crash.title.clone(),
+            pair: mti.pair(),
+            reorderer: (mti.hint.reorderer, reorderer_tid),
+            hint: mti.hint.clone(),
+            tests,
+        }
+    }
+
+    /// The enforced execution order in the paper's arrow notation: the
+    /// scheduling-point access first (it overtook the reordered ones for a
+    /// store test) or last (it was read in place for a load test), with the
+    /// reordered accesses around it.
+    pub fn execution_order(&self) -> String {
+        let loc = |a: &oemu::AccessRecord| a.iid.describe();
+        let mut parts = Vec::new();
+        match self.hint.kind {
+            HintKind::StoreBarrier => {
+                // The scheduling-point store became visible first; the
+                // delayed stores took effect only after the other CPU ran.
+                parts.push(format!("{} (committed)", loc(&self.hint.sched)));
+                parts.push("[other CPU executes]".to_string());
+                for a in &self.hint.reorder {
+                    parts.push(format!("{} (delayed)", loc(a)));
+                }
+            }
+            HintKind::LoadBarrier => {
+                // The versioned loads behaved as if executed before the
+                // other CPU's stores; the scheduling-point load read fresh.
+                for a in &self.hint.reorder {
+                    parts.push(format!("{} (read old)", loc(a)));
+                }
+                parts.push("[other CPU executes]".to_string());
+                parts.push(format!("{} (read new)", loc(&self.hint.sched)));
+            }
+        }
+        parts.join(" -> ")
+    }
+
+    /// The fix suggestion: the hypothetical barrier's kind and location
+    /// (§4.1's caveat applies — the exact barrier choice is the
+    /// developer's; OZZ names the place and the prevented reordering).
+    pub fn fix_hint(&self) -> String {
+        format!(
+            "{}; the reordering above must not be possible there",
+            self.hint.barrier_location()
+        )
+    }
+}
+
+impl fmt::Display for BugReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "OZZ bug report")?;
+        writeln!(f, "==============")?;
+        writeln!(f, "crash:      {}", self.title)?;
+        writeln!(
+            f,
+            "pair:       {:?} (cpu0)  ||  {:?} (cpu1)",
+            self.pair.0, self.pair.1
+        )?;
+        writeln!(
+            f,
+            "reorderer:  {:?} on {}",
+            self.reorderer.0, self.reorderer.1
+        )?;
+        writeln!(
+            f,
+            "mechanism:  {}",
+            match self.hint.kind {
+                HintKind::StoreBarrier => "delayed stores (store-store/store-load reordering)",
+                HintKind::LoadBarrier => "versioned loads (load-load reordering)",
+            }
+        )?;
+        writeln!(f, "order:      {}", self.execution_order())?;
+        writeln!(f, "diagnosis:  {}", self.fix_hint())?;
+        write!(f, "found after {} tests", self.tests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hints::calc_hints;
+    use crate::profile_sti;
+    use crate::sti::Sti;
+    use kernelsim::{BugId, BugSwitches};
+
+    fn figure1_report() -> BugReport {
+        let bugs = BugSwitches::only([BugId::KnownWatchQueuePost]);
+        let sti = Sti {
+            calls: vec![Syscall::WqPost, Syscall::PipeRead],
+        };
+        let traces = profile_sti(&sti, bugs.clone());
+        let hints = calc_hints(&traces[0].events, &traces[1].events);
+        for (n, hint) in hints.into_iter().enumerate() {
+            let mti = Mti {
+                sti: sti.clone(),
+                i: 0,
+                j: 1,
+                hint,
+            };
+            let out = mti.run(bugs.clone());
+            if let Some(crash) = out.crashes.first() {
+                return BugReport::new(&mti, crash, (n + 1) as u64);
+            }
+        }
+        panic!("Figure 1 bug must trigger");
+    }
+
+    #[test]
+    fn report_contains_all_sections() {
+        let report = figure1_report();
+        let text = report.to_string();
+        assert!(text.contains("crash:"));
+        assert!(text.contains("pipe_read"));
+        assert!(text.contains("order:"));
+        assert!(text.contains("[other CPU executes]"));
+        assert!(text.contains("diagnosis:"));
+        assert!(text.contains("watch_queue.rs"), "locations are source-level");
+    }
+
+    #[test]
+    fn execution_order_shows_the_reordering() {
+        let report = figure1_report();
+        let order = report.execution_order();
+        match report.hint.kind {
+            HintKind::StoreBarrier => {
+                assert!(order.contains("(committed)"));
+                assert!(order.contains("(delayed)"));
+                let committed = order.find("(committed)").unwrap();
+                let delayed = order.find("(delayed)").unwrap();
+                assert!(
+                    committed < delayed,
+                    "the overtaking store is shown first: {order}"
+                );
+            }
+            HintKind::LoadBarrier => {
+                assert!(order.contains("(read old)"));
+                assert!(order.contains("(read new)"));
+            }
+        }
+    }
+
+    #[test]
+    fn fix_hint_names_a_barrier() {
+        let report = figure1_report();
+        let hint = report.fix_hint();
+        assert!(hint.contains("smp_wmb") || hint.contains("smp_rmb"));
+    }
+}

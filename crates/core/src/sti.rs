@@ -1,0 +1,365 @@
+//! Single-threaded input (STI) generation (§4.2).
+//!
+//! OZZ's first step is that of a traditional kernel fuzzer: construct
+//! sequences of system calls from templates. The paper uses Syzlang
+//! descriptions plus Syzkaller's seed corpus; here the templates encode the
+//! same two things Syzlang gives the fuzzer — *which calls exist* and *how
+//! their arguments depend on earlier calls* (resource dependencies: the
+//! reader of a subsystem is only meaningful after its writer has created
+//! the state it reads).
+//!
+//! Generation is seeded and deterministic. Like Syzkaller, it biases
+//! towards sequences within one subsystem (calls that share kernel state),
+//! which is where concurrency bugs live.
+
+use kernelsim::Syscall;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A single-threaded input: a sequence of syscalls executed in order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sti {
+    /// The syscall sequence.
+    pub calls: Vec<Syscall>,
+}
+
+/// One template group: the calls of a subsystem, with argument generators.
+/// `setup` calls create subsystem state (resources); `actions` exercise it.
+struct Template {
+    name: &'static str,
+    setup: fn(&mut StdRng) -> Vec<Syscall>,
+    actions: fn(&mut StdRng) -> Vec<Syscall>,
+}
+
+/// The template table — the reproduction's Syzlang corpus.
+const TEMPLATES: &[Template] = &[
+    Template {
+        name: "watch_queue",
+        setup: |r| {
+            let mut v = vec![Syscall::WqPost];
+            if r.gen_bool(0.5) {
+                v.insert(0, Syscall::WqSetFilter { nwords: r.gen_range(1..=4) });
+            }
+            v
+        },
+        actions: |r| {
+            let mut v = vec![Syscall::WqPost, Syscall::PipeRead];
+            if r.gen_bool(0.3) {
+                v.push(Syscall::WqSetFilter { nwords: r.gen_range(1..=4) });
+            }
+            v
+        },
+    },
+    Template {
+        name: "tls",
+        setup: |r| vec![Syscall::TlsInit { fd: r.gen_range(0..2) }],
+        actions: |r| {
+            let fd = r.gen_range(0..2);
+            let mut v = vec![
+                Syscall::TlsInit { fd },
+                Syscall::SetSockOpt { fd },
+                Syscall::GetSockOpt { fd },
+            ];
+            if r.gen_bool(0.5) {
+                v.push(Syscall::TlsErrAbort { fd });
+                v.push(Syscall::TlsPollErr { fd });
+            }
+            v
+        },
+    },
+    Template {
+        name: "rds",
+        setup: |_| vec![Syscall::RdsLoopXmit],
+        actions: |_| vec![Syscall::RdsSendXmit, Syscall::RdsLoopXmit],
+    },
+    Template {
+        name: "xsk",
+        setup: |r| {
+            let fd = r.gen_range(0..2);
+            vec![Syscall::XskRegUmem { fd }, Syscall::XskBind { fd }]
+        },
+        actions: |r| {
+            let fd = r.gen_range(0..2);
+            vec![
+                Syscall::XskBind { fd },
+                Syscall::XskPoll { fd },
+                Syscall::XskSendmsg { fd },
+                Syscall::XskRx { fd },
+                Syscall::XskRegUmem { fd },
+            ]
+        },
+    },
+    Template {
+        name: "bpf_psock",
+        setup: |r| vec![Syscall::PsockInit { fd: r.gen_range(0..2) }],
+        actions: |r| {
+            let fd = r.gen_range(0..2);
+            vec![Syscall::PsockInit { fd }, Syscall::SockRecvmsg { fd }]
+        },
+    },
+    Template {
+        name: "smc",
+        setup: |_| vec![],
+        actions: |r| {
+            let fd = r.gen_range(0..2);
+            let mut v = vec![Syscall::SmcConnect { fd }, Syscall::SmcConnect { fd }];
+            if r.gen_bool(0.5) {
+                v.push(Syscall::SmcAccept { fd });
+                v.push(Syscall::SmcFputWorker { fd });
+            }
+            v
+        },
+    },
+    Template {
+        name: "vmci",
+        setup: |_| vec![],
+        actions: |_| vec![Syscall::VmciQpCreate, Syscall::VmciQpAttach],
+    },
+    Template {
+        name: "gsm",
+        setup: |_| vec![],
+        actions: |r| {
+            let idx = r.gen_range(0..4);
+            vec![
+                Syscall::GsmDlciAlloc { idx },
+                Syscall::GsmDlciConfig { idx },
+            ]
+        },
+    },
+    Template {
+        name: "vlan",
+        setup: |_| vec![],
+        actions: |r| {
+            let id = r.gen_range(0..4);
+            vec![Syscall::VlanAdd { id }, Syscall::VlanGet { id }]
+        },
+    },
+    Template {
+        name: "fs",
+        setup: |_| vec![],
+        actions: |r| {
+            let fd = r.gen_range(0..4);
+            vec![Syscall::FdInstall { fd }, Syscall::FgetLight { fd }]
+        },
+    },
+    Template {
+        name: "nbd",
+        setup: |_| vec![],
+        actions: |_| vec![Syscall::NbdAllocConfig, Syscall::NbdIoctl],
+    },
+    Template {
+        name: "unix",
+        setup: |_| vec![],
+        actions: |r| {
+            let fd = r.gen_range(0..2);
+            vec![Syscall::UnixBind { fd }, Syscall::UnixGetname { fd }]
+        },
+    },
+    Template {
+        name: "sbitmap",
+        setup: |_| vec![],
+        actions: |_| vec![Syscall::SbitmapClear, Syscall::SbitmapGet],
+    },
+    Template {
+        name: "fs_buffer",
+        setup: |_| vec![],
+        actions: |_| vec![Syscall::BhReplace, Syscall::BhEvict],
+    },
+    Template {
+        name: "ring_buffer",
+        setup: |_| vec![Syscall::RingBufferWrite { data: 0x11 }],
+        actions: |r| {
+            vec![
+                Syscall::RingBufferWrite { data: r.gen_range(1..0xffff) },
+                Syscall::RingBufferRead,
+            ]
+        },
+    },
+    Template {
+        name: "filemap",
+        setup: |_| vec![],
+        actions: |r| {
+            vec![
+                Syscall::FilemapWrite { val: r.gen_range(1..0xffff) },
+                Syscall::FilemapRead,
+            ]
+        },
+    },
+    Template {
+        name: "usb",
+        setup: |_| vec![],
+        actions: |_| vec![
+            Syscall::UsbSubmitUrb,
+            Syscall::UsbComplete,
+            Syscall::UsbKillUrb,
+        ],
+    },
+];
+
+/// Deterministic STI generator.
+pub struct StiGen {
+    rng: StdRng,
+}
+
+impl StiGen {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        StiGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generates one STI: picks a subsystem template, emits its setup
+    /// prefix (the resource dependencies), then a shuffled slice of its
+    /// actions, occasionally mixing in a second subsystem.
+    pub fn generate(&mut self) -> Sti {
+        let t = &TEMPLATES[self.rng.gen_range(0..TEMPLATES.len())];
+        let mut calls = (t.setup)(&mut self.rng);
+        let mut actions = (t.actions)(&mut self.rng);
+        actions.shuffle(&mut self.rng);
+        calls.extend(actions);
+        if self.rng.gen_bool(0.2) {
+            let t2 = &TEMPLATES[self.rng.gen_range(0..TEMPLATES.len())];
+            calls.extend((t2.actions)(&mut self.rng).into_iter().take(2));
+        }
+        calls.truncate(8);
+        Sti { calls }
+    }
+
+    /// Mutates an existing STI (corpus-driven fuzzing): either appends an
+    /// action, removes a call, or swaps two calls.
+    pub fn mutate(&mut self, sti: &Sti) -> Sti {
+        let mut calls = sti.calls.clone();
+        match self.rng.gen_range(0..3) {
+            0 => {
+                let t = &TEMPLATES[self.rng.gen_range(0..TEMPLATES.len())];
+                if let Some(c) = (t.actions)(&mut self.rng).first().copied() {
+                    let at = self.rng.gen_range(0..=calls.len());
+                    calls.insert(at, c);
+                }
+            }
+            1 if calls.len() > 1 => {
+                let at = self.rng.gen_range(0..calls.len());
+                calls.remove(at);
+            }
+            _ if calls.len() > 1 => {
+                let a = self.rng.gen_range(0..calls.len());
+                let b = self.rng.gen_range(0..calls.len());
+                calls.swap(a, b);
+            }
+            _ => {}
+        }
+        calls.truncate(8);
+        Sti { calls }
+    }
+
+    /// Names of all template groups (diagnostics).
+    pub fn template_names() -> Vec<&'static str> {
+        TEMPLATES.iter().map(|t| t.name).collect()
+    }
+}
+
+/// The directed reproduction inputs of §6.2 (Table 4): for each known bug,
+/// the STI that reaches the reverted patch's code, extracted — in the
+/// paper — from the Syzkaller dashboard.
+pub fn known_bug_sti(bug: kernelsim::BugId) -> Option<Sti> {
+    use kernelsim::BugId;
+    let calls = match bug {
+        BugId::KnownVlan => vec![Syscall::VlanAdd { id: 1 }, Syscall::VlanGet { id: 1 }],
+        BugId::KnownWatchQueuePost => vec![Syscall::WqPost, Syscall::PipeRead],
+        BugId::KnownXskUmem => vec![Syscall::XskRegUmem { fd: 0 }, Syscall::XskRx { fd: 0 }],
+        BugId::KnownXskState => vec![Syscall::XskBind { fd: 0 }, Syscall::XskSendmsg { fd: 0 }],
+        BugId::KnownFget => vec![Syscall::FdInstall { fd: 1 }, Syscall::FgetLight { fd: 1 }],
+        BugId::KnownSbitmap => vec![Syscall::SbitmapClear, Syscall::SbitmapGet],
+        BugId::KnownNbd => vec![Syscall::NbdAllocConfig, Syscall::NbdIoctl],
+        BugId::KnownTlsErr => vec![
+            Syscall::TlsErrAbort { fd: 0 },
+            Syscall::TlsPollErr { fd: 0 },
+        ],
+        BugId::KnownUnix => vec![Syscall::UnixBind { fd: 0 }, Syscall::UnixGetname { fd: 0 }],
+        _ => return None,
+    };
+    Some(Sti { calls })
+}
+
+/// Directed repro inputs for the extended (§2.2 historical) bug corpus.
+pub fn ext_bug_sti(bug: kernelsim::BugId) -> Option<Sti> {
+    use kernelsim::BugId;
+    let calls = match bug {
+        BugId::ExtBufferDoubleFree => vec![Syscall::BhReplace, Syscall::BhEvict],
+        BugId::ExtRingBuffer => vec![
+            Syscall::RingBufferWrite { data: 0xfeed },
+            Syscall::RingBufferRead,
+        ],
+        BugId::ExtFilemap => vec![Syscall::FilemapWrite { val: 0x1234 }, Syscall::FilemapRead],
+        BugId::ExtUsbKillUrb => vec![Syscall::UsbKillUrb, Syscall::UsbSubmitUrb],
+        _ => return None,
+    };
+    Some(Sti { calls })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernelsim::BugId;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = StiGen::new(42);
+        let mut b = StiGen::new(42);
+        for _ in 0..50 {
+            assert_eq!(a.generate(), b.generate());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StiGen::new(1);
+        let mut b = StiGen::new(2);
+        let sa: Vec<_> = (0..10).map(|_| a.generate()).collect();
+        let sb: Vec<_> = (0..10).map(|_| b.generate()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn stis_are_nonempty_and_bounded() {
+        let mut g = StiGen::new(7);
+        for _ in 0..200 {
+            let sti = g.generate();
+            assert!(!sti.calls.is_empty());
+            assert!(sti.calls.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn mutation_keeps_bounds() {
+        let mut g = StiGen::new(7);
+        let mut sti = g.generate();
+        for _ in 0..100 {
+            sti = g.mutate(&sti);
+            assert!(sti.calls.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn every_known_bug_has_a_repro_sti() {
+        for bug in BugId::KNOWN {
+            let sti = known_bug_sti(bug).expect("repro input exists");
+            assert!(sti.calls.len() >= 2, "writer + reader at least");
+        }
+        assert!(known_bug_sti(BugId::TlsSkProt).is_none(), "new bugs have none");
+    }
+
+    #[test]
+    fn all_templates_generate_runnable_stis() {
+        // Every generated STI must execute without crashing in order.
+        let mut g = StiGen::new(3);
+        let k = kernelsim::Kctx::new(kernelsim::BugSwitches::all());
+        for _ in 0..50 {
+            let sti = g.generate();
+            kernelsim::run_sti(&k, &sti.calls);
+        }
+        assert!(k.sink.is_empty(), "in-order STIs never crash");
+    }
+}

@@ -1,0 +1,376 @@
+//! Seeded OOO bug switches.
+//!
+//! Every bug the paper reports (Table 3) or reproduces (Table 4) exists in
+//! the simulated kernel as a *variant switch*: with the switch enabled the
+//! subsystem compiles in the historical buggy code (memory barrier absent or
+//! the wrong API used); with it disabled the upstream fix is in place. This
+//! mirrors the paper's §6.2 methodology of reverting fix patches to
+//! reintroduce the bugs.
+
+use std::collections::HashSet;
+use std::fmt;
+
+/// Identifier of one seeded OOO bug.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum BugId {
+    // ---- Table 3: new bugs found by OZZ -------------------------------
+    /// Bug #1 — RDS: `clear_bit` instead of `clear_bit_unlock` in
+    /// `release_in_xmit` breaks mutual exclusion (Figure 8).
+    RdsClearBit,
+    /// Bug #2 — watch_queue: filter bitmap published without `smp_wmb`;
+    /// NULL pointer dereference in `_find_first_bit`.
+    WatchQueueFilter,
+    /// Bug #3 — VMCI: queue pair published before its wait-queue head is
+    /// initialised; general protection fault in `add_wait_queue`.
+    VmciQueuePair,
+    /// Bug #4 — XDP: buffer pool published before its rings; NULL pointer
+    /// dereference in `xsk_poll`.
+    XskPoolPublish,
+    /// Bug #5 — TLS: `tls_getsockopt` reads the context without load
+    /// ordering against `sk->sk_prot` (load-load, cross-function).
+    TlsGetsockopt,
+    /// Bug #6 — BPF: `psock->saved_data_ready` stored after the psock is
+    /// published; NULL pointer dereference in `sk_psock_verdict_data_ready`.
+    PsockSavedReady,
+    /// Bug #7 — XDP: `xs->state = BOUND` visible before `xs->tx`; NULL
+    /// pointer dereference in `xsk_generic_xmit`.
+    XskStateBound,
+    /// Bug #8 — SMC: `smc->clcsock` published before initialisation; NULL
+    /// pointer dereference in `connect`.
+    SmcClcsock,
+    /// Bug #9 — TLS: missing `smp_wmb` in `tls_init` (Figure 7); the
+    /// WRITE_ONCE/READ_ONCE mis-fix left the reordering possible.
+    TlsSkProt,
+    /// Bug #10 — SMC: file pointer and its publication flag stored out of
+    /// order; `KASAN: null-ptr-deref Write in fput`.
+    SmcFput,
+    /// Bug #11 — GSM: reader of the dlci table lacks load ordering; NULL
+    /// pointer dereference in `gsm_dlci_config` (load-load).
+    GsmDlci,
+
+    // ---- Table 4: previously-reported bugs (fix patches reverted) -----
+    /// Known #1 \[120\] — vlan: device published before initialisation (S-S).
+    KnownVlan,
+    /// Known #2 \[31\] — watch_queue/pipe ring buffer, Figure 1 (S-S).
+    KnownWatchQueuePost,
+    /// Known #3 \[103\] — xsk: missing write/data-dependency barrier on umem
+    /// registration (S-S).
+    KnownXskUmem,
+    /// Known #4 \[101\] — xsk: state member used for socket synchronisation
+    /// without ordering (S-S). Shares the Bug #7 code path pre-fix.
+    KnownXskState,
+    /// Known #5 \[30\] — fs: `__fget_light` needs acquire ordering (L-L).
+    KnownFget,
+    /// Known #6 \[60\] — sbitmap: freed-instance publication vs clear bit
+    /// (S-S); **not reproducible** under CPU pinning because the race is on
+    /// a per-CPU hint reached via thread migration.
+    KnownSbitmap,
+    /// Known #7 \[78\] — nbd: NULL deref accessing `nbd->config` (L-L).
+    KnownNbd,
+    /// Known #8 \[50\] — tls: `tls_err_abort` lockless access; the symptom is
+    /// a wrong syscall return value, not a crash (the `✓*` row).
+    KnownTlsErr,
+    /// Known #9 \[106\] — unix: missing barriers on `->addr`/`->path` (L-L).
+    KnownUnix,
+
+    // ---- Extended corpus: historical OOO bugs cited in §2.2 -----------
+    /// Extended #1 \[82\] — fs/buffer (the 2007 "memorder fix"): a bit-lock
+    /// released without ordering lets a stale buffer-head pointer reach a
+    /// second freer — a **double free**, the §3 example of a consequence
+    /// only in-vivo oracles can classify.
+    ExtBufferDoubleFree,
+    /// Extended #2 \[115\] — ring-buffer: an event published before its data
+    /// is visible; the reader consumes an uninitialised entry.
+    ExtRingBuffer,
+    /// Extended #3 \[62\] — mm/filemap: buffered read/write race reading
+    /// inconsistent data — a silent wrong-value bug, like Table 4's #8.
+    ExtFilemap,
+    /// Extended #4 \[95\] — USB core: `usb_kill_urb`'s reject store reordered
+    /// past its use-count load (**store-load**, the SB shape): the kill
+    /// path concludes the URB is idle while a submit is in flight.
+    ExtUsbKillUrb,
+}
+
+impl BugId {
+    /// All Table 3 (newly discovered) bugs, in paper order.
+    pub const NEW: [BugId; 11] = [
+        BugId::RdsClearBit,
+        BugId::WatchQueueFilter,
+        BugId::VmciQueuePair,
+        BugId::XskPoolPublish,
+        BugId::TlsGetsockopt,
+        BugId::PsockSavedReady,
+        BugId::XskStateBound,
+        BugId::SmcClcsock,
+        BugId::TlsSkProt,
+        BugId::SmcFput,
+        BugId::GsmDlci,
+    ];
+
+    /// The extended corpus: §2.2-cited historical OOO bugs.
+    pub const EXTENDED: [BugId; 4] = [
+        BugId::ExtBufferDoubleFree,
+        BugId::ExtRingBuffer,
+        BugId::ExtFilemap,
+        BugId::ExtUsbKillUrb,
+    ];
+
+    /// All Table 4 (previously-reported) bugs, in paper order.
+    pub const KNOWN: [BugId; 9] = [
+        BugId::KnownVlan,
+        BugId::KnownWatchQueuePost,
+        BugId::KnownXskUmem,
+        BugId::KnownXskState,
+        BugId::KnownFget,
+        BugId::KnownSbitmap,
+        BugId::KnownNbd,
+        BugId::KnownTlsErr,
+        BugId::KnownUnix,
+    ];
+
+    /// Paper row label (`Bug #1` ... `Bug #11`, `#1` ... `#9`).
+    pub fn label(self) -> &'static str {
+        match self {
+            BugId::RdsClearBit => "Bug #1",
+            BugId::WatchQueueFilter => "Bug #2",
+            BugId::VmciQueuePair => "Bug #3",
+            BugId::XskPoolPublish => "Bug #4",
+            BugId::TlsGetsockopt => "Bug #5",
+            BugId::PsockSavedReady => "Bug #6",
+            BugId::XskStateBound => "Bug #7",
+            BugId::SmcClcsock => "Bug #8",
+            BugId::TlsSkProt => "Bug #9",
+            BugId::SmcFput => "Bug #10",
+            BugId::GsmDlci => "Bug #11",
+            BugId::KnownVlan => "#1",
+            BugId::KnownWatchQueuePost => "#2",
+            BugId::KnownXskUmem => "#3",
+            BugId::KnownXskState => "#4",
+            BugId::KnownFget => "#5",
+            BugId::KnownSbitmap => "#6",
+            BugId::KnownNbd => "#7",
+            BugId::KnownTlsErr => "#8",
+            BugId::KnownUnix => "#9",
+            BugId::ExtBufferDoubleFree => "E1",
+            BugId::ExtRingBuffer => "E2",
+            BugId::ExtFilemap => "E3",
+            BugId::ExtUsbKillUrb => "E4",
+        }
+    }
+
+    /// Affected subsystem, as named in the paper's tables.
+    pub fn subsystem(self) -> &'static str {
+        match self {
+            BugId::RdsClearBit => "RDS",
+            BugId::WatchQueueFilter | BugId::KnownWatchQueuePost => "watchqueue",
+            BugId::VmciQueuePair => "VMCI",
+            BugId::XskPoolPublish | BugId::XskStateBound => "XDP",
+            BugId::KnownXskUmem | BugId::KnownXskState => "xsk",
+            BugId::TlsGetsockopt | BugId::TlsSkProt => "TLS",
+            BugId::KnownTlsErr => "tls",
+            BugId::PsockSavedReady => "BPF",
+            BugId::SmcClcsock | BugId::SmcFput => "SMC",
+            BugId::GsmDlci => "GSM",
+            BugId::KnownVlan => "vlan",
+            BugId::KnownFget => "fs",
+            BugId::KnownSbitmap => "sbitmap",
+            BugId::KnownNbd => "nbd",
+            BugId::KnownUnix => "unix",
+            BugId::ExtBufferDoubleFree => "fs/buffer",
+            BugId::ExtRingBuffer => "ring-buffer",
+            BugId::ExtFilemap => "mm/filemap",
+            BugId::ExtUsbKillUrb => "USB",
+        }
+    }
+
+    /// Reordering type that triggers the bug: store-store or load-load
+    /// (the `Type` columns of Tables 3 and 4).
+    pub fn reorder_type(self) -> ReorderType {
+        match self {
+            BugId::TlsGetsockopt
+            | BugId::GsmDlci
+            | BugId::KnownFget
+            | BugId::KnownNbd
+            | BugId::KnownUnix => ReorderType::LoadLoad,
+            BugId::ExtUsbKillUrb => ReorderType::StoreLoad,
+            _ => ReorderType::StoreStore,
+        }
+    }
+
+    /// Crash title the bug produces (Table 3 `Summary` column), or the
+    /// observable misbehaviour for non-crash bugs.
+    pub fn expected_title(self) -> &'static str {
+        match self {
+            BugId::RdsClearBit => "KASAN: slab-out-of-bounds Read in rds_loop_xmit",
+            BugId::WatchQueueFilter => {
+                "BUG: unable to handle kernel NULL pointer dereference in _find_first_bit"
+            }
+            BugId::VmciQueuePair => "general protection fault in add_wait_queue",
+            BugId::XskPoolPublish => {
+                "BUG: unable to handle kernel NULL pointer dereference in xsk_poll"
+            }
+            BugId::TlsGetsockopt => {
+                "BUG: unable to handle kernel NULL pointer dereference in tls_getsockopt"
+            }
+            BugId::PsockSavedReady => {
+                "BUG: unable to handle kernel NULL pointer dereference in sk_psock_verdict_data_ready"
+            }
+            BugId::XskStateBound => {
+                "BUG: unable to handle kernel NULL pointer dereference in xsk_generic_xmit"
+            }
+            BugId::SmcClcsock => {
+                "BUG: unable to handle kernel NULL pointer dereference in connect"
+            }
+            BugId::TlsSkProt => {
+                "BUG: unable to handle kernel NULL pointer dereference in tls_setsockopt"
+            }
+            BugId::SmcFput => "KASAN: null-ptr-deref Write in fput",
+            BugId::GsmDlci => {
+                "BUG: unable to handle kernel NULL pointer dereference in gsm_dlci_config"
+            }
+            BugId::KnownVlan => {
+                "BUG: unable to handle kernel NULL pointer dereference in vlan_dev_ioctl"
+            }
+            BugId::KnownWatchQueuePost => {
+                "BUG: unable to handle kernel NULL pointer dereference in pipe_read"
+            }
+            BugId::KnownXskUmem => {
+                "BUG: unable to handle kernel NULL pointer dereference in xsk_rx"
+            }
+            BugId::KnownXskState => {
+                "BUG: unable to handle kernel NULL pointer dereference in xsk_generic_xmit"
+            }
+            BugId::KnownFget => {
+                "BUG: unable to handle kernel NULL pointer dereference in __fget_light"
+            }
+            BugId::KnownSbitmap => "KASAN: use-after-free Read in sbitmap_queue_get",
+            BugId::KnownNbd => {
+                "BUG: unable to handle kernel NULL pointer dereference in nbd_ioctl"
+            }
+            BugId::KnownTlsErr => "wrong value returned by tls_poll_err",
+            BugId::KnownUnix => {
+                "BUG: unable to handle kernel NULL pointer dereference in unix_getname"
+            }
+            BugId::ExtBufferDoubleFree => "KASAN: double-free in bh_evict",
+            BugId::ExtRingBuffer => {
+                "kernel BUG at ring_buffer_read: consumed uninitialised ring entry"
+            }
+            BugId::ExtFilemap => "wrong value returned by filemap_read",
+            BugId::ExtUsbKillUrb => "kernel BUG at usb_kill_urb: URB killed while in flight",
+        }
+    }
+}
+
+impl fmt::Display for BugId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.label(), self.subsystem())
+    }
+}
+
+/// The reordering classes OZZ exercises (load-store is out of scope,
+/// §3 "Scope of emulation").
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ReorderType {
+    /// Store-store via delayed stores.
+    StoreStore,
+    /// Store-load via delayed stores overtaking a subsequent load (the SB
+    /// shape; same OEMU mechanism as store-store, per §3.1).
+    StoreLoad,
+    /// Load-load via versioned loads.
+    LoadLoad,
+}
+
+impl fmt::Display for ReorderType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReorderType::StoreStore => write!(f, "S-S"),
+            ReorderType::StoreLoad => write!(f, "S-L"),
+            ReorderType::LoadLoad => write!(f, "L-L"),
+        }
+    }
+}
+
+/// The set of bug switches active in one simulated kernel build.
+#[derive(Clone, Debug, Default)]
+pub struct BugSwitches {
+    enabled: HashSet<BugId>,
+}
+
+impl BugSwitches {
+    /// A fully patched kernel (every fix applied).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A kernel with every seeded bug present (including the extended
+    /// §2.2 corpus).
+    pub fn all() -> Self {
+        let mut s = Self::default();
+        s.enabled.extend(BugId::NEW);
+        s.enabled.extend(BugId::KNOWN);
+        s.enabled.extend(BugId::EXTENDED);
+        s
+    }
+
+    /// A kernel with exactly the given bugs present.
+    pub fn only(bugs: impl IntoIterator<Item = BugId>) -> Self {
+        BugSwitches {
+            enabled: bugs.into_iter().collect(),
+        }
+    }
+
+    /// Whether `bug`'s buggy variant is compiled in.
+    pub fn has(&self, bug: BugId) -> bool {
+        self.enabled.contains(&bug)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_new_nine_known_four_extended() {
+        assert_eq!(BugId::NEW.len(), 11);
+        assert_eq!(BugId::KNOWN.len(), 9);
+        assert_eq!(BugId::EXTENDED.len(), 4);
+    }
+
+    #[test]
+    fn reorder_types_match_tables() {
+        // Table 4: five S-S, three L-L among the reproducible; plus the
+        // sbitmap S-S failure case.
+        assert_eq!(BugId::KnownVlan.reorder_type(), ReorderType::StoreStore);
+        assert_eq!(BugId::KnownFget.reorder_type(), ReorderType::LoadLoad);
+        assert_eq!(BugId::KnownNbd.reorder_type(), ReorderType::LoadLoad);
+        assert_eq!(BugId::KnownUnix.reorder_type(), ReorderType::LoadLoad);
+        // Table 3 case studies.
+        assert_eq!(BugId::RdsClearBit.reorder_type(), ReorderType::StoreStore);
+        assert_eq!(BugId::TlsGetsockopt.reorder_type(), ReorderType::LoadLoad);
+    }
+
+    #[test]
+    fn switch_sets() {
+        let none = BugSwitches::none();
+        assert!(!none.has(BugId::TlsSkProt));
+        let all = BugSwitches::all();
+        assert!(all.has(BugId::TlsSkProt));
+        assert!(all.has(BugId::KnownUnix));
+        assert!(all.has(BugId::ExtUsbKillUrb));
+        let one = BugSwitches::only([BugId::RdsClearBit]);
+        assert!(one.has(BugId::RdsClearBit));
+        assert!(!one.has(BugId::TlsSkProt));
+    }
+
+    #[test]
+    fn labels_and_subsystems() {
+        assert_eq!(BugId::RdsClearBit.label(), "Bug #1");
+        assert_eq!(BugId::GsmDlci.label(), "Bug #11");
+        assert_eq!(BugId::TlsSkProt.subsystem(), "TLS");
+        assert_eq!(BugId::KnownSbitmap.subsystem(), "sbitmap");
+        assert_eq!(ReorderType::StoreStore.to_string(), "S-S");
+        assert_eq!(ReorderType::LoadLoad.to_string(), "L-L");
+        assert_eq!(ReorderType::StoreLoad.to_string(), "S-L");
+        assert_eq!(BugId::ExtUsbKillUrb.reorder_type(), ReorderType::StoreLoad);
+    }
+}

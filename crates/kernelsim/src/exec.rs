@@ -1,0 +1,283 @@
+//! Test execution: running syscalls on simulated CPUs.
+//!
+//! The concurrent runner is the machine-level half of OZZ's MTI execution
+//! (§4.4): two syscalls run on two simulated CPUs serialised by the custom
+//! scheduler, with whatever reordering instructions the caller installed in
+//! the engine. A simulated oops ([`CrashSignal`]) terminates the faulting
+//! CPU — its syscall returns [`ECRASH`] — while the other CPU keeps running,
+//! and the harvested crash reports come back in the [`RunOutcome`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use kmem::CrashReport;
+use ksched::{SchedulePlan, Scheduler};
+use oemu::Tid;
+
+use crate::kctx::{CrashSignal, Kctx, ECRASH};
+use crate::syscalls::{dispatch, Syscall};
+
+/// Result of one concurrent test run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Crash reports harvested from the oracles.
+    pub crashes: Vec<CrashReport>,
+    /// Return value of the syscall on CPU 0 ([`ECRASH`] if it oopsed).
+    pub ret_a: i64,
+    /// Return value of the syscall on CPU 1 ([`ECRASH`] if it oopsed).
+    pub ret_b: i64,
+}
+
+impl RunOutcome {
+    /// Whether any oracle fired.
+    pub fn crashed(&self) -> bool {
+        !self.crashes.is_empty()
+    }
+
+    /// Title of the first crash, if any.
+    pub fn title(&self) -> Option<&str> {
+        self.crashes.first().map(|c| c.title.as_str())
+    }
+}
+
+/// Runs one syscall on CPU `t` with oops isolation and the syscall-exit
+/// store-buffer flush. Returns the syscall's value, or [`ECRASH`].
+pub fn run_one(k: &Kctx, t: Tid, sc: Syscall) -> i64 {
+    let result = catch_unwind(AssertUnwindSafe(|| dispatch(k, t, sc)));
+    match result {
+        Ok(ret) => {
+            k.syscall_exit(t);
+            ret
+        }
+        Err(payload) => {
+            if payload.downcast_ref::<CrashSignal>().is_some() {
+                // The CPU oopsed: its task dies without returning to
+                // userspace (no exit flush), and the report is in the sink.
+                ECRASH
+            } else {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Runs a sequence of syscalls single-threaded on CPU 0 (the STI execution
+/// of §4.2); returns each syscall's value.
+pub fn run_sti(k: &Kctx, calls: &[Syscall]) -> Vec<i64> {
+    calls.iter().map(|&sc| run_one(k, Tid(0), sc)).collect()
+}
+
+/// Runs two closures concurrently on CPUs 0 and 1 under `plan`.
+///
+/// The closures receive the [`Kctx`] and must perform their accesses as the
+/// thread they were placed on (`a` as `Tid(0)`, `b` as `Tid(1)`). Crash
+/// reports are drained into the outcome.
+pub fn run_concurrent_closures(
+    k: &Arc<Kctx>,
+    plan: SchedulePlan,
+    a: impl FnOnce(&Kctx) -> i64 + Send,
+    b: impl FnOnce(&Kctx) -> i64 + Send,
+) -> RunOutcome {
+    let sched = Arc::new(Scheduler::new(2, plan));
+    k.set_scheduler(Some(Arc::clone(&sched)));
+    let (ret_a, ret_b) = std::thread::scope(|s| {
+        let (kk, sc) = (Arc::clone(k), Arc::clone(&sched));
+        let ha = s.spawn(move || run_leg(&kk, &sc, Tid(0), a));
+        let (kk, sc) = (Arc::clone(k), Arc::clone(&sched));
+        let hb = s.spawn(move || run_leg(&kk, &sc, Tid(1), b));
+        (join_leg(ha), join_leg(hb))
+    });
+    k.set_scheduler(None);
+    k.engine.clear_controls(Tid(0));
+    k.engine.clear_controls(Tid(1));
+    RunOutcome {
+        crashes: k.sink.take(),
+        ret_a,
+        ret_b,
+    }
+}
+
+/// Runs two syscalls concurrently on CPUs 0 and 1 under `plan` — the core
+/// of an MTI run.
+pub fn run_concurrent(k: &Arc<Kctx>, plan: SchedulePlan, a: Syscall, b: Syscall) -> RunOutcome {
+    run_concurrent_closures(k, plan, move |k| dispatch(k, Tid(0), a), move |k| {
+        dispatch(k, Tid(1), b)
+    })
+}
+
+fn run_leg(
+    k: &Kctx,
+    sched: &Scheduler,
+    t: Tid,
+    body: impl FnOnce(&Kctx) -> i64,
+) -> Result<i64, Box<dyn std::any::Any + Send>> {
+    sched.thread_start(t);
+    let result = catch_unwind(AssertUnwindSafe(|| body(k)));
+    let out = match result {
+        Ok(ret) => {
+            k.syscall_exit(t);
+            Ok(ret)
+        }
+        Err(payload) => {
+            if payload.downcast_ref::<CrashSignal>().is_some() {
+                Ok(ECRASH)
+            } else {
+                Err(payload)
+            }
+        }
+    };
+    sched.thread_finish(t);
+    out
+}
+
+fn join_leg(h: std::thread::ScopedJoinHandle<'_, Result<i64, Box<dyn std::any::Any + Send>>>) -> i64 {
+    match h.join().expect("simulated CPU thread must not die") {
+        Ok(ret) => ret,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bugs::BugSwitches;
+    use crate::syscalls::Syscall;
+    use ksched::{BreakWhen, Breakpoint};
+    use oemu::AccessKind;
+
+    #[test]
+    fn run_sti_executes_in_order() {
+        let k = Kctx::new(BugSwitches::none());
+        let rets = run_sti(
+            &k,
+            &[
+                Syscall::WqPost,
+                Syscall::PipeRead,
+                Syscall::TlsInit { fd: 0 },
+                Syscall::SetSockOpt { fd: 0 },
+            ],
+        );
+        assert_eq!(rets.len(), 4);
+        assert_eq!(rets[0], 0);
+        assert!(rets[1] > 0, "read returns the note length");
+        assert_eq!(rets[2], 0);
+        assert_eq!(rets[3], 0);
+    }
+
+    #[test]
+    fn concurrent_sequential_plan_is_benign() {
+        let k = Kctx::new(BugSwitches::all());
+        let out = run_concurrent(
+            &k,
+            SchedulePlan::sequential(Tid(0)),
+            Syscall::WqPost,
+            Syscall::PipeRead,
+        );
+        assert!(!out.crashed(), "in-order execution never crashes: {out:?}");
+        assert_eq!(out.ret_a, 0);
+    }
+
+    #[test]
+    fn figure5a_store_barrier_test_finds_figure1_bug() {
+        // The full MTI pipeline by hand: profile the writer, install the
+        // maximal hypothetical-store-barrier hint (delay everything before
+        // the last store, break after it), and run concurrently.
+        let k = Kctx::new(BugSwitches::all());
+        k.engine.set_profiling(true);
+        run_one(&k, Tid(0), Syscall::WqPost);
+        let profile = k.engine.take_profile(Tid(0));
+        k.engine.set_profiling(false);
+        let stores: Vec<_> = profile
+            .accesses()
+            .filter(|a| a.kind == AccessKind::Store)
+            .collect();
+        let (last, rest) = stores.split_last().expect("writer has stores");
+        // Fresh machine: the profiling run consumed a ring slot.
+        let k = Kctx::new(BugSwitches::all());
+        for a in rest {
+            k.engine.delay_store_at(Tid(0), a.iid);
+        }
+        let plan = SchedulePlan {
+            first: Tid(0),
+            breakpoint: Some(Breakpoint {
+                iid: last.iid,
+                when: BreakWhen::After,
+                hit: 1,
+            }),
+        };
+        let out = run_concurrent(&k, plan, Syscall::WqPost, Syscall::PipeRead);
+        assert!(out.crashed(), "Figure 1 bug must manifest: {out:?}");
+        assert_eq!(
+            out.title().unwrap(),
+            "BUG: unable to handle kernel NULL pointer dereference in pipe_read"
+        );
+        assert_eq!(out.ret_b, ECRASH);
+        assert_eq!(out.ret_a, 0, "the writer survives");
+    }
+
+    #[test]
+    fn crash_in_one_cpu_does_not_kill_the_other() {
+        let k = Kctx::new(BugSwitches::all());
+        let out = run_concurrent_closures(
+            &k,
+            SchedulePlan::sequential(Tid(0)),
+            |k| {
+                let _f = k.enter(Tid(0), "explode");
+                k.read(Tid(0), oemu::iid!(), 0); // null deref
+                unreachable!()
+            },
+            |_k| 42,
+        );
+        assert_eq!(out.ret_a, ECRASH);
+        assert_eq!(out.ret_b, 42);
+        assert_eq!(out.crashes.len(), 1);
+    }
+
+    #[test]
+    fn fixed_kernel_survives_figure5a_forcing() {
+        let k = Kctx::new(BugSwitches::none());
+        k.engine.set_profiling(true);
+        run_one(&k, Tid(0), Syscall::WqPost);
+        let profile = k.engine.take_profile(Tid(0));
+        k.engine.set_profiling(false);
+        let stores: Vec<_> = profile
+            .accesses()
+            .filter(|a| a.kind == AccessKind::Store)
+            .collect();
+        let (last, rest) = stores.split_last().unwrap();
+        let k = Kctx::new(BugSwitches::none());
+        for a in rest {
+            k.engine.delay_store_at(Tid(0), a.iid);
+        }
+        let plan = SchedulePlan {
+            first: Tid(0),
+            breakpoint: Some(Breakpoint {
+                iid: last.iid,
+                when: BreakWhen::After,
+                hit: 1,
+            }),
+        };
+        let out = run_concurrent(&k, plan, Syscall::WqPost, Syscall::PipeRead);
+        assert!(!out.crashed(), "patched kernel survives: {out:?}");
+    }
+
+    #[test]
+    fn bug_on_oracle_reports_assertion() {
+        let k = Kctx::new(BugSwitches::none());
+        let out = run_concurrent_closures(
+            &k,
+            SchedulePlan::sequential(Tid(0)),
+            |k| {
+                let _f = k.enter(Tid(0), "some_fn");
+                k.bug_on(Tid(0), true, "invariant broken");
+                0
+            },
+            |_k| 0,
+        );
+        assert!(out.crashed());
+        assert_eq!(
+            out.title().unwrap(),
+            "kernel BUG at some_fn: invariant broken"
+        );
+    }
+}

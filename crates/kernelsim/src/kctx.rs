@@ -1,0 +1,508 @@
+//! The kernel context: one booted simulated machine.
+//!
+//! [`Kctx`] bundles everything a run of the simulated kernel needs — the
+//! OEMU engine, the slab allocator and oracles, the optional custom
+//! scheduler, the seeded-bug switches — and exposes the Linux-flavoured
+//! access helpers the subsystems are written against (`read`, `write`,
+//! `READ_ONCE`, `smp_*`, `kzalloc`, indirect calls). Every helper routes the
+//! access through the scheduler gate, the KASAN check, and the emulation
+//! engine, in that order; that composition is the in-vivo property of §3 —
+//! reordering decisions see the live allocator state, and the oracles see
+//! reordered values.
+//!
+//! A detected fault records a crash report and unwinds the simulated CPU
+//! with a panic carrying [`CrashSignal`] — the analog of a kernel oops that
+//! kills the offending task. The executor catches it at the syscall
+//! boundary.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use kmem::{Fault, FnRegistry, Kmem, LockId, Lockdep, OracleSink};
+use ksched::Scheduler;
+use oemu::{Engine, Iid, LoadAnn, RmwOrder, StoreAnn, Tid};
+use parking_lot::Mutex;
+
+use crate::bugs::{BugId, BugSwitches};
+use crate::subsys;
+
+/// Number of simulated CPUs per machine (the paper's VMs have four vCPUs).
+pub const MAX_CPUS: usize = 4;
+
+/// `EBADF`-style error returns used by the syscall layer.
+pub const EBADF: i64 = -9;
+/// `EINVAL`.
+pub const EINVAL: i64 = -22;
+/// `EBUSY`.
+pub const EBUSY: i64 = -16;
+/// `EAGAIN`.
+pub const EAGAIN: i64 = -11;
+/// Sentinel return of a syscall that died in a simulated oops.
+pub const ECRASH: i64 = -1000;
+
+/// Panic payload of a simulated kernel oops. Carried through `panic_any`
+/// and caught by the syscall runner.
+#[derive(Clone, Debug)]
+pub struct CrashSignal {
+    /// Table 3-style crash title.
+    pub title: String,
+}
+
+/// Boot-time global objects of every subsystem (the simulated kernel's
+/// static/global data), built once per machine.
+pub struct Globals {
+    /// watch_queue + pipe globals.
+    pub wq: subsys::watch_queue::WqGlobals,
+    /// TLS/socket globals.
+    pub tls: subsys::tls::TlsGlobals,
+    /// RDS connection-path globals.
+    pub rds: subsys::rds::RdsGlobals,
+    /// XDP/xsk socket globals.
+    pub xsk: subsys::xsk::XskGlobals,
+    /// BPF sockmap psock globals.
+    pub bpf: subsys::bpf_psock::BpfGlobals,
+    /// SMC socket globals.
+    pub smc: subsys::smc::SmcGlobals,
+    /// VMCI queue-pair broker globals.
+    pub vmci: subsys::vmci::VmciGlobals,
+    /// GSM mux globals.
+    pub gsm: subsys::gsm::GsmGlobals,
+    /// vlan group globals.
+    pub vlan: subsys::vlan::VlanGlobals,
+    /// fd-table globals.
+    pub fs: subsys::fs_fdtable::FsGlobals,
+    /// nbd device globals.
+    pub nbd: subsys::nbd::NbdGlobals,
+    /// unix-socket globals.
+    pub unix: subsys::unix_sock::UnixGlobals,
+    /// sbitmap queue globals.
+    pub sbitmap: subsys::sbitmap::SbitmapGlobals,
+    /// fs/buffer globals (extended corpus).
+    pub buffer: subsys::buffer_head::BufferGlobals,
+    /// Tracing ring-buffer globals (extended corpus).
+    pub ring_buffer: subsys::ring_buffer::RingBufferGlobals,
+    /// mm/filemap globals (extended corpus).
+    pub filemap: subsys::filemap::FilemapGlobals,
+    /// USB core globals (extended corpus).
+    pub usb: subsys::usb::UsbGlobals,
+}
+
+/// One booted simulated machine.
+pub struct Kctx {
+    /// The OEMU emulation engine.
+    pub engine: Arc<Engine>,
+    /// Slab allocator + KASAN checker.
+    pub kmem: Kmem,
+    /// Simulated text segment (function pointers).
+    pub fns: FnRegistry,
+    /// Lock-order oracle.
+    pub lockdep: Lockdep,
+    /// Crash-report collector.
+    pub sink: OracleSink,
+    sched: Mutex<Option<Arc<Scheduler>>>,
+    bugs: BugSwitches,
+    /// Instrumentation bypass for the Table 5 overhead baseline.
+    raw: AtomicBool,
+    /// The paper's §6.2 sbitmap experiment: pretend threads were migrated
+    /// so every CPU resolves per-CPU variables to CPU 0's copy.
+    migration_override: AtomicBool,
+    frames: Mutex<[Vec<&'static str>; MAX_CPUS]>,
+    globals: OnceLock<Globals>,
+}
+
+impl Kctx {
+    /// Boots a machine with the given seeded-bug switches.
+    pub fn new(bugs: BugSwitches) -> Arc<Kctx> {
+        let k = Arc::new(Kctx {
+            engine: Arc::new(Engine::new(MAX_CPUS)),
+            kmem: Kmem::new(),
+            fns: FnRegistry::new(),
+            lockdep: Lockdep::new(),
+            sink: OracleSink::new(),
+            sched: Mutex::new(None),
+            bugs,
+            raw: AtomicBool::new(false),
+            migration_override: AtomicBool::new(false),
+            frames: Mutex::new(Default::default()),
+            globals: OnceLock::new(),
+        });
+        let globals = Globals {
+            wq: subsys::watch_queue::boot(&k),
+            tls: subsys::tls::boot(&k),
+            rds: subsys::rds::boot(&k),
+            xsk: subsys::xsk::boot(&k),
+            bpf: subsys::bpf_psock::boot(&k),
+            smc: subsys::smc::boot(&k),
+            vmci: subsys::vmci::boot(&k),
+            gsm: subsys::gsm::boot(&k),
+            vlan: subsys::vlan::boot(&k),
+            fs: subsys::fs_fdtable::boot(&k),
+            nbd: subsys::nbd::boot(&k),
+            unix: subsys::unix_sock::boot(&k),
+            sbitmap: subsys::sbitmap::boot(&k),
+            buffer: subsys::buffer_head::boot(&k),
+            ring_buffer: subsys::ring_buffer::boot(&k),
+            filemap: subsys::filemap::boot(&k),
+            usb: subsys::usb::boot(&k),
+        };
+        k.globals.set(globals).ok().expect("boot happens once");
+        k
+    }
+
+    /// Boot-time globals.
+    pub fn globals(&self) -> &Globals {
+        self.globals.get().expect("machine is booted")
+    }
+
+    /// Whether `bug`'s buggy variant is compiled into this kernel.
+    pub fn bug(&self, bug: BugId) -> bool {
+        self.bugs.has(bug)
+    }
+
+    /// The bug switches this kernel was built with.
+    pub fn switches(&self) -> &BugSwitches {
+        &self.bugs
+    }
+
+    /// Installs (or removes) the custom scheduler for the concurrent phase
+    /// of a test.
+    pub fn set_scheduler(&self, sched: Option<Arc<Scheduler>>) {
+        *self.sched.lock() = sched;
+    }
+
+    /// Enables raw mode: accesses bypass gates, oracles, and the emulation
+    /// engine. The `Linux` (uninstrumented) baseline of Table 5.
+    pub fn set_raw(&self, raw: bool) {
+        self.raw.store(raw, Ordering::Relaxed);
+    }
+
+    /// Whether raw mode is active.
+    pub fn is_raw(&self) -> bool {
+        self.raw.load(Ordering::Relaxed)
+    }
+
+    /// Enables the §6.2 manual per-CPU modification: all CPUs resolve
+    /// per-CPU variables to CPU 0's slot, emulating the thread migration the
+    /// sbitmap bug needs.
+    pub fn set_migration_override(&self, on: bool) {
+        self.migration_override.store(on, Ordering::Relaxed);
+    }
+
+    /// The CPU a thread's per-CPU accesses resolve to. OZZ pins each thread
+    /// to its own CPU (§6.2), so without the override this is the thread id.
+    pub fn cpu_of(&self, t: Tid) -> usize {
+        if self.migration_override.load(Ordering::Relaxed) {
+            0
+        } else {
+            t.0
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Function-frame tracking (for oops titles).
+    // ------------------------------------------------------------------
+
+    /// Pushes a kernel-function frame; the returned guard pops it. Fault
+    /// titles name the innermost frame, like a real oops backtrace tip.
+    pub fn enter(&self, t: Tid, name: &'static str) -> FnFrame<'_> {
+        self.frames.lock()[t.0].push(name);
+        FnFrame { k: self, t }
+    }
+
+    /// The innermost kernel function currently executing on `t`.
+    pub fn current_fn(&self, t: Tid) -> &'static str {
+        self.frames.lock()[t.0].last().copied().unwrap_or("kernel")
+    }
+
+    // ------------------------------------------------------------------
+    // Oops machinery.
+    // ------------------------------------------------------------------
+
+    /// Records the fault and unwinds the simulated CPU (kernel oops).
+    pub fn oops(&self, fault: Fault) -> ! {
+        let title = fault.title();
+        self.sink.record(fault);
+        std::panic::panic_any(CrashSignal { title });
+    }
+
+    /// `BUG_ON`-style assertion oracle.
+    pub fn bug_on(&self, t: Tid, cond: bool, what: &'static str) {
+        if cond {
+            self.oops(Fault {
+                kind: kmem::FaultKind::AssertFail {
+                    what: what.to_string(),
+                },
+                addr: 0,
+                in_fn: self.current_fn(t),
+            });
+        }
+    }
+
+    fn check(&self, t: Tid, addr: u64, write: bool) {
+        if let Err(fault) = self.kmem.check_access(addr, 8, write, self.current_fn(t)) {
+            self.oops(fault);
+        }
+    }
+
+    fn gate_before(&self, t: Tid, iid: Iid) {
+        // Clone out of the lock before gating: the gate may block on the
+        // scheduler's condvar, and holding the sched slot's mutex across
+        // that wait would deadlock the peer CPU's own gate call.
+        let sched = self.sched.lock().clone();
+        if let Some(s) = sched {
+            s.gate_before(t, iid);
+        }
+    }
+
+    fn gate_after(&self, t: Tid, iid: Iid) {
+        let sched = self.sched.lock().clone();
+        if let Some(s) = sched {
+            s.gate_after(t, iid);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Instrumented accesses (the Figure 2 callbacks).
+    // ------------------------------------------------------------------
+
+    fn do_load(&self, t: Tid, iid: Iid, addr: u64, ann: LoadAnn) -> u64 {
+        if self.is_raw() {
+            return self.engine.raw_load(addr);
+        }
+        self.gate_before(t, iid);
+        self.check(t, addr, false);
+        let v = self.engine.load(t, iid, addr, ann);
+        self.gate_after(t, iid);
+        v
+    }
+
+    fn do_store(&self, t: Tid, iid: Iid, addr: u64, val: u64, ann: StoreAnn) {
+        if self.is_raw() {
+            self.engine.raw_store(addr, val);
+            return;
+        }
+        self.gate_before(t, iid);
+        self.check(t, addr, true);
+        self.engine.store(t, iid, addr, val, ann);
+        self.gate_after(t, iid);
+    }
+
+    /// A plain load (`x = *p`).
+    pub fn read(&self, t: Tid, iid: Iid, addr: u64) -> u64 {
+        self.do_load(t, iid, addr, LoadAnn::Plain)
+    }
+
+    /// `READ_ONCE(*p)`.
+    pub fn read_once(&self, t: Tid, iid: Iid, addr: u64) -> u64 {
+        self.do_load(t, iid, addr, LoadAnn::ReadOnce)
+    }
+
+    /// `smp_load_acquire(p)`.
+    pub fn load_acquire(&self, t: Tid, iid: Iid, addr: u64) -> u64 {
+        self.do_load(t, iid, addr, LoadAnn::Acquire)
+    }
+
+    /// A plain store (`*p = v`).
+    pub fn write(&self, t: Tid, iid: Iid, addr: u64, val: u64) {
+        self.do_store(t, iid, addr, val, StoreAnn::Plain)
+    }
+
+    /// `WRITE_ONCE(*p, v)`.
+    pub fn write_once(&self, t: Tid, iid: Iid, addr: u64, val: u64) {
+        self.do_store(t, iid, addr, val, StoreAnn::WriteOnce)
+    }
+
+    /// `smp_store_release(p, v)`.
+    pub fn store_release(&self, t: Tid, iid: Iid, addr: u64, val: u64) {
+        self.do_store(t, iid, addr, val, StoreAnn::Release)
+    }
+
+    /// An instrumented atomic read-modify-write.
+    pub fn rmw(&self, t: Tid, iid: Iid, addr: u64, f: impl FnOnce(u64) -> u64, order: RmwOrder) -> u64 {
+        if self.is_raw() {
+            let old = self.engine.raw_load(addr);
+            self.engine.raw_store(addr, f(old));
+            return old;
+        }
+        self.gate_before(t, iid);
+        self.check(t, addr, true);
+        let old = self.engine.rmw(t, iid, addr, f, order);
+        self.gate_after(t, iid);
+        old
+    }
+
+    /// `smp_mb()`.
+    pub fn smp_mb(&self, t: Tid, iid: Iid) {
+        if !self.is_raw() {
+            self.engine.smp_mb(t, iid);
+        }
+    }
+
+    /// `smp_wmb()`.
+    pub fn smp_wmb(&self, t: Tid, iid: Iid) {
+        if !self.is_raw() {
+            self.engine.smp_wmb(t, iid);
+        }
+    }
+
+    /// `smp_rmb()`.
+    pub fn smp_rmb(&self, t: Tid, iid: Iid) {
+        if !self.is_raw() {
+            self.engine.smp_rmb(t, iid);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memory management and indirect calls.
+    // ------------------------------------------------------------------
+
+    /// `kzalloc(size)` — allocates a zeroed object of `size` bytes.
+    pub fn kzalloc(&self, size: u64, tag: &'static str) -> u64 {
+        self.kmem.kzalloc(size, tag)
+    }
+
+    /// `kfree(p)`; double frees and wild frees oops.
+    pub fn kfree(&self, t: Tid, addr: u64) {
+        if let Err(fault) = self.kmem.kfree(addr, self.current_fn(t)) {
+            self.oops(fault);
+        }
+    }
+
+    /// Resolves an indirect call target; a null or wild pointer oopses —
+    /// the `buf->ops->confirm()` crash of Figure 1.
+    pub fn call_fn(&self, t: Tid, target: u64) -> &'static str {
+        match self.fns.resolve(target, self.current_fn(t)) {
+            Ok(name) => name,
+            Err(fault) => self.oops(fault),
+        }
+    }
+
+    /// Lockdep-checked lock acquisition (ordering oracle only; the custom
+    /// scheduler already serialises execution, so no blocking is needed).
+    pub fn lock(&self, t: Tid, lock: LockId) {
+        if let Err(fault) = self.lockdep.acquire(t, lock, self.current_fn(t)) {
+            self.oops(fault);
+        }
+    }
+
+    /// Lockdep-checked lock release.
+    pub fn unlock(&self, t: Tid, lock: LockId) {
+        self.lockdep.release(t, lock);
+    }
+
+    /// Syscall-exit housekeeping: the paper's "interrupt" flush condition —
+    /// returning to userspace drains the virtual store buffer.
+    pub fn syscall_exit(&self, t: Tid) {
+        if !self.is_raw() {
+            self.engine.flush_thread(t);
+        }
+    }
+}
+
+/// RAII guard for a kernel-function frame.
+pub struct FnFrame<'a> {
+    k: &'a Kctx,
+    t: Tid,
+}
+
+impl Drop for FnFrame<'_> {
+    fn drop(&mut self) {
+        self.k.frames.lock()[self.t.0].pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oemu::iid;
+
+    #[test]
+    fn boot_produces_working_machine() {
+        let k = Kctx::new(BugSwitches::none());
+        let t = Tid(0);
+        let obj = k.kzalloc(32, "test");
+        k.write(t, iid!(), obj, 7);
+        assert_eq!(k.read(t, iid!(), obj), 7);
+    }
+
+    #[test]
+    fn frames_nest() {
+        let k = Kctx::new(BugSwitches::none());
+        let t = Tid(0);
+        assert_eq!(k.current_fn(t), "kernel");
+        {
+            let _a = k.enter(t, "outer");
+            assert_eq!(k.current_fn(t), "outer");
+            {
+                let _b = k.enter(t, "inner");
+                assert_eq!(k.current_fn(t), "inner");
+            }
+            assert_eq!(k.current_fn(t), "outer");
+        }
+        assert_eq!(k.current_fn(t), "kernel");
+    }
+
+    #[test]
+    fn null_read_oopses_with_frame_name() {
+        let k = Kctx::new(BugSwitches::none());
+        let t = Tid(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _f = k.enter(t, "pipe_read");
+            k.read(t, iid!(), 0);
+        }));
+        let payload = result.expect_err("oops must unwind");
+        let sig = payload.downcast_ref::<CrashSignal>().expect("crash signal");
+        assert_eq!(
+            sig.title,
+            "BUG: unable to handle kernel NULL pointer dereference in pipe_read"
+        );
+        assert!(k.sink.has_reports());
+    }
+
+    #[test]
+    fn raw_mode_bypasses_engine_and_oracles() {
+        let k = Kctx::new(BugSwitches::none());
+        let t = Tid(0);
+        k.set_raw(true);
+        // Null access does not fault in raw mode (no KASAN).
+        assert_eq!(k.read(t, iid!(), 0), 0);
+        // Stores are direct: no history, no profiling.
+        k.write(t, iid!(), 0x9000, 3);
+        assert_eq!(k.engine.raw_load(0x9000), 3);
+        k.set_raw(false);
+    }
+
+    #[test]
+    fn cpu_pinning_and_migration_override() {
+        let k = Kctx::new(BugSwitches::none());
+        assert_eq!(k.cpu_of(Tid(1)), 1);
+        k.set_migration_override(true);
+        assert_eq!(k.cpu_of(Tid(1)), 0);
+    }
+
+    #[test]
+    fn call_fn_null_oopses() {
+        let k = Kctx::new(BugSwitches::none());
+        let t = Tid(0);
+        let ok = k.fns.register("tls_setsockopt");
+        assert_eq!(k.call_fn(t, ok), "tls_setsockopt");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _f = k.enter(t, "tls_setsockopt");
+            k.call_fn(t, 0);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn syscall_exit_flushes_delayed_stores() {
+        let k = Kctx::new(BugSwitches::none());
+        let t = Tid(0);
+        let obj = k.kzalloc(16, "o");
+        let i = iid!();
+        k.engine.delay_store_at(t, i);
+        k.write(t, i, obj, 5);
+        assert_eq!(k.engine.raw_load(obj), 0);
+        k.syscall_exit(t);
+        assert_eq!(k.engine.raw_load(obj), 5);
+    }
+}

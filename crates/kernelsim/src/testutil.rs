@@ -1,0 +1,140 @@
+//! Test-support helpers: miniature versions of the OZZ forcing pipeline.
+//!
+//! These helpers let subsystem unit tests exercise the seeded bugs without
+//! the full fuzzer: they profile a scenario on a *scratch* machine with the
+//! same bug switches (instruction ids are stable across machines, exactly
+//! like the paper's instruction addresses across reboots), then install the
+//! maximal reordering the hypothetical-barrier test would choose — delay
+//! every store but the last (Figure 5a), or version every load but the
+//! first (Figure 5b) — and run the scenario for real.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use oemu::{AccessKind, Iid, Tid};
+
+use crate::kctx::{CrashSignal, Kctx};
+
+/// Profiles `f` on a scratch machine and returns the iids of the store
+/// accesses `t` executed, in program order (duplicates removed).
+pub fn profile_store_iids(k: &Kctx, t: Tid, f: impl Fn(&Kctx)) -> Vec<Iid> {
+    profile_iids(k, t, AccessKind::Store, |_| {}, f)
+}
+
+/// Profiles `f` on a scratch machine and returns the iids of the load
+/// accesses `t` executed, in program order (duplicates removed).
+pub fn profile_load_iids(k: &Kctx, t: Tid, f: impl Fn(&Kctx)) -> Vec<Iid> {
+    profile_iids(k, t, AccessKind::Load, |_| {}, f)
+}
+
+/// [`profile_load_iids`] with a setup phase replayed on the scratch machine
+/// first, so the profiled reader takes the path it will take for real.
+pub fn profile_load_iids_with_setup(
+    k: &Kctx,
+    t: Tid,
+    setup: impl Fn(&Kctx),
+    f: impl Fn(&Kctx),
+) -> Vec<Iid> {
+    profile_iids(k, t, AccessKind::Load, setup, f)
+}
+
+fn profile_iids(
+    k: &Kctx,
+    t: Tid,
+    kind: AccessKind,
+    setup: impl Fn(&Kctx),
+    f: impl Fn(&Kctx),
+) -> Vec<Iid> {
+    // The scratch machine must reach the same kernel state the real run
+    // will profile in, so the setup syscalls run first (unprofiled) — the
+    // analog of the STI prefix before the targeted pair.
+    let scratch = Kctx::new(k.switches().clone());
+    let result = catch_unwind(AssertUnwindSafe(|| setup(&scratch)));
+    assert!(result.is_ok(), "setup crashed during profiling");
+    scratch.engine.set_profiling(true);
+    // The scenario must be benign in order; a scratch crash means the test
+    // scenario itself is wrong.
+    let result = catch_unwind(AssertUnwindSafe(|| f(&scratch)));
+    assert!(result.is_ok(), "scenario crashed during profiling");
+    let profile = scratch.engine.take_profile(t);
+    let mut seen = std::collections::HashSet::new();
+    profile
+        .accesses()
+        .filter(|a| a.kind == kind)
+        .map(|a| a.iid)
+        .filter(|iid| seen.insert(*iid))
+        .collect()
+}
+
+/// The maximal hypothetical **store** barrier forcing: delays every store
+/// `t` performs in `f` except the last (which, like `W(d)` in Figure 5a,
+/// overtakes them), then runs `f` on the real machine.
+pub fn delay_all_plain_stores_during(k: &Kctx, t: Tid, f: impl Fn(&Kctx)) {
+    let iids = profile_iids(k, t, AccessKind::Store, |_| {}, &f);
+    if let Some((_last, rest)) = iids.split_last() {
+        for &iid in rest {
+            k.engine.delay_store_at(t, iid);
+        }
+    }
+    f(k);
+    k.engine.clear_controls(t);
+}
+
+/// The maximal hypothetical **load** barrier forcing: versions every load
+/// `t` performs in `f` except the first (which, like `R(w)` in Figure 5b,
+/// reads the updated value), then runs `f` on the real machine. `setup`
+/// replays the scenario's preceding state changes on the scratch machine so
+/// the profiled reader takes the same path it will take for real.
+pub fn version_all_plain_loads_with_setup(
+    k: &Kctx,
+    t: Tid,
+    setup: impl Fn(&Kctx),
+    f: impl Fn(&Kctx),
+) {
+    let iids = profile_iids(k, t, AccessKind::Load, setup, &f);
+    if let Some((_first, rest)) = iids.split_first() {
+        for &iid in rest {
+            k.engine.read_old_value_at(t, iid);
+        }
+    }
+    f(k);
+    k.engine.clear_controls(t);
+}
+
+/// Runs `f`, expecting a simulated kernel oops; returns the crash title.
+///
+/// # Panics
+///
+/// Panics if `f` completes without crashing, or panics with something other
+/// than a [`CrashSignal`].
+pub fn expect_crash(k: &Kctx, f: impl FnOnce(&Kctx)) -> String {
+    let result = catch_unwind(AssertUnwindSafe(|| f(k)));
+    match result {
+        Ok(()) => panic!("expected a kernel oops, but the scenario survived"),
+        Err(payload) => match payload.downcast_ref::<CrashSignal>() {
+            Some(sig) => {
+                assert!(k.sink.has_reports(), "oops must leave a report");
+                sig.title.clone()
+            }
+            None => std::panic::resume_unwind(payload),
+        },
+    }
+}
+
+/// Runs `f`, expecting no oops and an empty report sink.
+///
+/// # Panics
+///
+/// Panics if `f` crashes or any oracle recorded a report.
+pub fn expect_no_crash(k: &Kctx, f: impl FnOnce(&Kctx)) {
+    let result = catch_unwind(AssertUnwindSafe(|| f(k)));
+    match result {
+        Ok(()) => assert!(
+            k.sink.is_empty(),
+            "oracles recorded a report in a scenario expected to be benign"
+        ),
+        Err(payload) => match payload.downcast_ref::<CrashSignal>() {
+            Some(sig) => panic!("unexpected kernel oops: {}", sig.title),
+            None => std::panic::resume_unwind(payload),
+        },
+    }
+}

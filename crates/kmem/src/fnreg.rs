@@ -1,0 +1,129 @@
+//! Function-pointer registry.
+//!
+//! Most of the paper's Table 3 bugs crash by calling through a function
+//! pointer that a reordered publication left uninitialised (`buf->ops` in
+//! Figure 1, `ctx->sk_proto` in Figure 7). In the simulated kernel,
+//! "function pointers" are addresses in a reserved text segment handed out
+//! by this registry; subsystems store them in simulated memory like any
+//! other word, and indirect calls validate the target here. A null or
+//! garbage target produces the same oops/GPF fault a real kernel would
+//! raise.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::report::{Fault, FaultKind};
+
+/// Base of the simulated kernel text segment.
+pub const FN_BASE: u64 = 0x4000_0000;
+
+/// Exclusive upper bound of the text segment.
+pub const FN_LIMIT: u64 = 0x5000_0000;
+
+/// Registry of simulated kernel functions.
+#[derive(Default)]
+pub struct FnRegistry {
+    inner: Mutex<FnRegistryInner>,
+}
+
+#[derive(Default)]
+struct FnRegistryInner {
+    by_addr: HashMap<u64, &'static str>,
+    by_name: HashMap<&'static str, u64>,
+    next: u64,
+}
+
+impl FnRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or looks up) a function by name and returns its simulated
+    /// text address. Idempotent: the same name always maps to the same
+    /// address within one registry.
+    pub fn register(&self, name: &'static str) -> u64 {
+        let mut inner = self.inner.lock();
+        if let Some(&addr) = inner.by_name.get(name) {
+            return addr;
+        }
+        let addr = FN_BASE + inner.next * 16;
+        inner.next += 1;
+        assert!(addr < FN_LIMIT, "simulated text segment exhausted");
+        inner.by_addr.insert(addr, name);
+        inner.by_name.insert(name, addr);
+        addr
+    }
+
+    /// Resolves an indirect call target to a function name.
+    ///
+    /// A zero target is the uninitialised-ops-table crash of Figures 1
+    /// and 7; any other unregistered target is a general protection fault.
+    pub fn resolve(&self, target: u64, in_fn: &'static str) -> Result<&'static str, Fault> {
+        if target == 0 {
+            return Err(Fault {
+                kind: FaultKind::NullFnCall,
+                addr: 0,
+                in_fn,
+            });
+        }
+        let inner = self.inner.lock();
+        inner.by_addr.get(&target).copied().ok_or(Fault {
+            kind: FaultKind::WildFnCall { target },
+            addr: target,
+            in_fn,
+        })
+    }
+
+    /// Address previously registered for `name`, if any.
+    pub fn lookup(&self, name: &str) -> Option<u64> {
+        self.inner.lock().by_name.get(name).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent() {
+        let reg = FnRegistry::new();
+        let a = reg.register("tls_setsockopt");
+        let b = reg.register("tls_setsockopt");
+        assert_eq!(a, b);
+        assert!(a >= FN_BASE && a < FN_LIMIT);
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let reg = FnRegistry::new();
+        let a = reg.register("pipe_buf_confirm");
+        assert_eq!(reg.resolve(a, "pipe_read").unwrap(), "pipe_buf_confirm");
+        assert_eq!(reg.lookup("pipe_buf_confirm"), Some(a));
+    }
+
+    #[test]
+    fn null_call_is_null_deref() {
+        let reg = FnRegistry::new();
+        let fault = reg.resolve(0, "pipe_read").unwrap_err();
+        assert!(matches!(fault.kind, FaultKind::NullFnCall));
+        assert_eq!(
+            fault.title(),
+            "BUG: unable to handle kernel NULL pointer dereference in pipe_read"
+        );
+    }
+
+    #[test]
+    fn wild_call_is_gpf() {
+        let reg = FnRegistry::new();
+        let fault = reg.resolve(0x1234_5678, "smc_connect").unwrap_err();
+        assert!(matches!(fault.kind, FaultKind::WildFnCall { .. }));
+    }
+
+    #[test]
+    fn distinct_names_distinct_addrs() {
+        let reg = FnRegistry::new();
+        assert_ne!(reg.register("a"), reg.register("b"));
+    }
+}

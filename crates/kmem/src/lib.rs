@@ -1,0 +1,28 @@
+//! Simulated kernel memory management and bug-detecting oracles.
+//!
+//! The paper's central argument for *in-vivo* emulation (§3) is that
+//! reordering memory accesses while the kernel is running lets a testing
+//! tool use the kernel's own runtime context — the list of freed objects,
+//! the set of held locks — and therefore its deployed bug-detecting oracles
+//! (KASAN, lockdep, oops handlers). This crate provides those runtime
+//! contexts for the simulated kernel:
+//!
+//! - [`Kmem`]: a slab-style allocator over the simulated address space with
+//!   redzones and a free-quarantine, so out-of-bounds and use-after-free
+//!   accesses are detectable exactly when they happen (the KASAN analog);
+//! - [`FnRegistry`]: a function-pointer registry that turns indirect calls
+//!   through corrupted or uninitialised pointers into faults (the oops/GPF
+//!   analog);
+//! - [`Lockdep`]: a lock-ordering oracle detecting inversion cycles;
+//! - [`OracleSink`]: the crash-report collector the fuzzer harvests,
+//!   producing titles in the same format as the paper's Table 3.
+
+mod alloc;
+mod fnreg;
+mod lockdep;
+mod report;
+
+pub use alloc::{AllocState, Kmem, KmemStats, Object, HEAP_BASE, NULL_GUARD, REDZONE};
+pub use fnreg::{FnRegistry, FN_BASE, FN_LIMIT};
+pub use lockdep::{LockId, Lockdep};
+pub use report::{CrashReport, Fault, FaultKind, OracleSink};

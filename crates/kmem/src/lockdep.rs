@@ -1,0 +1,178 @@
+//! Lockdep: runtime lock-ordering oracle.
+//!
+//! A minimal analog of the kernel's lockdep validator (one of the
+//! bug-detecting oracles the paper's §4.4 plugs into): it records the
+//! "acquired-while-holding" edges between lock classes and reports a fault
+//! when a new acquisition would close a cycle — the signature of a
+//! potential ABBA deadlock.
+
+use std::collections::{HashMap, HashSet};
+
+use oemu::Tid;
+use parking_lot::Mutex;
+
+use crate::report::{Fault, FaultKind};
+
+/// Identifier of a lock class.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct LockId(pub u64);
+
+#[derive(Default)]
+struct Inner {
+    /// Lock classes currently held, per thread, in acquisition order.
+    held: HashMap<Tid, Vec<LockId>>,
+    /// Recorded ordering edges: (earlier, later).
+    edges: HashSet<(LockId, LockId)>,
+}
+
+/// The lock-ordering oracle.
+#[derive(Default)]
+pub struct Lockdep {
+    inner: Mutex<Inner>,
+}
+
+impl Lockdep {
+    /// Creates an empty oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records acquisition of `lock` by `tid`; reports a fault when the new
+    /// ordering edge closes a cycle with previously observed edges.
+    pub fn acquire(&self, tid: Tid, lock: LockId, in_fn: &'static str) -> Result<(), Fault> {
+        let mut inner = self.inner.lock();
+        let held = inner.held.entry(tid).or_default().clone();
+        for &h in &held {
+            if h == lock {
+                return Err(Fault {
+                    kind: FaultKind::LockInversion {
+                        cycle: format!("recursive acquisition of lock {:#x}", lock.0),
+                    },
+                    addr: lock.0,
+                    in_fn,
+                });
+            }
+            if Self::reachable(&inner.edges, lock, h) {
+                return Err(Fault {
+                    kind: FaultKind::LockInversion {
+                        cycle: format!("{:#x} -> {:#x} closes a cycle", h.0, lock.0),
+                    },
+                    addr: lock.0,
+                    in_fn,
+                });
+            }
+        }
+        for &h in &held {
+            inner.edges.insert((h, lock));
+        }
+        inner.held.get_mut(&tid).expect("created above").push(lock);
+        Ok(())
+    }
+
+    /// Records release of `lock` by `tid`.
+    pub fn release(&self, tid: Tid, lock: LockId) {
+        let mut inner = self.inner.lock();
+        if let Some(held) = inner.held.get_mut(&tid) {
+            if let Some(pos) = held.iter().rposition(|&l| l == lock) {
+                held.remove(pos);
+            }
+        }
+    }
+
+    /// Lock classes currently held by `tid` (diagnostics / syscall-exit
+    /// leak checking).
+    pub fn held_by(&self, tid: Tid) -> Vec<LockId> {
+        self.inner
+            .lock()
+            .held
+            .get(&tid)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Depth-first reachability over recorded edges.
+    fn reachable(edges: &HashSet<(LockId, LockId)>, from: LockId, to: LockId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut stack = vec![from];
+        let mut seen = HashSet::new();
+        while let Some(node) = stack.pop() {
+            if !seen.insert(node) {
+                continue;
+            }
+            for &(a, b) in edges {
+                if a == node {
+                    if b == to {
+                        return true;
+                    }
+                    stack.push(b);
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: LockId = LockId(1);
+    const B: LockId = LockId(2);
+    const C: LockId = LockId(3);
+
+    #[test]
+    fn consistent_order_is_fine() {
+        let ld = Lockdep::new();
+        for _ in 0..3 {
+            ld.acquire(Tid(0), A, "f").unwrap();
+            ld.acquire(Tid(0), B, "f").unwrap();
+            ld.release(Tid(0), B);
+            ld.release(Tid(0), A);
+        }
+    }
+
+    #[test]
+    fn abba_inversion_detected() {
+        let ld = Lockdep::new();
+        ld.acquire(Tid(0), A, "f").unwrap();
+        ld.acquire(Tid(0), B, "f").unwrap();
+        ld.release(Tid(0), B);
+        ld.release(Tid(0), A);
+        ld.acquire(Tid(1), B, "g").unwrap();
+        let fault = ld.acquire(Tid(1), A, "g").unwrap_err();
+        assert!(matches!(fault.kind, FaultKind::LockInversion { .. }));
+    }
+
+    #[test]
+    fn transitive_cycle_detected() {
+        let ld = Lockdep::new();
+        ld.acquire(Tid(0), A, "f").unwrap();
+        ld.acquire(Tid(0), B, "f").unwrap();
+        ld.release(Tid(0), B);
+        ld.release(Tid(0), A);
+        ld.acquire(Tid(0), B, "f").unwrap();
+        ld.acquire(Tid(0), C, "f").unwrap();
+        ld.release(Tid(0), C);
+        ld.release(Tid(0), B);
+        ld.acquire(Tid(1), C, "g").unwrap();
+        assert!(ld.acquire(Tid(1), A, "g").is_err());
+    }
+
+    #[test]
+    fn recursive_acquisition_detected() {
+        let ld = Lockdep::new();
+        ld.acquire(Tid(0), A, "f").unwrap();
+        assert!(ld.acquire(Tid(0), A, "f").is_err());
+    }
+
+    #[test]
+    fn held_by_tracks_state() {
+        let ld = Lockdep::new();
+        ld.acquire(Tid(0), A, "f").unwrap();
+        assert_eq!(ld.held_by(Tid(0)), vec![A]);
+        ld.release(Tid(0), A);
+        assert!(ld.held_by(Tid(0)).is_empty());
+    }
+}

@@ -1,0 +1,400 @@
+//! The custom scheduler (§4.4.1, Appendix §10.3).
+//!
+//! OZZ needs a mechanism to deterministically control thread interleaving in
+//! addition to OEMU's control over memory-access reordering. The paper
+//! implements this in the hypervisor: the fuzzer delivers a scheduling point
+//! through a hypercall, the hypervisor installs a breakpoint, keeps exactly
+//! one virtual CPU running at a time, and switches vCPUs when the breakpoint
+//! is hit (Figure 9).
+//!
+//! This crate provides the same contract over OS threads: every simulated
+//! CPU is a real thread, but a token serialises them so exactly one executes
+//! at a time; context switches happen only at instrumented access *gates*,
+//! where the scheduler checks the installed [`Breakpoint`]. Crucially — and
+//! this is the property §2.3 says breakpoint-based tools destroy and OEMU
+//! restores — suspending a thread here does **not** flush its virtual store
+//! buffer, so delayed stores stay invisible across the switch, exactly like
+//! a suspended vCPU whose in-flight stores the paper's OEMU keeps buffered.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use oemu::{iid, Tid};
+//! use ksched::{BreakWhen, Breakpoint, SchedulePlan, Scheduler};
+//!
+//! let point = iid!();
+//! let plan = SchedulePlan {
+//!     first: Tid(0),
+//!     breakpoint: Some(Breakpoint { iid: point, when: BreakWhen::After, hit: 1 }),
+//! };
+//! let sched = Arc::new(Scheduler::new(2, plan));
+//! let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+//! std::thread::scope(|s| {
+//!     let (sc, ord) = (Arc::clone(&sched), Arc::clone(&order));
+//!     s.spawn(move || {
+//!         sc.thread_start(Tid(0));
+//!         ord.lock().push("t0-a");
+//!         sc.gate_after(Tid(0), point); // breakpoint: switch to t1
+//!         ord.lock().push("t0-b");
+//!         sc.thread_finish(Tid(0));
+//!     });
+//!     let (sc, ord) = (Arc::clone(&sched), Arc::clone(&order));
+//!     s.spawn(move || {
+//!         sc.thread_start(Tid(1));
+//!         ord.lock().push("t1");
+//!         sc.thread_finish(Tid(1));
+//!     });
+//! });
+//! assert_eq!(*order.lock(), vec!["t0-a", "t1", "t0-b"]);
+//! ```
+
+use oemu::{Iid, Tid};
+use parking_lot::{Condvar, Mutex};
+
+/// Whether the context switch fires before or after the matched access.
+///
+/// The hypothetical **store** barrier test (Figure 5a) interleaves *after*
+/// the scheduling-point access (the store past the hypothetical barrier has
+/// committed; the delayed ones have not). The hypothetical **load** barrier
+/// test (Figure 5b) interleaves *before* it (the other syscall must run
+/// first to populate the store history).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum BreakWhen {
+    /// Switch before the access executes.
+    Before,
+    /// Switch after the access executes.
+    After,
+}
+
+/// A scheduling point: switch threads at the `hit`-th execution of `iid`.
+#[derive(Copy, Clone, Debug)]
+pub struct Breakpoint {
+    /// Instrumented access to break on.
+    pub iid: Iid,
+    /// Break before or after the access.
+    pub when: BreakWhen,
+    /// 1-based occurrence count (an instruction in a loop executes many
+    /// times; the profile tells the fuzzer which occurrence to target).
+    pub hit: u32,
+}
+
+/// A deterministic schedule for one multi-threaded input.
+#[derive(Copy, Clone, Debug)]
+pub struct SchedulePlan {
+    /// Thread that runs first (the paper's `start_first()`).
+    pub first: Tid,
+    /// Optional scheduling point; without one, threads simply run to
+    /// completion in order.
+    pub breakpoint: Option<Breakpoint>,
+}
+
+impl SchedulePlan {
+    /// A plan with no context switch: `first` runs to completion, then the
+    /// other threads in index order.
+    pub fn sequential(first: Tid) -> Self {
+        SchedulePlan {
+            first,
+            breakpoint: None,
+        }
+    }
+}
+
+struct State {
+    active: Tid,
+    finished: Vec<bool>,
+    /// Breakpoint armed for the currently-running first thread.
+    armed: Option<Breakpoint>,
+    hits: u32,
+    switches: u32,
+}
+
+/// Token-passing scheduler for one test run.
+pub struct Scheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+    nthreads: usize,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for `nthreads` simulated CPUs following `plan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan.first` is out of range.
+    pub fn new(nthreads: usize, plan: SchedulePlan) -> Self {
+        assert!(plan.first.0 < nthreads, "plan.first out of range");
+        Scheduler {
+            state: Mutex::new(State {
+                active: plan.first,
+                finished: vec![false; nthreads],
+                armed: plan.breakpoint,
+                hits: 0,
+                switches: 0,
+            }),
+            cv: Condvar::new(),
+            nthreads,
+        }
+    }
+
+    /// Blocks until `tid` holds the execution token. Must be the first call
+    /// a simulated CPU makes.
+    pub fn thread_start(&self, tid: Tid) {
+        let mut st = self.state.lock();
+        while st.active != tid {
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Gate checked *before* an instrumented access executes.
+    pub fn gate_before(&self, tid: Tid, iid: Iid) {
+        self.gate(tid, iid, BreakWhen::Before);
+    }
+
+    /// Gate checked *after* an instrumented access executes.
+    pub fn gate_after(&self, tid: Tid, iid: Iid) {
+        self.gate(tid, iid, BreakWhen::After);
+    }
+
+    fn gate(&self, tid: Tid, iid: Iid, phase: BreakWhen) {
+        let mut st = self.state.lock();
+        debug_assert_eq!(st.active, tid, "only the token holder may execute");
+        let Some(bp) = st.armed else { return };
+        if bp.iid != iid || bp.when != phase {
+            return;
+        }
+        // Occurrence counting happens at the matching phase only, so a
+        // Before breakpoint and an After breakpoint on the same iid count
+        // identically.
+        st.hits += 1;
+        if st.hits < bp.hit {
+            return;
+        }
+        // Fire: disarm, hand the token to the next runnable thread, and wait
+        // to be resumed (the Figure 9 suspend/resume pair).
+        st.armed = None;
+        if let Some(next) = self.next_runnable(&st, tid) {
+            st.active = next;
+            st.switches += 1;
+            self.cv.notify_all();
+            while st.active != tid {
+                self.cv.wait(&mut st);
+            }
+        }
+    }
+
+    /// Marks `tid` finished and passes the token to the next runnable
+    /// thread (or back to a thread suspended at its breakpoint).
+    pub fn thread_finish(&self, tid: Tid) {
+        let mut st = self.state.lock();
+        st.finished[tid.0] = true;
+        if let Some(next) = self.next_runnable(&st, tid) {
+            st.active = next;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Number of breakpoint-driven context switches that occurred.
+    pub fn switches(&self) -> u32 {
+        self.state.lock().switches
+    }
+
+    /// Whether every registered thread has finished.
+    pub fn all_finished(&self) -> bool {
+        self.state.lock().finished.iter().all(|&f| f)
+    }
+
+    fn next_runnable(&self, st: &State, current: Tid) -> Option<Tid> {
+        (1..=self.nthreads)
+            .map(|off| Tid((current.0 + off) % self.nthreads))
+            .find(|t| !st.finished[t.0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oemu::iid;
+    use std::sync::Arc;
+
+    fn run_two(
+        plan: SchedulePlan,
+        body0: impl FnOnce(&Scheduler) + Send,
+        body1: impl FnOnce(&Scheduler) + Send,
+    ) -> Arc<Scheduler> {
+        let sched = Arc::new(Scheduler::new(2, plan));
+        std::thread::scope(|s| {
+            let sc = Arc::clone(&sched);
+            s.spawn(move || {
+                sc.thread_start(Tid(0));
+                body0(&sc);
+                sc.thread_finish(Tid(0));
+            });
+            let sc = Arc::clone(&sched);
+            s.spawn(move || {
+                sc.thread_start(Tid(1));
+                body1(&sc);
+                sc.thread_finish(Tid(1));
+            });
+        });
+        sched
+    }
+
+    #[test]
+    fn sequential_plan_runs_first_to_completion() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (o0, o1) = (Arc::clone(&order), Arc::clone(&order));
+        run_two(
+            SchedulePlan::sequential(Tid(1)),
+            move |_| o0.lock().push(0),
+            move |_| o1.lock().push(1),
+        );
+        assert_eq!(*order.lock(), vec![1, 0]);
+    }
+
+    #[test]
+    fn after_breakpoint_switches_midway() {
+        let point = iid!();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (o0, o1) = (Arc::clone(&order), Arc::clone(&order));
+        let sched = run_two(
+            SchedulePlan {
+                first: Tid(0),
+                breakpoint: Some(Breakpoint {
+                    iid: point,
+                    when: BreakWhen::After,
+                    hit: 1,
+                }),
+            },
+            move |sc| {
+                o0.lock().push("t0-pre");
+                sc.gate_after(Tid(0), point);
+                o0.lock().push("t0-post");
+            },
+            move |sc| {
+                o1.lock().push("t1");
+                sc.gate_after(Tid(1), iid!());
+            },
+        );
+        assert_eq!(*order.lock(), vec!["t0-pre", "t1", "t0-post"]);
+        assert_eq!(sched.switches(), 1);
+        assert!(sched.all_finished());
+    }
+
+    #[test]
+    fn before_breakpoint_switches_before_the_access() {
+        let point = iid!();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (o0, o1) = (Arc::clone(&order), Arc::clone(&order));
+        run_two(
+            SchedulePlan {
+                first: Tid(0),
+                breakpoint: Some(Breakpoint {
+                    iid: point,
+                    when: BreakWhen::Before,
+                    hit: 1,
+                }),
+            },
+            move |sc| {
+                o0.lock().push("t0-pre");
+                sc.gate_before(Tid(0), point);
+                o0.lock().push("t0-access");
+            },
+            move |_| o1.lock().push("t1"),
+        );
+        assert_eq!(*order.lock(), vec!["t0-pre", "t1", "t0-access"]);
+    }
+
+    #[test]
+    fn hit_count_targets_nth_occurrence() {
+        let point = iid!();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (o0, o1) = (Arc::clone(&order), Arc::clone(&order));
+        run_two(
+            SchedulePlan {
+                first: Tid(0),
+                breakpoint: Some(Breakpoint {
+                    iid: point,
+                    when: BreakWhen::After,
+                    hit: 3,
+                }),
+            },
+            move |sc| {
+                for i in 0..5 {
+                    o0.lock().push(format!("t0-{i}"));
+                    sc.gate_after(Tid(0), point);
+                }
+            },
+            move |_| o1.lock().push("t1".to_string()),
+        );
+        assert_eq!(
+            *order.lock(),
+            vec!["t0-0", "t0-1", "t0-2", "t1", "t0-3", "t0-4"]
+        );
+    }
+
+    #[test]
+    fn unhit_breakpoint_degrades_to_sequential() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (o0, o1) = (Arc::clone(&order), Arc::clone(&order));
+        let sched = run_two(
+            SchedulePlan {
+                first: Tid(0),
+                breakpoint: Some(Breakpoint {
+                    iid: iid!(), // never gated on
+                    when: BreakWhen::After,
+                    hit: 1,
+                }),
+            },
+            move |_| o0.lock().push(0),
+            move |_| o1.lock().push(1),
+        );
+        assert_eq!(*order.lock(), vec![0, 1]);
+        assert_eq!(sched.switches(), 0);
+    }
+
+    #[test]
+    fn nonmatching_gates_do_not_fire() {
+        let point = iid!();
+        let other = iid!();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (o0, o1) = (Arc::clone(&order), Arc::clone(&order));
+        run_two(
+            SchedulePlan {
+                first: Tid(0),
+                breakpoint: Some(Breakpoint {
+                    iid: point,
+                    when: BreakWhen::After,
+                    hit: 1,
+                }),
+            },
+            move |sc| {
+                sc.gate_after(Tid(0), other); // different iid
+                sc.gate_before(Tid(0), point); // matching iid, wrong phase
+                o0.lock().push("t0");
+                sc.gate_after(Tid(0), point); // fires here
+                o0.lock().push("t0-post");
+            },
+            move |_| o1.lock().push("t1"),
+        );
+        assert_eq!(*order.lock(), vec!["t0", "t1", "t0-post"]);
+    }
+
+    #[test]
+    fn three_threads_rotate_in_order() {
+        let sched = Arc::new(Scheduler::new(3, SchedulePlan::sequential(Tid(0))));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|s| {
+            for t in 0..3 {
+                let sc = Arc::clone(&sched);
+                let ord = Arc::clone(&order);
+                s.spawn(move || {
+                    sc.thread_start(Tid(t));
+                    ord.lock().push(t);
+                    sc.thread_finish(Tid(t));
+                });
+            }
+        });
+        assert_eq!(*order.lock(), vec![0, 1, 2]);
+    }
+}

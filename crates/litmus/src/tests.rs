@@ -1,0 +1,264 @@
+//! The litmus corpus: classic weak-memory shapes, parameterised by barrier
+//! placement, validating the seven LKMM cases of Appendix §10.1.
+
+use oemu::{LoadAnn, StoreAnn};
+
+use crate::{Litmus, Op};
+
+/// Barrier configuration for the two-sided tests.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Barriers {
+    /// No barriers anywhere (the buggy shape).
+    None,
+    /// Writer-side barrier only (`smp_wmb`).
+    WriterOnly,
+    /// Reader-side barrier only (`smp_rmb`).
+    ReaderOnly,
+    /// Both barriers (the fixed shape).
+    Both,
+    /// Release store paired with acquire load (Cases 4 and 5).
+    ReleaseAcquire,
+}
+
+fn st(var: usize, val: u64) -> Op {
+    Op::Store {
+        var,
+        val,
+        ann: StoreAnn::Plain,
+    }
+}
+
+fn ld(reg: usize, var: usize) -> Op {
+    Op::Load {
+        reg,
+        var,
+        ann: LoadAnn::Plain,
+    }
+}
+
+/// **SB** (store buffering; the shape of the paper's Figure 10 Rust
+/// example): each thread stores to one variable and loads the other. The
+/// weak outcome `r0 == 0 && r1 == 0` requires store-load reordering, which
+/// delayed stores emulate; `smp_mb` between the accesses forbids it
+/// (Case 1).
+pub fn store_buffering(with_mb: bool) -> Litmus {
+    let mid: &[Op] = if with_mb { &[Op::Mb] } else { &[] };
+    let prog = |stvar: usize, ldvar: usize, reg: usize| {
+        let mut p = vec![st(stvar, 1)];
+        p.extend_from_slice(mid);
+        p.push(ld(reg, ldvar));
+        p
+    };
+    Litmus {
+        name: if with_mb { "SB+mbs" } else { "SB" },
+        threads: vec![prog(0, 1, 0), prog(1, 0, 1)],
+        nvars: 2,
+        nregs: 2,
+    }
+}
+
+/// **MP** (message passing; the shape of the paper's Figure 1): the writer
+/// initialises data then sets a flag; the reader checks the flag then reads
+/// the data. The weak outcome `flag == 1 && data == 0` is the OOO bug; the
+/// barrier configuration decides whether it is reachable.
+pub fn message_passing(barriers: Barriers) -> Litmus {
+    let writer = match barriers {
+        Barriers::None | Barriers::ReaderOnly => vec![st(0, 1), st(1, 1)],
+        Barriers::WriterOnly | Barriers::Both => vec![st(0, 1), Op::Wmb, st(1, 1)],
+        Barriers::ReleaseAcquire => vec![
+            st(0, 1),
+            Op::Store {
+                var: 1,
+                val: 1,
+                ann: StoreAnn::Release,
+            },
+        ],
+    };
+    let reader = match barriers {
+        Barriers::None | Barriers::WriterOnly => vec![ld(0, 1), ld(1, 0)],
+        Barriers::ReaderOnly | Barriers::Both => vec![ld(0, 1), Op::Rmb, ld(1, 0)],
+        Barriers::ReleaseAcquire => vec![
+            Op::Load {
+                reg: 0,
+                var: 1,
+                ann: LoadAnn::Acquire,
+            },
+            ld(1, 0),
+        ],
+    };
+    Litmus {
+        name: "MP",
+        threads: vec![writer, reader],
+        nvars: 2,
+        nregs: 2,
+    }
+}
+
+/// **LB** (load buffering): each thread loads one variable then stores to
+/// the other. The weak outcome `r0 == 1 && r1 == 1` requires **load-store**
+/// reordering, which OEMU deliberately does not emulate (§3, "Scope of
+/// emulation"; LKMM Case 7 dependencies are thereby trivially respected).
+pub fn load_buffering() -> Litmus {
+    Litmus {
+        name: "LB",
+        threads: vec![vec![ld(0, 1), st(0, 1)], vec![ld(1, 0), st(1, 1)]],
+        nvars: 2,
+        nregs: 2,
+    }
+}
+
+/// **CoRR** (coherence of read-read): one thread stores; the other loads
+/// the same variable twice. The outcome `r0 == 1 && r1 == 0` (reads going
+/// backwards in time) violates per-location coherence and is forbidden on
+/// every architecture, including Alpha.
+pub fn corr() -> Litmus {
+    Litmus {
+        name: "CoRR",
+        threads: vec![vec![st(0, 1)], vec![ld(0, 0), ld(1, 0)]],
+        nvars: 1,
+        nregs: 2,
+    }
+}
+
+/// **MP with a `READ_ONCE` flag read** (Case 6): the Alpha address-
+/// dependency rule — annotating the first load makes it an implied load
+/// barrier, so the dependent load cannot observe the pre-publication value.
+pub fn mp_read_once_flag() -> Litmus {
+    Litmus {
+        name: "MP+ronce",
+        threads: vec![
+            vec![st(0, 1), Op::Wmb, st(1, 1)],
+            vec![
+                Op::Load {
+                    reg: 0,
+                    var: 1,
+                    ann: LoadAnn::ReadOnce,
+                },
+                ld(1, 0),
+            ],
+        ],
+        nvars: 2,
+        nregs: 2,
+    }
+}
+
+/// **2+2W** (coherence of writes): both threads write both variables in
+/// opposite orders; the final memory state must be explainable by a
+/// per-location total order. Exercised through post-hoc loads.
+pub fn two_plus_two_w() -> Litmus {
+    Litmus {
+        name: "2+2W",
+        threads: vec![
+            vec![st(0, 1), st(1, 2)],
+            vec![st(1, 1), st(0, 2)],
+            // Observer reads both after the writers are done (thread 3 is
+            // last in every interleaving that matters for the final state).
+            vec![ld(0, 0), ld(1, 1)],
+        ],
+        nvars: 2,
+        nregs: 2,
+    }
+}
+
+#[cfg(test)]
+mod litmus_tests {
+    use super::*;
+
+    #[test]
+    fn sb_weak_outcome_reachable_without_barriers() {
+        // Figure 10: both threads read 0 — the assertion-violating outcome.
+        assert!(store_buffering(false).reachable(&[0, 0]));
+    }
+
+    #[test]
+    fn sb_with_mb_is_sequentially_consistent() {
+        // Case 1: smp_mb forbids the weak outcome; SC outcomes remain.
+        let outcomes = store_buffering(true).explore();
+        assert!(!outcomes.contains(&vec![0, 0]), "forbidden by smp_mb");
+        assert!(outcomes.contains(&vec![1, 1]));
+        assert!(outcomes.contains(&vec![0, 1]));
+        assert!(outcomes.contains(&vec![1, 0]));
+    }
+
+    #[test]
+    fn mp_weak_outcome_reachable_without_barriers() {
+        // Figure 1's bug: flag observed, data not.
+        assert!(message_passing(Barriers::None).reachable(&[1, 0]));
+    }
+
+    #[test]
+    fn mp_writer_barrier_alone_is_insufficient() {
+        // §2.2: *both* barriers are necessary. With only smp_wmb, the
+        // reader's loads may still be reordered (versioned) — the paper's
+        // order #18 -> #6 -> #8 -> #14.
+        assert!(message_passing(Barriers::WriterOnly).reachable(&[1, 0]));
+    }
+
+    #[test]
+    fn mp_reader_barrier_alone_is_insufficient() {
+        // With only smp_rmb, the writer's stores may still be reordered
+        // (delayed) — the paper's order #8 -> #14 -> #18 -> #6.
+        assert!(message_passing(Barriers::ReaderOnly).reachable(&[1, 0]));
+    }
+
+    #[test]
+    fn mp_with_both_barriers_is_safe() {
+        // Cases 2 + 3: the wmb/rmb pair forbids the bug.
+        assert!(!message_passing(Barriers::Both).reachable(&[1, 0]));
+    }
+
+    #[test]
+    fn mp_release_acquire_is_safe() {
+        // Cases 4 + 5.
+        assert!(!message_passing(Barriers::ReleaseAcquire).reachable(&[1, 0]));
+    }
+
+    #[test]
+    fn lb_weak_outcome_unreachable() {
+        // Load-store reordering is out of scope: [1, 1] must never appear.
+        let outcomes = load_buffering().explore();
+        assert!(!outcomes.contains(&vec![1, 1]), "no load-store reordering");
+        // Sanity: SC outcomes are still observable.
+        assert!(outcomes.contains(&vec![0, 0]));
+        assert!(outcomes.contains(&vec![1, 0]));
+        assert!(outcomes.contains(&vec![0, 1]));
+    }
+
+    #[test]
+    fn corr_coherence_holds() {
+        // Reads of one location never travel backwards: 1-then-0 is
+        // forbidden even with versioned loads.
+        let outcomes = corr().explore();
+        assert!(!outcomes.contains(&vec![1, 0]), "CoRR violation");
+        assert!(outcomes.contains(&vec![0, 0]));
+        assert!(outcomes.contains(&vec![0, 1]));
+        assert!(outcomes.contains(&vec![1, 1]));
+    }
+
+    #[test]
+    fn read_once_implies_load_barrier() {
+        // Case 6: with READ_ONCE on the flag, the dependent load cannot
+        // read the pre-publication value.
+        assert!(!mp_read_once_flag().reachable(&[1, 0]));
+    }
+
+    #[test]
+    fn two_plus_two_w_final_state_is_coherent() {
+        // The observer sees some per-location-ordered final state; values
+        // are only ever 1 or 2 once written, and the all-initial state is
+        // possible only if the observer ran first.
+        let outcomes = two_plus_two_w().explore();
+        for regs in &outcomes {
+            for &v in regs {
+                assert!(v <= 2, "no out-of-thin-air values");
+            }
+        }
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let a = store_buffering(false).explore();
+        let b = store_buffering(false).explore();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,822 @@
+//! The emulation engine tying together store buffer, history, and windows.
+//!
+//! One [`Engine`] instance models the memory subsystem of one simulated
+//! machine for the duration of one test run. Every instrumented access of
+//! the simulated kernel flows through it; the engine decides, based on the
+//! per-thread control sets installed through the Table 2 interfaces, whether
+//! a store commits or is delayed and whether a load reads memory, a
+//! forwarded buffer entry, or an old version from the store history.
+//!
+//! # LKMM compliance (§3.3 / Appendix §10.1)
+//!
+//! - **Case 1** (`smp_mb`): [`Engine::smp_mb`] flushes the store buffer and
+//!   resets the versioning window, so no access crosses it in either
+//!   direction (loads are never delayed; delayed stores commit at the
+//!   barrier; later loads cannot read values older than the barrier).
+//! - **Case 2** (`smp_wmb`): flushing the buffer commits every delayed store
+//!   before any later store can commit.
+//! - **Case 3** (`smp_rmb`): resetting the window forbids later loads from
+//!   observing pre-images older than the barrier.
+//! - **Case 4** (acquire): the load half resets the window; the store half is
+//!   free because delayed stores only ever move *later* in time.
+//! - **Case 5** (release): the buffer is flushed immediately before the
+//!   release store commits, and the release store itself is never delayed.
+//! - **Case 6** (address dependency from a `READ_ONCE`): `READ_ONCE` and
+//!   atomic reads are treated as an implied `smp_rmb` after the load. Plain
+//!   dependent loads remain reorderable — the Alpha rule.
+//! - **Case 7** (dependencies into stores): OEMU does not emulate load-store
+//!   reordering at all (loads are never delayed past stores and stores are
+//!   only delayed *later*), so every load-store dependency is trivially
+//!   respected.
+
+use std::collections::{HashMap, HashSet};
+
+use parking_lot::Mutex;
+
+use crate::history::{StoreHistory, StoreRecord};
+use crate::iid::Iid;
+use crate::memory::Memory;
+use crate::profile::{AccessRecord, BarrierRecord, Profile, TraceEvent};
+use crate::store_buffer::{BufferedStore, StoreBuffer};
+use crate::types::{AccessKind, BarrierKind, LoadAnn, RmwOrder, StoreAnn, Tid};
+
+/// Counters exposed for diagnostics and the ablation benchmarks.
+#[derive(Default, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Stores committed to memory (immediately or by a flush).
+    pub commits: u64,
+    /// Stores that entered the virtual store buffer.
+    pub delayed: u64,
+    /// Loads satisfied by store-to-load forwarding.
+    pub forwards: u64,
+    /// Loads that read an old version from the store history.
+    pub versioned_reads: u64,
+    /// Barriers executed.
+    pub barriers: u64,
+}
+
+#[derive(Default)]
+struct ThreadState {
+    buffer: StoreBuffer,
+    /// Start of the versioning window `(window_start, now]` — the commit
+    /// clock at this thread's most recent load-ordering barrier.
+    window_start: u64,
+    /// Per-location read-coherence floor: once this thread observed the
+    /// value a location held at time `t`, later loads of that location must
+    /// not observe anything older (the CoRR guarantee every architecture —
+    /// including Alpha — provides). Keyed by address; values are commit
+    /// timestamps.
+    obs_floor: HashMap<u64, u64>,
+    delay_set: HashSet<Iid>,
+    read_old_set: HashSet<Iid>,
+    profile: Profile,
+}
+
+struct Inner {
+    mem: Memory,
+    history: StoreHistory,
+    /// Commit clock: increments once per committed store.
+    clock: u64,
+    /// Profiling sequence: increments once per recorded event.
+    seq: u64,
+    profiling: bool,
+    threads: Vec<ThreadState>,
+    stats: EngineStats,
+}
+
+/// The OEMU engine for one simulated machine.
+///
+/// Thread-safe: simulated CPUs are real OS threads serialised by the custom
+/// scheduler, but the engine protects itself with a lock so it is also sound
+/// under unserialised access (e.g. in unit tests).
+pub struct Engine {
+    inner: Mutex<Inner>,
+}
+
+impl Engine {
+    /// Creates an engine for `nthreads` simulated CPUs, all with empty
+    /// control sets (i.e. in-order execution by default, per §3.1).
+    pub fn new(nthreads: usize) -> Self {
+        let threads = (0..nthreads)
+            .map(|i| ThreadState {
+                profile: Profile::new(Tid(i)),
+                ..ThreadState::default()
+            })
+            .collect();
+        Engine {
+            inner: Mutex::new(Inner {
+                mem: Memory::new(),
+                history: StoreHistory::new(),
+                clock: 0,
+                seq: 0,
+                profiling: false,
+                threads,
+                stats: EngineStats::default(),
+            }),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Table 2 control interfaces.
+    // ------------------------------------------------------------------
+
+    /// `delay_store_at(I)`: when thread `tid` executes instruction `iid`, its
+    /// store operation will be held in the virtual store buffer.
+    pub fn delay_store_at(&self, tid: Tid, iid: Iid) {
+        self.inner.lock().threads[tid.0].delay_set.insert(iid);
+    }
+
+    /// `read_old_value_at(I)`: when thread `tid` executes instruction `iid`,
+    /// its load operation will read an old value from the store history (if
+    /// one is valid within the versioning window).
+    pub fn read_old_value_at(&self, tid: Tid, iid: Iid) {
+        self.inner.lock().threads[tid.0].read_old_set.insert(iid);
+    }
+
+    /// Removes all reordering instructions for `tid` (back to in-order).
+    pub fn clear_controls(&self, tid: Tid) {
+        let mut inner = self.inner.lock();
+        inner.threads[tid.0].delay_set.clear();
+        inner.threads[tid.0].read_old_set.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Instrumented accesses.
+    // ------------------------------------------------------------------
+
+    /// An instrumented load of the word at `addr`.
+    ///
+    /// Hierarchical search per §3.1/§3.2: the thread's own store buffer
+    /// first (store-to-load forwarding), then — if `iid` was marked by
+    /// [`read_old_value_at`](Engine::read_old_value_at) — an old version from
+    /// the store history valid within the versioning window, and finally
+    /// memory.
+    pub fn load(&self, tid: Tid, iid: Iid, addr: u64, ann: LoadAnn) -> u64 {
+        self.load_sized(tid, iid, addr, 8, ann)
+    }
+
+    /// [`load`](Engine::load) with an explicit access size recorded in the
+    /// profile (the engine's memory is word-granular regardless).
+    pub fn load_sized(&self, tid: Tid, iid: Iid, addr: u64, size: u8, ann: LoadAnn) -> u64 {
+        let mut inner = self.inner.lock();
+        inner.record_access(tid, iid, addr, size, AccessKind::Load);
+
+        let t = &inner.threads[tid.0];
+        enum Source {
+            Forwarded(u64),
+            Versioned(u64, u64),
+            Memory,
+        }
+        let source = if let Some(v) = t.buffer.forward(addr) {
+            Source::Forwarded(v)
+        } else if t.read_old_set.contains(&iid) {
+            // Read coherence: the effective window start is also bounded by
+            // this thread's last observation of the location, so two loads
+            // of the same address never appear to travel backwards (CoRR).
+            let floor = t.obs_floor.get(&addr).copied().unwrap_or(0);
+            let window = t.window_start.max(floor);
+            match inner.history.old_version_at(tid, addr, window) {
+                Some((old, ts)) => Source::Versioned(old, ts),
+                None => Source::Memory,
+            }
+        } else {
+            Source::Memory
+        };
+        let value = match source {
+            Source::Forwarded(v) => {
+                inner.stats.forwards += 1;
+                v
+            }
+            Source::Versioned(old, ts) => {
+                inner.stats.versioned_reads += 1;
+                // The value read was current until `ts`; later same-address
+                // loads may re-read it but nothing older.
+                let floor = inner.threads[tid.0].obs_floor.entry(addr).or_insert(0);
+                *floor = (*floor).max(ts.saturating_sub(1));
+                old
+            }
+            Source::Memory => {
+                let clock = inner.clock;
+                let v = inner.mem.read(addr);
+                let floor = inner.threads[tid.0].obs_floor.entry(addr).or_insert(0);
+                *floor = (*floor).max(clock);
+                v
+            }
+        };
+
+        // READ_ONCE / acquire act as an implied load barrier *after* the
+        // load (LKMM Cases 4 and 6): later loads cannot observe versions
+        // older than this point.
+        match ann {
+            LoadAnn::Plain => {}
+            LoadAnn::ReadOnce => inner.barrier_effect(tid, iid, BarrierKind::ReadOnce),
+            LoadAnn::Acquire => inner.barrier_effect(tid, iid, BarrierKind::Acquire),
+        }
+        value
+    }
+
+    /// An instrumented store of `value` to the word at `addr`.
+    ///
+    /// Commits immediately (the in-order default) unless `iid` was marked by
+    /// [`delay_store_at`](Engine::delay_store_at), in which case the value is
+    /// held in the virtual store buffer. Release stores flush the buffer
+    /// first and are never delayed (LKMM Case 5).
+    pub fn store(&self, tid: Tid, iid: Iid, addr: u64, value: u64, ann: StoreAnn) {
+        self.store_sized(tid, iid, addr, value, 8, ann);
+    }
+
+    /// [`store`](Engine::store) with an explicit access size.
+    pub fn store_sized(&self, tid: Tid, iid: Iid, addr: u64, value: u64, size: u8, ann: StoreAnn) {
+        let mut inner = self.inner.lock();
+        if ann == StoreAnn::Release {
+            // The barrier half precedes the store half in program order.
+            inner.barrier_effect(tid, iid, BarrierKind::Release);
+        }
+        inner.record_access(tid, iid, addr, size, AccessKind::Store);
+        // Coherence: two stores by one thread to the same location are never
+        // reordered (the LKMM's per-location ordering), so a store whose
+        // address already has an in-flight buffered entry must join the
+        // buffer behind it even when not explicitly delayed.
+        let delayed = ann != StoreAnn::Release
+            && (inner.threads[tid.0].delay_set.contains(&iid)
+                || inner.threads[tid.0].buffer.forward(addr).is_some());
+        if delayed {
+            inner.stats.delayed += 1;
+            inner.threads[tid.0].buffer.push(BufferedStore {
+                addr,
+                value,
+                size,
+                iid,
+            });
+        } else {
+            inner.commit(tid, iid, addr, value);
+        }
+    }
+
+    /// An instrumented atomic read-modify-write; returns the old value.
+    ///
+    /// RMWs are single memory events in the LKMM: they are never delayed or
+    /// versioned. Their ordering strength decides the implied barriers:
+    /// relaxed RMWs (`clear_bit`) commit immediately *without* flushing the
+    /// buffer — which is precisely how the paper's RDS bug (Figure 8) lets a
+    /// lock release overtake the critical section's delayed stores.
+    pub fn rmw(&self, tid: Tid, iid: Iid, addr: u64, f: impl FnOnce(u64) -> u64, order: RmwOrder) -> u64 {
+        let mut inner = self.inner.lock();
+        match order {
+            RmwOrder::Full | RmwOrder::Release => {
+                let kind = if order == RmwOrder::Full {
+                    BarrierKind::Full
+                } else {
+                    BarrierKind::Release
+                };
+                inner.barrier_effect(tid, iid, kind);
+            }
+            RmwOrder::Relaxed | RmwOrder::Acquire => {
+                // A same-address buffered store would make the committed RMW
+                // incoherent with the thread's own program order; drain it.
+                // (Real hardware resolves the same-line conflict the same
+                // way: the store buffer entry is forced out first.)
+                if inner.threads[tid.0].buffer.forward(addr).is_some() {
+                    inner.flush_buffer(tid);
+                }
+            }
+        }
+        inner.record_access(tid, iid, addr, 8, AccessKind::Rmw);
+        let old = inner.mem.read(addr);
+        let new = f(old);
+        inner.commit(tid, iid, addr, new);
+        match order {
+            RmwOrder::Full => inner.window_reset(tid),
+            RmwOrder::Acquire => inner.barrier_effect(tid, iid, BarrierKind::Acquire),
+            RmwOrder::Relaxed | RmwOrder::Release => {}
+        }
+        old
+    }
+
+    // ------------------------------------------------------------------
+    // Barriers (Table 1).
+    // ------------------------------------------------------------------
+
+    /// `smp_mb()`: full barrier — flush the store buffer and reset the
+    /// versioning window (LKMM Case 1).
+    pub fn smp_mb(&self, tid: Tid, iid: Iid) {
+        let mut inner = self.inner.lock();
+        inner.barrier_effect(tid, iid, BarrierKind::Full);
+    }
+
+    /// `smp_wmb()`: store barrier — flush the store buffer (LKMM Case 2).
+    pub fn smp_wmb(&self, tid: Tid, iid: Iid) {
+        let mut inner = self.inner.lock();
+        inner.barrier_effect(tid, iid, BarrierKind::Wmb);
+    }
+
+    /// `smp_rmb()`: load barrier — reset the versioning window (LKMM Case 3).
+    pub fn smp_rmb(&self, tid: Tid, iid: Iid) {
+        let mut inner = self.inner.lock();
+        inner.barrier_effect(tid, iid, BarrierKind::Rmb);
+    }
+
+    /// Commits all delayed stores of `tid`.
+    ///
+    /// Called at syscall exit and on simulated interrupts — the paper's
+    /// "experiencing an interrupt on the processor executing the thread"
+    /// flush condition. A vCPU suspension by the custom scheduler is *not*
+    /// an interrupt, so a scheduler-driven context switch deliberately does
+    /// not flush (that is what makes Figure 5a's interleaving observable).
+    pub fn flush_thread(&self, tid: Tid) {
+        self.inner.lock().flush_buffer(tid);
+    }
+
+    // ------------------------------------------------------------------
+    // Profiling.
+    // ------------------------------------------------------------------
+
+    /// Enables or disables five-tuple/three-tuple profiling (§4.2).
+    pub fn set_profiling(&self, on: bool) {
+        self.inner.lock().profiling = on;
+    }
+
+    /// Takes (and clears) the recorded profile of `tid`.
+    pub fn take_profile(&self, tid: Tid) -> Profile {
+        let mut inner = self.inner.lock();
+        std::mem::replace(&mut inner.threads[tid.0].profile, Profile::new(tid))
+    }
+
+    // ------------------------------------------------------------------
+    // Raw (uninstrumented) access, for the Table 5 overhead baseline and
+    // for runtime-internal bookkeeping that must not perturb emulation.
+    // ------------------------------------------------------------------
+
+    /// Reads memory directly, bypassing buffer, history, and profiling.
+    pub fn raw_load(&self, addr: u64) -> u64 {
+        self.inner.lock().mem.read(addr)
+    }
+
+    /// Writes memory directly, bypassing buffer, history, and profiling.
+    pub fn raw_store(&self, addr: u64, value: u64) {
+        self.inner.lock().mem.write(addr, value);
+    }
+
+    /// Zeroes a freshly-allocated object's words (`kzalloc` semantics).
+    pub fn raw_zero(&self, addr: u64, words: u64) {
+        self.inner.lock().mem.zero_range(addr, words);
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection.
+    // ------------------------------------------------------------------
+
+    /// Number of stores currently delayed in `tid`'s buffer.
+    pub fn pending_stores(&self, tid: Tid) -> usize {
+        self.inner.lock().threads[tid.0].buffer.len()
+    }
+
+    /// Current commit clock.
+    pub fn clock(&self) -> u64 {
+        self.inner.lock().clock
+    }
+
+    /// Snapshot of the engine counters.
+    pub fn stats(&self) -> EngineStats {
+        self.inner.lock().stats
+    }
+
+    /// Copy of the global store history (used by the in-vitro baseline).
+    pub fn history_records(&self) -> Vec<StoreRecord> {
+        self.inner.lock().history.records().to_vec()
+    }
+
+    /// Garbage-collects history entries older than every thread's window.
+    pub fn gc_history(&self) {
+        let mut inner = self.inner.lock();
+        let horizon = inner
+            .threads
+            .iter()
+            .map(|t| t.window_start)
+            .min()
+            .unwrap_or(0);
+        inner.history.truncate_before(horizon);
+    }
+}
+
+impl Inner {
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    fn record_access(&mut self, tid: Tid, iid: Iid, addr: u64, size: u8, kind: AccessKind) {
+        if !self.profiling {
+            return;
+        }
+        let ts = self.next_seq();
+        self.threads[tid.0].profile.events.push(TraceEvent::Access(AccessRecord {
+            iid,
+            addr,
+            size,
+            kind,
+            ts,
+        }));
+    }
+
+    fn record_barrier(&mut self, tid: Tid, iid: Iid, kind: BarrierKind) {
+        if !self.profiling {
+            return;
+        }
+        let ts = self.next_seq();
+        self.threads[tid.0]
+            .profile
+            .events
+            .push(TraceEvent::Barrier(BarrierRecord { iid, kind, ts }));
+    }
+
+    /// Applies a barrier's flush/window effects and records it.
+    fn barrier_effect(&mut self, tid: Tid, iid: Iid, kind: BarrierKind) {
+        self.stats.barriers += 1;
+        self.record_barrier(tid, iid, kind);
+        if kind.orders_stores() {
+            self.flush_buffer(tid);
+        }
+        if kind.orders_loads() {
+            self.window_reset(tid);
+        }
+    }
+
+    fn window_reset(&mut self, tid: Tid) {
+        let clock = self.clock;
+        self.threads[tid.0].window_start = clock;
+    }
+
+    fn flush_buffer(&mut self, tid: Tid) {
+        let drained = self.threads[tid.0].buffer.drain();
+        for e in drained {
+            self.commit(tid, e.iid, e.addr, e.value);
+        }
+    }
+
+    fn commit(&mut self, tid: Tid, iid: Iid, addr: u64, value: u64) {
+        self.clock += 1;
+        let ts = self.clock;
+        let prev = self.mem.write(addr, value);
+        self.stats.commits += 1;
+        self.history.record(StoreRecord {
+            addr,
+            prev,
+            new: value,
+            ts,
+            tid,
+            iid,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iid;
+
+    const X: u64 = 0x1000;
+    const Y: u64 = 0x1008;
+    const Z: u64 = 0x1010;
+    const W: u64 = 0x1018;
+
+    #[test]
+    fn in_order_by_default() {
+        let e = Engine::new(2);
+        e.store(Tid(0), iid!(), X, 1, StoreAnn::Plain);
+        assert_eq!(e.load(Tid(1), iid!(), X, LoadAnn::Plain), 1);
+        assert_eq!(e.pending_stores(Tid(0)), 0);
+    }
+
+    #[test]
+    fn figure3_delayed_store_walkthrough() {
+        // Figure 3: delay I1's store to &X; I2's store to &Y commits
+        // immediately; smp_wmb flushes.
+        let e = Engine::new(2);
+        let i1 = iid!();
+        let i2 = iid!();
+        e.delay_store_at(Tid(0), i1);
+        e.store(Tid(0), i1, X, 1, StoreAnn::Plain); // held in buffer
+        assert_eq!(e.pending_stores(Tid(0)), 1);
+        e.store(Tid(0), i2, Y, 2, StoreAnn::Plain); // commits
+        assert_eq!(e.raw_load(X), 0);
+        assert_eq!(e.raw_load(Y), 2);
+        // Other cores observe Y updated before X — store-store reordering.
+        assert_eq!(e.load(Tid(1), iid!(), X, LoadAnn::Plain), 0);
+        assert_eq!(e.load(Tid(1), iid!(), Y, LoadAnn::Plain), 2);
+        e.smp_wmb(Tid(0), iid!());
+        assert_eq!(e.load(Tid(1), iid!(), X, LoadAnn::Plain), 1);
+        assert_eq!(e.pending_stores(Tid(0)), 0);
+    }
+
+    #[test]
+    fn store_forwarding_preserves_own_program_order() {
+        let e = Engine::new(1);
+        let i1 = iid!();
+        e.delay_store_at(Tid(0), i1);
+        e.store(Tid(0), i1, X, 42, StoreAnn::Plain);
+        // The owning thread must see its own delayed store.
+        assert_eq!(e.load(Tid(0), iid!(), X, LoadAnn::Plain), 42);
+        assert_eq!(e.stats().forwards, 1);
+        // Memory still holds the old value.
+        assert_eq!(e.raw_load(X), 0);
+    }
+
+    #[test]
+    fn forwarding_returns_youngest_buffered_value() {
+        let e = Engine::new(1);
+        let (i1, i2) = (iid!(), iid!());
+        e.delay_store_at(Tid(0), i1);
+        e.delay_store_at(Tid(0), i2);
+        e.store(Tid(0), i1, X, 1, StoreAnn::Plain);
+        e.store(Tid(0), i2, X, 2, StoreAnn::Plain);
+        assert_eq!(e.load(Tid(0), iid!(), X, LoadAnn::Plain), 2);
+    }
+
+    #[test]
+    fn figure4_versioned_load_walkthrough() {
+        // Figure 4: syscall A wants to reorder I1 (load &W) and I2 (load &Z).
+        // After A's smp_rmb at t3, syscall B stores 1 to &Z (t4) and 2 to &W
+        // (t5). A's versioned load on &Z reads the old value 0 while the
+        // plain load on &W reads 2.
+        let e = Engine::new(2);
+        let i2 = iid!();
+        e.read_old_value_at(Tid(0), i2); // (1)
+        e.smp_rmb(Tid(0), iid!()); // (3) window starts here
+        e.store(Tid(1), iid!(), Z, 1, StoreAnn::Plain); // (4)
+        e.store(Tid(1), iid!(), W, 2, StoreAnn::Plain); // (5)
+        let r1 = e.load(Tid(0), iid!(), W, LoadAnn::Plain); // (6)
+        let r2 = e.load(Tid(0), i2, Z, LoadAnn::Plain); // (7)
+        assert_eq!((r1, r2), (2, 0));
+        assert_eq!(e.stats().versioned_reads, 1);
+    }
+
+    #[test]
+    fn versioning_window_bounds_old_reads() {
+        // A store committed *before* the reader's rmb is not a valid old
+        // version (LKMM Case 3).
+        let e = Engine::new(2);
+        let i = iid!();
+        e.read_old_value_at(Tid(0), i);
+        e.store(Tid(1), iid!(), X, 1, StoreAnn::Plain); // before the barrier
+        e.smp_rmb(Tid(0), iid!());
+        e.store(Tid(1), iid!(), X, 2, StoreAnn::Plain); // inside the window
+        // Valid pre-image is 1 (overwritten inside the window), never 0.
+        assert_eq!(e.load(Tid(0), i, X, LoadAnn::Plain), 1);
+    }
+
+    #[test]
+    fn versioned_load_defaults_to_memory_without_history() {
+        let e = Engine::new(2);
+        let i = iid!();
+        e.read_old_value_at(Tid(0), i);
+        e.smp_rmb(Tid(0), iid!());
+        // No store inside the window: default behaviour reads memory.
+        assert_eq!(e.load(Tid(0), i, X, LoadAnn::Plain), 0);
+        e.store(Tid(1), iid!(), Y, 5, StoreAnn::Plain);
+        // A store to a *different* address does not provide a version for X.
+        assert_eq!(e.load(Tid(0), i, X, LoadAnn::Plain), 0);
+    }
+
+    #[test]
+    fn read_once_acts_as_load_barrier() {
+        // LKMM Case 6: a READ_ONCE closes the window, so a later versioned
+        // load cannot read a value older than the READ_ONCE.
+        let e = Engine::new(2);
+        let dependent = iid!();
+        e.read_old_value_at(Tid(0), dependent);
+        e.smp_rmb(Tid(0), iid!());
+        e.store(Tid(1), iid!(), X, 1, StoreAnn::Plain);
+        // The READ_ONCE observes X == 1 and implies smp_rmb.
+        assert_eq!(e.load(Tid(0), iid!(), X, LoadAnn::ReadOnce), 1);
+        e.store(Tid(1), iid!(), Y, 7, StoreAnn::Plain);
+        // Y's only in-window pre-image (0) is valid — committed after the
+        // READ_ONCE — so the versioned load may still read 0 here:
+        assert_eq!(e.load(Tid(0), dependent, Y, LoadAnn::Plain), 0);
+        // But X's pre-image is now outside the window:
+        let dependent2 = iid!();
+        e.read_old_value_at(Tid(0), dependent2);
+        assert_eq!(e.load(Tid(0), dependent2, X, LoadAnn::Plain), 1);
+    }
+
+    #[test]
+    fn release_store_flushes_and_is_never_delayed() {
+        // LKMM Case 5: everything before smp_store_release is visible before
+        // the release store, and the release store itself cannot be delayed.
+        let e = Engine::new(2);
+        let (i1, i2) = (iid!(), iid!());
+        e.delay_store_at(Tid(0), i1);
+        e.delay_store_at(Tid(0), i2); // attempt to delay the release store
+        e.store(Tid(0), i1, X, 1, StoreAnn::Plain);
+        assert_eq!(e.raw_load(X), 0);
+        e.store(Tid(0), i2, Y, 2, StoreAnn::Release);
+        assert_eq!(e.raw_load(X), 1, "release flushed the buffer");
+        assert_eq!(e.raw_load(Y), 2, "release store committed immediately");
+    }
+
+    #[test]
+    fn acquire_load_resets_window() {
+        // LKMM Case 4.
+        let e = Engine::new(2);
+        let dependent = iid!();
+        e.read_old_value_at(Tid(0), dependent);
+        e.store(Tid(1), iid!(), X, 1, StoreAnn::Plain);
+        e.store(Tid(1), iid!(), Y, 1, StoreAnn::Plain);
+        let _flag = e.load(Tid(0), iid!(), X, LoadAnn::Acquire);
+        // Y's pre-image was overwritten before the acquire — invalid now.
+        assert_eq!(e.load(Tid(0), dependent, Y, LoadAnn::Plain), 1);
+    }
+
+    #[test]
+    fn smp_mb_orders_everything() {
+        let e = Engine::new(2);
+        let (i1, dependent) = (iid!(), iid!());
+        e.delay_store_at(Tid(0), i1);
+        e.read_old_value_at(Tid(0), dependent);
+        e.store(Tid(0), i1, X, 1, StoreAnn::Plain);
+        e.store(Tid(1), iid!(), Y, 3, StoreAnn::Plain);
+        e.smp_mb(Tid(0), iid!());
+        // Store flushed (Case 1, store side).
+        assert_eq!(e.raw_load(X), 1);
+        // Window reset (Case 1, load side): Y's pre-image is stale.
+        assert_eq!(e.load(Tid(0), dependent, Y, LoadAnn::Plain), 3);
+    }
+
+    #[test]
+    fn relaxed_rmw_overtakes_delayed_stores() {
+        // The Figure 8 mechanism: a critical section's plain stores are
+        // delayed, and a relaxed clear_bit-style RMW commits immediately,
+        // releasing the "lock" while the protected data is still stale.
+        let e = Engine::new(2);
+        let i1 = iid!();
+        e.delay_store_at(Tid(0), i1);
+        e.store(Tid(0), i1, X, 1, StoreAnn::Plain); // protected data
+        let old = e.rmw(Tid(0), iid!(), Y, |v| v & !1, RmwOrder::Relaxed);
+        assert_eq!(old, 0);
+        // Lock bit cleared in memory while the data store is still pending.
+        assert_eq!(e.raw_load(X), 0);
+        assert_eq!(e.pending_stores(Tid(0)), 1);
+    }
+
+    #[test]
+    fn release_rmw_flushes_first() {
+        // clear_bit_unlock: the fix for Figure 8.
+        let e = Engine::new(2);
+        let i1 = iid!();
+        e.delay_store_at(Tid(0), i1);
+        e.store(Tid(0), i1, X, 1, StoreAnn::Plain);
+        e.rmw(Tid(0), iid!(), Y, |v| v & !1, RmwOrder::Release);
+        assert_eq!(e.raw_load(X), 1, "unlock drains the critical section");
+    }
+
+    #[test]
+    fn full_rmw_is_two_sided() {
+        let e = Engine::new(2);
+        let (i1, dependent) = (iid!(), iid!());
+        e.delay_store_at(Tid(0), i1);
+        e.read_old_value_at(Tid(0), dependent);
+        e.store(Tid(0), i1, X, 1, StoreAnn::Plain);
+        e.store(Tid(1), iid!(), Y, 4, StoreAnn::Plain);
+        let old = e.rmw(Tid(0), iid!(), Z, |v| v | 1, RmwOrder::Full);
+        assert_eq!(old, 0);
+        assert_eq!(e.raw_load(X), 1, "full RMW flushed the buffer");
+        assert_eq!(
+            e.load(Tid(0), dependent, Y, LoadAnn::Plain),
+            4,
+            "full RMW reset the window"
+        );
+    }
+
+    #[test]
+    fn relaxed_rmw_same_address_as_buffered_store_stays_coherent() {
+        let e = Engine::new(1);
+        let i1 = iid!();
+        e.delay_store_at(Tid(0), i1);
+        e.store(Tid(0), i1, X, 2, StoreAnn::Plain);
+        let old = e.rmw(Tid(0), iid!(), X, |v| v + 1, RmwOrder::Relaxed);
+        assert_eq!(old, 2, "RMW observes the thread's own delayed store");
+        assert_eq!(e.raw_load(X), 3);
+    }
+
+    #[test]
+    fn same_address_stores_never_reorder() {
+        // Per-location coherence: a later non-delayed store to a buffered
+        // address joins the buffer instead of overtaking the delayed one.
+        let e = Engine::new(2);
+        let i1 = iid!();
+        e.delay_store_at(Tid(0), i1);
+        e.store(Tid(0), i1, X, 1, StoreAnn::Plain);
+        e.store(Tid(0), iid!(), X, 2, StoreAnn::Plain); // joins the buffer
+        assert_eq!(e.raw_load(X), 0, "neither store visible yet");
+        assert_eq!(e.pending_stores(Tid(0)), 2);
+        e.smp_wmb(Tid(0), iid!());
+        assert_eq!(e.raw_load(X), 2, "FIFO flush preserves program order");
+    }
+
+    #[test]
+    fn flush_thread_commits_at_syscall_exit() {
+        let e = Engine::new(1);
+        let i1 = iid!();
+        e.delay_store_at(Tid(0), i1);
+        e.store(Tid(0), i1, X, 9, StoreAnn::Plain);
+        assert_eq!(e.raw_load(X), 0);
+        e.flush_thread(Tid(0));
+        assert_eq!(e.raw_load(X), 9);
+    }
+
+    #[test]
+    fn write_once_is_delayable() {
+        // WRITE_ONCE provides no ordering (the Bug #9 mis-fix).
+        let e = Engine::new(1);
+        let i1 = iid!();
+        e.delay_store_at(Tid(0), i1);
+        e.store(Tid(0), i1, X, 5, StoreAnn::WriteOnce);
+        assert_eq!(e.raw_load(X), 0);
+    }
+
+    #[test]
+    fn profiling_records_five_and_three_tuples() {
+        let e = Engine::new(1);
+        e.set_profiling(true);
+        let (i1, i2, ib) = (iid!(), iid!(), iid!());
+        e.store_sized(Tid(0), i1, X, 1, 4, StoreAnn::Plain);
+        e.smp_wmb(Tid(0), ib);
+        e.load(Tid(0), i2, X, LoadAnn::Plain);
+        let p = e.take_profile(Tid(0));
+        assert_eq!(p.len(), 3);
+        let accesses: Vec<_> = p.accesses().collect();
+        assert_eq!(accesses.len(), 2);
+        assert_eq!(accesses[0].kind, AccessKind::Store);
+        assert_eq!(accesses[0].size, 4);
+        assert_eq!(accesses[0].addr, X);
+        assert_eq!(accesses[1].kind, AccessKind::Load);
+        let barriers: Vec<_> = p.barriers().collect();
+        assert_eq!(barriers.len(), 1);
+        assert_eq!(barriers[0].kind, BarrierKind::Wmb);
+        assert_eq!(barriers[0].iid, ib);
+        // Timestamps strictly increase in program order.
+        assert!(p.events.windows(2).all(|w| w[0].ts() < w[1].ts()));
+        // Taking the profile cleared it.
+        assert!(e.take_profile(Tid(0)).is_empty());
+    }
+
+    #[test]
+    fn profile_records_annotation_barriers() {
+        let e = Engine::new(1);
+        e.set_profiling(true);
+        e.store(Tid(0), iid!(), X, 1, StoreAnn::Release);
+        e.load(Tid(0), iid!(), X, LoadAnn::ReadOnce);
+        e.load(Tid(0), iid!(), X, LoadAnn::Acquire);
+        let p = e.take_profile(Tid(0));
+        let kinds: Vec<_> = p.barriers().map(|b| b.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![BarrierKind::Release, BarrierKind::ReadOnce, BarrierKind::Acquire]
+        );
+        // Release barrier precedes its store; ReadOnce/Acquire follow theirs.
+        assert!(p.events[0].as_barrier().is_some());
+        assert!(p.events[1].as_access().is_some());
+        assert!(p.events[2].as_access().is_some());
+        assert!(p.events[3].as_barrier().is_some());
+    }
+
+    #[test]
+    fn clear_controls_restores_in_order() {
+        let e = Engine::new(1);
+        let i1 = iid!();
+        e.delay_store_at(Tid(0), i1);
+        e.clear_controls(Tid(0));
+        e.store(Tid(0), i1, X, 1, StoreAnn::Plain);
+        assert_eq!(e.raw_load(X), 1);
+    }
+
+    #[test]
+    fn gc_history_respects_windows() {
+        let e = Engine::new(2);
+        e.store(Tid(0), iid!(), X, 1, StoreAnn::Plain);
+        e.store(Tid(0), iid!(), X, 2, StoreAnn::Plain);
+        assert_eq!(e.history_records().len(), 2);
+        // Neither thread has a window yet (start = 0): nothing is collected.
+        e.gc_history();
+        assert_eq!(e.history_records().len(), 2);
+        e.smp_rmb(Tid(0), iid!());
+        e.smp_rmb(Tid(1), iid!());
+        e.gc_history();
+        assert!(e.history_records().is_empty());
+    }
+
+    #[test]
+    fn stats_count_mechanisms() {
+        let e = Engine::new(1);
+        let (i1, i2) = (iid!(), iid!());
+        e.delay_store_at(Tid(0), i1);
+        e.store(Tid(0), i1, X, 1, StoreAnn::Plain);
+        e.load(Tid(0), iid!(), X, LoadAnn::Plain); // forward
+        e.smp_wmb(Tid(0), i2); // flush commits 1
+        let s = e.stats();
+        assert_eq!(s.delayed, 1);
+        assert_eq!(s.forwards, 1);
+        assert_eq!(s.commits, 1);
+        assert_eq!(s.barriers, 1);
+    }
+}

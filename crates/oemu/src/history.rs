@@ -1,0 +1,185 @@
+//! The store history (§3.2).
+//!
+//! A global, timestamped record of every store committed to memory. Each
+//! entry remembers the value the store *overwrote*, which is what a
+//! versioned load reads when a userspace program instructs OEMU to emulate
+//! load-load reordering: reading the pre-image of the earliest in-window
+//! store to an address is exactly "the value this location held just after
+//! the thread's last load barrier".
+
+use crate::iid::Iid;
+use crate::types::Tid;
+
+/// One committed store, as recorded in the global history.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StoreRecord {
+    /// Address the store wrote.
+    pub addr: u64,
+    /// Value the location held *before* this store (the old version a
+    /// versioned load may observe).
+    pub prev: u64,
+    /// Value the store committed.
+    pub new: u64,
+    /// Global commit timestamp (strictly increasing).
+    pub ts: u64,
+    /// Thread that performed the store.
+    pub tid: Tid,
+    /// Instruction that issued the store.
+    pub iid: Iid,
+}
+
+/// Append-only global store history.
+#[derive(Default, Debug)]
+pub struct StoreHistory {
+    records: Vec<StoreRecord>,
+}
+
+impl StoreHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a committed store.
+    pub fn record(&mut self, rec: StoreRecord) {
+        debug_assert!(
+            self.records.last().map_or(true, |last| last.ts < rec.ts),
+            "store history timestamps must be strictly increasing"
+        );
+        self.records.push(rec);
+    }
+
+    /// The old version a versioned load at `reader` may observe for `addr`
+    /// within the window `(window_start, now]`.
+    ///
+    /// Per §3.2, the versioning window restricts valid past values to those
+    /// overwritten *after* the reader's most recent load barrier. Coherence
+    /// additionally forbids a thread from reading anything older than its own
+    /// most recent committed store to the same location, so stores by
+    /// `reader` itself tighten the effective window start.
+    ///
+    /// Returns `None` when no store to `addr` committed inside the window —
+    /// the load then reads current memory as its default behaviour.
+    pub fn old_version(&self, reader: Tid, addr: u64, window_start: u64) -> Option<u64> {
+        self.old_version_at(reader, addr, window_start).map(|(v, _)| v)
+    }
+
+    /// Like [`old_version`](StoreHistory::old_version), additionally
+    /// returning the commit timestamp of the store whose pre-image is read.
+    /// The value was current during the half-open interval ending at that
+    /// timestamp, which the engine uses to maintain per-location read
+    /// coherence (a thread never observes values moving backwards in time).
+    pub fn old_version_at(
+        &self,
+        reader: Tid,
+        addr: u64,
+        window_start: u64,
+    ) -> Option<(u64, u64)> {
+        // Coherence bound: the reader must not travel back before its own
+        // latest committed store to this address.
+        let own_bound = self
+            .records
+            .iter()
+            .rev()
+            .find(|r| r.tid == reader && r.addr == addr)
+            .map_or(0, |r| r.ts);
+        let start = window_start.max(own_bound);
+        self.records
+            .iter()
+            .find(|r| r.addr == addr && r.ts > start)
+            .map(|r| (r.prev, r.ts))
+    }
+
+    /// All records, oldest first (used by the in-vitro baseline and tests).
+    pub fn records(&self) -> &[StoreRecord] {
+        &self.records
+    }
+
+    /// Number of recorded stores.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether any store has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Discards records with `ts <= horizon`, bounding memory use during
+    /// long fuzzing campaigns. Safe once every thread's versioning window
+    /// starts at or after `horizon`.
+    pub fn truncate_before(&mut self, horizon: u64) {
+        self.records.retain(|r| r.ts > horizon);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(addr: u64, prev: u64, new: u64, ts: u64, tid: usize) -> StoreRecord {
+        StoreRecord {
+            addr,
+            prev,
+            new,
+            ts,
+            tid: Tid(tid),
+            iid: Iid::SYNTHETIC,
+        }
+    }
+
+    #[test]
+    fn old_version_reads_earliest_in_window() {
+        let mut h = StoreHistory::new();
+        h.record(rec(0x10, 0, 1, 1, 0));
+        h.record(rec(0x10, 1, 2, 2, 0));
+        h.record(rec(0x10, 2, 3, 3, 0));
+        // Window (0, now]: earliest store has ts=1, pre-image 0.
+        assert_eq!(h.old_version(Tid(1), 0x10, 0), Some(0));
+        // Window (1, now]: earliest store after ts=1 has pre-image 1.
+        assert_eq!(h.old_version(Tid(1), 0x10, 1), Some(1));
+        // Window (3, now]: nothing committed after the barrier.
+        assert_eq!(h.old_version(Tid(1), 0x10, 3), None);
+    }
+
+    #[test]
+    fn old_version_ignores_other_addresses() {
+        let mut h = StoreHistory::new();
+        h.record(rec(0x10, 0, 1, 1, 0));
+        assert_eq!(h.old_version(Tid(1), 0x20, 0), None);
+    }
+
+    #[test]
+    fn coherence_bound_blocks_reading_before_own_store() {
+        let mut h = StoreHistory::new();
+        h.record(rec(0x10, 0, 1, 1, 0)); // other thread
+        h.record(rec(0x10, 1, 5, 2, 1)); // reader's own store
+        h.record(rec(0x10, 5, 9, 3, 0)); // other thread again
+        // Reader tid=1 wrote 5 at ts=2; it may only see pre-images of stores
+        // after that, i.e. 5 (pre-image of ts=3), never 0 or 1.
+        assert_eq!(h.old_version(Tid(1), 0x10, 0), Some(5));
+    }
+
+    #[test]
+    fn figure4_scenario() {
+        // Figure 4: smp_rmb at t3, stores to &Z (t4: 0->1) and &W (t5: 1->2).
+        // With window (t3, now], the versioned load on &Z reads 0.
+        let mut h = StoreHistory::new();
+        h.record(rec(0x2000, 0, 1, 4, 1)); // &Z at t4
+        h.record(rec(0x3000, 1, 2, 5, 1)); // &W at t5
+        assert_eq!(h.old_version(Tid(0), 0x2000, 3), Some(0));
+        // The non-versioned load on &W reads memory (2) — not modelled here,
+        // but its old version would be 1 if requested.
+        assert_eq!(h.old_version(Tid(0), 0x3000, 3), Some(1));
+    }
+
+    #[test]
+    fn truncate_before_drops_stale_records() {
+        let mut h = StoreHistory::new();
+        h.record(rec(0x10, 0, 1, 1, 0));
+        h.record(rec(0x10, 1, 2, 2, 0));
+        h.truncate_before(1);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.records()[0].ts, 2);
+    }
+}

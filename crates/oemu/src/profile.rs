@@ -1,0 +1,153 @@
+//! Access and barrier profiling (§4.2).
+//!
+//! While OZZ runs a single-threaded input, OEMU records every instrumented
+//! memory access as a five-tuple — instruction id, accessed address, size,
+//! type, timestamp — and every barrier as a three-tuple — instruction id,
+//! barrier type, timestamp. The paper shares these records with userspace
+//! through an mmap'd region; here the fuzzer simply takes the [`Profile`]
+//! after the run. The hint calculator (Algorithm 1) consumes the merged,
+//! program-ordered event stream.
+
+use crate::iid::Iid;
+use crate::types::{AccessKind, BarrierKind, Tid};
+
+/// The five-tuple recorded for each instrumented memory access.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct AccessRecord {
+    /// Instruction id (the paper's instruction address).
+    pub iid: Iid,
+    /// Accessed memory location.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u8,
+    /// Load, store, or atomic RMW.
+    pub kind: AccessKind,
+    /// Program-order sequence number within the thread's profile.
+    pub ts: u64,
+}
+
+/// The three-tuple recorded for each memory barrier.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BarrierRecord {
+    /// Instruction id of the barrier site.
+    pub iid: Iid,
+    /// Barrier type (Table 1).
+    pub kind: BarrierKind,
+    /// Program-order sequence number within the thread's profile.
+    pub ts: u64,
+}
+
+/// A profiled event in program order: either an access or a barrier.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A memory access five-tuple.
+    Access(AccessRecord),
+    /// A memory barrier three-tuple.
+    Barrier(BarrierRecord),
+}
+
+impl TraceEvent {
+    /// Sequence number of the event.
+    pub fn ts(&self) -> u64 {
+        match self {
+            TraceEvent::Access(a) => a.ts,
+            TraceEvent::Barrier(b) => b.ts,
+        }
+    }
+
+    /// Instruction id of the event.
+    pub fn iid(&self) -> Iid {
+        match self {
+            TraceEvent::Access(a) => a.iid,
+            TraceEvent::Barrier(b) => b.iid,
+        }
+    }
+
+    /// The access record, if this event is an access.
+    pub fn as_access(&self) -> Option<&AccessRecord> {
+        match self {
+            TraceEvent::Access(a) => Some(a),
+            TraceEvent::Barrier(_) => None,
+        }
+    }
+
+    /// The barrier record, if this event is a barrier.
+    pub fn as_barrier(&self) -> Option<&BarrierRecord> {
+        match self {
+            TraceEvent::Barrier(b) => Some(b),
+            TraceEvent::Access(_) => None,
+        }
+    }
+}
+
+/// Per-thread profile of one instrumented execution.
+#[derive(Default, Debug, Clone)]
+pub struct Profile {
+    /// Thread the profile belongs to.
+    pub tid: Tid,
+    /// Program-ordered event stream (accesses and barriers interleaved).
+    pub events: Vec<TraceEvent>,
+}
+
+impl Profile {
+    /// Creates an empty profile for `tid`.
+    pub fn new(tid: Tid) -> Self {
+        Self {
+            tid,
+            events: Vec::new(),
+        }
+    }
+
+    /// All access five-tuples in program order.
+    pub fn accesses(&self) -> impl Iterator<Item = &AccessRecord> {
+        self.events.iter().filter_map(TraceEvent::as_access)
+    }
+
+    /// All barrier three-tuples in program order.
+    pub fn barriers(&self) -> impl Iterator<Item = &BarrierRecord> {
+        self.events.iter().filter_map(TraceEvent::as_barrier)
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_splits_accesses_and_barriers() {
+        let mut p = Profile::new(Tid(0));
+        p.events.push(TraceEvent::Access(AccessRecord {
+            iid: Iid::SYNTHETIC,
+            addr: 0x10,
+            size: 8,
+            kind: AccessKind::Store,
+            ts: 1,
+        }));
+        p.events.push(TraceEvent::Barrier(BarrierRecord {
+            iid: Iid::SYNTHETIC,
+            kind: BarrierKind::Wmb,
+            ts: 2,
+        }));
+        p.events.push(TraceEvent::Access(AccessRecord {
+            iid: Iid::SYNTHETIC,
+            addr: 0x18,
+            size: 8,
+            kind: AccessKind::Load,
+            ts: 3,
+        }));
+        assert_eq!(p.accesses().count(), 2);
+        assert_eq!(p.barriers().count(), 1);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.events[1].ts(), 2);
+    }
+}

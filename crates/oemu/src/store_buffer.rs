@@ -1,0 +1,123 @@
+//! The virtual store buffer (§3.1).
+//!
+//! A per-thread FIFO of store operations whose commit to memory has been
+//! deferred. While a value sits in the buffer it is invisible to other
+//! threads; subsequent loads by the owning thread *forward* from the buffer
+//! (the hierarchical search of §3.1), preserving single-thread semantics.
+//! The buffer drains — in issue order, so delayed stores never reorder among
+//! themselves — when the thread executes a store-ordering barrier
+//! (`smp_wmb`, `smp_mb`, release, a fully-ordered atomic) or at syscall exit
+//! (the paper's "interrupt on the processor" condition).
+
+use crate::iid::Iid;
+
+/// One in-flight store held by the virtual store buffer.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BufferedStore {
+    /// Target address of the delayed store.
+    pub addr: u64,
+    /// Value waiting to be committed.
+    pub value: u64,
+    /// Access size in bytes (profiling metadata).
+    pub size: u8,
+    /// Instruction that issued the store.
+    pub iid: Iid,
+}
+
+/// Per-thread FIFO buffer of delayed stores.
+#[derive(Default, Debug)]
+pub struct StoreBuffer {
+    entries: Vec<BufferedStore>,
+}
+
+impl StoreBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Holds a store in the buffer instead of committing it.
+    pub fn push(&mut self, entry: BufferedStore) {
+        self.entries.push(entry);
+    }
+
+    /// Store-to-load forwarding: the youngest buffered value for `addr`, if
+    /// any. The owning thread must always observe its own program order, so
+    /// the *latest* matching entry wins.
+    pub fn forward(&self, addr: u64) -> Option<u64> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|e| e.addr == addr)
+            .map(|e| e.value)
+    }
+
+    /// Drains all entries in issue (FIFO) order for committing.
+    pub fn drain(&mut self) -> Vec<BufferedStore> {
+        std::mem::take(&mut self.entries)
+    }
+
+    /// Whether any store is currently delayed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of in-flight stores.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Read-only view of the in-flight stores, oldest first.
+    pub fn entries(&self) -> &[BufferedStore] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(addr: u64, value: u64) -> BufferedStore {
+        BufferedStore {
+            addr,
+            value,
+            size: 8,
+            iid: Iid::SYNTHETIC,
+        }
+    }
+
+    #[test]
+    fn forwarding_returns_latest_value() {
+        let mut buf = StoreBuffer::new();
+        buf.push(entry(0x10, 1));
+        buf.push(entry(0x10, 2));
+        buf.push(entry(0x20, 9));
+        assert_eq!(buf.forward(0x10), Some(2));
+        assert_eq!(buf.forward(0x20), Some(9));
+        assert_eq!(buf.forward(0x30), None);
+    }
+
+    #[test]
+    fn drain_preserves_fifo_order() {
+        let mut buf = StoreBuffer::new();
+        buf.push(entry(0x10, 1));
+        buf.push(entry(0x20, 2));
+        buf.push(entry(0x10, 3));
+        let drained = buf.drain();
+        assert_eq!(
+            drained.iter().map(|e| e.value).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_entries() {
+        let mut buf = StoreBuffer::new();
+        assert_eq!(buf.len(), 0);
+        buf.push(entry(0, 0));
+        assert_eq!(buf.len(), 1);
+        buf.drain();
+        assert_eq!(buf.len(), 0);
+    }
+}

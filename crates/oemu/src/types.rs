@@ -1,0 +1,198 @@
+//! Shared vocabulary types for the emulation engine.
+
+use std::fmt;
+
+/// Index of a simulated CPU/thread (the paper pins each concurrent syscall to
+/// its own virtual CPU, so "thread" and "CPU" coincide here).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct Tid(pub usize);
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// Kind of a profiled memory access (the *type* field of the paper's
+/// five-tuple access record).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// A load operation.
+    Load,
+    /// A store operation.
+    Store,
+    /// An atomic read-modify-write. RMWs are single memory events in the
+    /// LKMM; OEMU never delays or versions them, but they participate in
+    /// shared-location detection as both a read and a write.
+    Rmw,
+}
+
+impl AccessKind {
+    /// Whether the access writes memory.
+    pub fn writes(self) -> bool {
+        matches!(self, AccessKind::Store | AccessKind::Rmw)
+    }
+
+    /// Whether the access reads memory.
+    pub fn reads(self) -> bool {
+        matches!(self, AccessKind::Load | AccessKind::Rmw)
+    }
+}
+
+/// Ordering annotation on a store, mirroring the Linux APIs of Table 1.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum StoreAnn {
+    /// A plain (compiler-visible) store; fully reorderable.
+    Plain,
+    /// `WRITE_ONCE()`: relaxed — suppresses data-race reports but provides
+    /// **no** ordering, so it is just as delayable as a plain store. This is
+    /// exactly the mis-fix of the paper's Bug #9 case study.
+    WriteOnce,
+    /// `smp_store_release()`: all preceding accesses complete before this
+    /// store (LKMM Case 5) — OEMU flushes the store buffer first.
+    Release,
+}
+
+/// Ordering annotation on a load, mirroring the Linux APIs of Table 1.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum LoadAnn {
+    /// A plain load; may be versioned even across address dependencies
+    /// (the Alpha rule, LKMM Case 6 / Appendix §10.1).
+    Plain,
+    /// `READ_ONCE()` or an atomic read: treated by OEMU as an implied load
+    /// barrier *after* the load (§3.2), so later loads cannot read values
+    /// older than it.
+    ReadOnce,
+    /// `smp_load_acquire()`: no later access may be reordered before it
+    /// (LKMM Case 4). Delayed stores only ever move *later*, so the store
+    /// half is free; the load half resets the versioning window.
+    Acquire,
+}
+
+/// Ordering strength of an atomic read-modify-write.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum RmwOrder {
+    /// No implied barrier (`clear_bit`, `atomic_inc`, ...). The RMW commits
+    /// immediately, so it can become visible *before* earlier delayed plain
+    /// stores — the exact mechanism of the paper's RDS bug (Figure 8).
+    Relaxed,
+    /// Acquire semantics (`test_and_set_bit_lock`): resets the versioning
+    /// window after the read half.
+    Acquire,
+    /// Release semantics (`clear_bit_unlock`): flushes the store buffer
+    /// before the write half, preventing critical-section stores from
+    /// leaking past the unlock.
+    Release,
+    /// Fully ordered (`test_and_set_bit`, value-returning atomics): flush
+    /// before, window reset after — an implied `smp_mb` on both sides.
+    Full,
+}
+
+/// Barrier kinds of Table 1, as recorded in the three-tuple barrier profile.
+///
+/// Annotated accesses (`Release`, `Acquire`, `ReadOnce`) double as barrier
+/// events because Algorithm 1 groups memory accesses by barrier *type*
+/// boundaries, and the LKMM treats those annotations as one-sided fences.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BarrierKind {
+    /// `smp_mb()` — orders everything against everything (LKMM Case 1).
+    Full,
+    /// `smp_rmb()` — orders loads against loads (LKMM Case 3).
+    Rmb,
+    /// `smp_wmb()` — orders stores against stores (LKMM Case 2).
+    Wmb,
+    /// `smp_load_acquire()` on the preceding load (LKMM Case 4).
+    Acquire,
+    /// `smp_store_release()` on the following store (LKMM Case 5).
+    Release,
+    /// `READ_ONCE()`/atomic read, which OEMU treats as an implied `smp_rmb`
+    /// (LKMM Case 6, the Alpha address-dependency rule).
+    ReadOnce,
+}
+
+impl BarrierKind {
+    /// Whether this barrier bounds **store** reordering, i.e. flushes the
+    /// virtual store buffer. Used by Algorithm 1 as the group boundary for
+    /// the hypothetical *store* barrier test.
+    pub fn orders_stores(self) -> bool {
+        matches!(
+            self,
+            BarrierKind::Full | BarrierKind::Wmb | BarrierKind::Release
+        )
+    }
+
+    /// Whether this barrier bounds **load** reordering, i.e. resets the
+    /// versioning window. Used by Algorithm 1 as the group boundary for the
+    /// hypothetical *load* barrier test.
+    pub fn orders_loads(self) -> bool {
+        matches!(
+            self,
+            BarrierKind::Full | BarrierKind::Rmb | BarrierKind::Acquire | BarrierKind::ReadOnce
+        )
+    }
+
+    /// Linux API name, for reports.
+    pub fn api_name(self) -> &'static str {
+        match self {
+            BarrierKind::Full => "smp_mb",
+            BarrierKind::Rmb => "smp_rmb",
+            BarrierKind::Wmb => "smp_wmb",
+            BarrierKind::Acquire => "smp_load_acquire",
+            BarrierKind::Release => "smp_store_release",
+            BarrierKind::ReadOnce => "READ_ONCE",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_kind_classification() {
+        assert!(AccessKind::Store.writes());
+        assert!(!AccessKind::Store.reads());
+        assert!(AccessKind::Load.reads());
+        assert!(!AccessKind::Load.writes());
+        assert!(AccessKind::Rmw.reads() && AccessKind::Rmw.writes());
+    }
+
+    #[test]
+    fn store_ordering_barriers() {
+        for kind in [BarrierKind::Full, BarrierKind::Wmb, BarrierKind::Release] {
+            assert!(kind.orders_stores(), "{kind:?} must flush stores");
+        }
+        for kind in [BarrierKind::Rmb, BarrierKind::Acquire, BarrierKind::ReadOnce] {
+            assert!(!kind.orders_stores(), "{kind:?} must not flush stores");
+        }
+    }
+
+    #[test]
+    fn load_ordering_barriers() {
+        for kind in [
+            BarrierKind::Full,
+            BarrierKind::Rmb,
+            BarrierKind::Acquire,
+            BarrierKind::ReadOnce,
+        ] {
+            assert!(kind.orders_loads(), "{kind:?} must reset the window");
+        }
+        for kind in [BarrierKind::Wmb, BarrierKind::Release] {
+            assert!(!kind.orders_loads(), "{kind:?} must not reset the window");
+        }
+    }
+
+    #[test]
+    fn api_names_match_table1() {
+        assert_eq!(BarrierKind::Full.api_name(), "smp_mb");
+        assert_eq!(BarrierKind::Wmb.api_name(), "smp_wmb");
+        assert_eq!(BarrierKind::Rmb.api_name(), "smp_rmb");
+        assert_eq!(BarrierKind::Release.api_name(), "smp_store_release");
+        assert_eq!(BarrierKind::Acquire.api_name(), "smp_load_acquire");
+    }
+
+    #[test]
+    fn tid_display() {
+        assert_eq!(Tid(1).to_string(), "cpu1");
+    }
+}

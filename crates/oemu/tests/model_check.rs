@@ -1,0 +1,241 @@
+//! Property-based model checking of the OEMU engine.
+//!
+//! Random operation sequences (stores, loads, barriers, flushes across two
+//! threads, with random delay/version control sets) are executed against
+//! the engine, and the observations are checked against the memory-model
+//! invariants that §3.3 promises:
+//!
+//! 1. **No thin-air values**: every load returns the initial zero or a
+//!    value some store wrote.
+//! 2. **Read-your-writes**: a thread always observes its own most recent
+//!    store to a location (store-to-load forwarding, §3.1).
+//! 3. **Versioned reads are historical**: a versioned load returns a value
+//!    the location actually held at some point.
+//! 4. **Per-location coherence (CoRR)**: the sequence of values one thread
+//!    reads from one location never moves backwards in that location's
+//!    value timeline.
+//! 5. **Flush completeness**: after every buffer is flushed, memory holds
+//!    each location's last store in program order per thread.
+
+use std::collections::HashMap;
+
+use oemu::{Engine, Iid, LoadAnn, StoreAnn, Tid};
+use proptest::prelude::*;
+
+/// One scripted operation.
+#[derive(Copy, Clone, Debug)]
+enum Op {
+    Store { tid: usize, addr: u64, delayed: bool },
+    Load { tid: usize, addr: u64, versioned: bool },
+    Wmb { tid: usize },
+    Rmb { tid: usize },
+    Mb { tid: usize },
+    Flush { tid: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let addr = (0u64..4).prop_map(|a| 0x1000 + a * 8);
+    prop_oneof![
+        4 => (0..2usize, addr.clone(), any::<bool>())
+            .prop_map(|(tid, addr, delayed)| Op::Store { tid, addr, delayed }),
+        4 => (0..2usize, addr, any::<bool>())
+            .prop_map(|(tid, addr, versioned)| Op::Load { tid, addr, versioned }),
+        1 => (0..2usize).prop_map(|tid| Op::Wmb { tid }),
+        1 => (0..2usize).prop_map(|tid| Op::Rmb { tid }),
+        1 => (0..2usize).prop_map(|tid| Op::Mb { tid }),
+        1 => (0..2usize).prop_map(|tid| Op::Flush { tid }),
+    ]
+}
+
+/// Result of running a script: per-load observations and final state.
+struct RunResult {
+    /// (tid, addr, value, was_versioned) per load, in execution order.
+    loads: Vec<(usize, u64, u64, bool)>,
+    /// Unique value of each store, in issue order per thread per addr.
+    stores_by_thread_addr: HashMap<(usize, u64), Vec<u64>>,
+    /// All stored values.
+    all_values: Vec<u64>,
+    /// Value timeline per address (commit order), reconstructed from the
+    /// engine's history after a full flush.
+    timeline: HashMap<u64, Vec<u64>>,
+    /// Final memory value per address.
+    final_mem: HashMap<u64, u64>,
+}
+
+fn run_script(ops: &[Op]) -> RunResult {
+    let engine = Engine::new(2);
+    let mut next_val = 1u64;
+    let mut loads = Vec::new();
+    let mut stores_by_thread_addr: HashMap<(usize, u64), Vec<u64>> = HashMap::new();
+    let mut all_values = vec![0];
+    let mut op_line = 1u32;
+    for op in ops {
+        op_line += 1;
+        let iid = Iid::register("model_check.rs", op_line, 7);
+        match *op {
+            Op::Store { tid, addr, delayed } => {
+                let val = next_val;
+                next_val += 1;
+                if delayed {
+                    engine.delay_store_at(Tid(tid), iid);
+                }
+                engine.store(Tid(tid), iid, addr, val, StoreAnn::Plain);
+                stores_by_thread_addr.entry((tid, addr)).or_default().push(val);
+                all_values.push(val);
+            }
+            Op::Load { tid, addr, versioned } => {
+                if versioned {
+                    engine.read_old_value_at(Tid(tid), iid);
+                }
+                let v = engine.load(Tid(tid), iid, addr, LoadAnn::Plain);
+                loads.push((tid, addr, v, versioned));
+            }
+            Op::Wmb { tid } => engine.smp_wmb(Tid(tid), iid),
+            Op::Rmb { tid } => engine.smp_rmb(Tid(tid), iid),
+            Op::Mb { tid } => engine.smp_mb(Tid(tid), iid),
+            Op::Flush { tid } => engine.flush_thread(Tid(tid)),
+        }
+    }
+    engine.flush_thread(Tid(0));
+    engine.flush_thread(Tid(1));
+    // Reconstruct each location's value timeline from the history.
+    let mut timeline: HashMap<u64, Vec<u64>> = HashMap::new();
+    for rec in engine.history_records() {
+        timeline.entry(rec.addr).or_insert_with(|| vec![0]).push(rec.new);
+    }
+    let mut final_mem = HashMap::new();
+    for addr in (0..4).map(|a| 0x1000 + a * 8) {
+        final_mem.insert(addr, engine.raw_load(addr));
+    }
+    RunResult {
+        loads,
+        stores_by_thread_addr,
+        all_values,
+        timeline,
+        final_mem,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn no_thin_air_values(ops in proptest::collection::vec(arb_op(), 1..24)) {
+        let r = run_script(&ops);
+        for (tid, addr, v, _) in &r.loads {
+            prop_assert!(
+                r.all_values.contains(v),
+                "thread {tid} read thin-air value {v} from {addr:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn read_your_own_writes(ops in proptest::collection::vec(arb_op(), 1..24)) {
+        // Replay the script tracking each thread's last store per addr;
+        // whenever that thread loads the addr, it must see a value at least
+        // as new as its own last store (forwarding or the store itself).
+        let r = run_script(&ops);
+        // Replay, counting stores issued per (thread, addr) so far; the
+        // thread's own last store is `list[count - 1]`.
+        let mut issued: HashMap<(usize, u64), usize> = HashMap::new();
+        let mut load_idx = 0;
+        for op in &ops {
+            match *op {
+                Op::Store { tid, addr, .. } => {
+                    *issued.entry((tid, addr)).or_insert(0) += 1;
+                }
+                Op::Load { tid, addr, .. } => {
+                    let (ltid, laddr, v, _) = r.loads[load_idx];
+                    load_idx += 1;
+                    assert_eq!((ltid, laddr), (tid, addr));
+                    let count = issued.get(&(tid, addr)).copied().unwrap_or(0);
+                    if count > 0 {
+                        let list = &r.stores_by_thread_addr[&(tid, addr)];
+                        let own_pos = count - 1;
+                        // The loaded value must not be one of the thread's
+                        // *earlier own* values (read-your-writes); other
+                        // threads' values are unconstrained here.
+                        if let Some(vpos) = list.iter().position(|x| x == &v) {
+                            prop_assert!(
+                                vpos >= own_pos,
+                                "thread {tid} lost its own store: saw {v} (own pos {vpos} < {own_pos})"
+                            );
+                        } else {
+                            // The value came from another thread's store —
+                            // legal once the own store committed. Reading
+                            // the initial zero, though, would mean the own
+                            // store vanished.
+                            prop_assert!(
+                                v != 0,
+                                "thread {tid} read initial 0 after storing to {addr:#x}"
+                            );
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn versioned_reads_are_historical(ops in proptest::collection::vec(arb_op(), 1..24)) {
+        let r = run_script(&ops);
+        for (tid, addr, v, versioned) in &r.loads {
+            if !versioned {
+                continue;
+            }
+            let timeline = r.timeline.get(addr).cloned().unwrap_or_else(|| vec![0]);
+            prop_assert!(
+                timeline.contains(v) || r.stores_by_thread_addr.get(&(*tid, *addr)).is_some_and(|l| l.contains(v)),
+                "versioned load of {addr:#x} returned {v}, never held there"
+            );
+        }
+    }
+
+    #[test]
+    fn per_location_reads_are_monotonic(ops in proptest::collection::vec(arb_op(), 1..24)) {
+        // CoRR: for each (thread, addr), map read values to their position
+        // in the location's commit timeline; positions never decrease.
+        // (Values still buffered at read time are not in the timeline until
+        // flushed; since the final double flush commits everything and
+        // values are unique, every read value appears.)
+        let r = run_script(&ops);
+        let mut last_pos: HashMap<(usize, u64), usize> = HashMap::new();
+        for (tid, addr, v, _) in &r.loads {
+            let timeline = r.timeline.get(addr).cloned().unwrap_or_else(|| vec![0]);
+            let Some(pos) = timeline.iter().position(|x| x == v) else {
+                continue; // forwarded-from-buffer value committed later
+            };
+            let entry = last_pos.entry((*tid, *addr)).or_insert(0);
+            prop_assert!(
+                pos >= *entry,
+                "thread {tid} read {addr:#x} backwards: timeline pos {pos} after {entry}"
+            );
+            *entry = pos;
+        }
+    }
+
+    #[test]
+    fn flush_completeness(ops in proptest::collection::vec(arb_op(), 1..24)) {
+        // After the final flushes, memory holds, per location, the last
+        // value of *some* thread's program-order store sequence — never an
+        // intermediate value of any single thread (FIFO buffers cannot
+        // reorder same-thread same-location stores).
+        let r = run_script(&ops);
+        for (addr, final_v) in &r.final_mem {
+            if *final_v == 0 {
+                continue;
+            }
+            let is_last_of_some_thread = (0..2).any(|tid| {
+                r.stores_by_thread_addr
+                    .get(&(tid, *addr))
+                    .is_some_and(|list| list.last() == Some(final_v))
+            });
+            prop_assert!(
+                is_last_of_some_thread,
+                "final value {final_v} at {addr:#x} is not any thread's last store"
+            );
+        }
+    }
+}

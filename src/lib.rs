@@ -1,0 +1,24 @@
+//! Workspace facade for the OZZ (SOSP '24) reproduction.
+//!
+//! Re-exports the public API of every crate in the workspace so examples and
+//! downstream users can depend on a single package:
+//!
+//! - [`oemu`] — in-vivo out-of-order execution emulation (§3 of the paper);
+//! - [`kmem`] — simulated kernel memory, allocator, and bug-detecting
+//!   oracles (KASAN/lockdep analogs);
+//! - [`ksched`] — the deterministic custom scheduler (§4.4.1);
+//! - [`kernelsim`] — the miniature kernel with the paper's subsystems and
+//!   seeded OOO bugs;
+//! - [`ozz`] — the fuzzer: STI generation, profiling, scheduling hints
+//!   (Algorithms 1 & 2), hypothetical memory barrier tests (§4);
+//! - [`baselines`] — interleaving-only fuzzing, in-vitro analysis,
+//!   KCSAN-like sampling, OFence-like static matching (§6.4, §7);
+//! - [`litmus`] — LKMM litmus harness validating OEMU's reordering rules.
+
+pub use baselines;
+pub use kernelsim;
+pub use kmem;
+pub use ksched;
+pub use litmus;
+pub use oemu;
+pub use ozz;

@@ -1,0 +1,122 @@
+//! End-to-end integration: the full OZZ pipeline against individual seeded
+//! bugs, across every crate boundary (oemu + kmem + ksched + kernelsim +
+//! ozz).
+
+use kernelsim::{BugId, BugSwitches, ReorderType};
+use ozz::fuzzer::{FuzzConfig, Fuzzer};
+
+/// A focused campaign on a kernel seeded with exactly one bug must find
+/// exactly that bug's crash title.
+fn find_one(bug: BugId, seed: u64, budget: u64) -> Option<ozz::fuzzer::FoundBug> {
+    let mut fuzzer = Fuzzer::new(FuzzConfig {
+        seed,
+        bugs: BugSwitches::only([bug]),
+        ..FuzzConfig::default()
+    });
+    while fuzzer.stats().mtis_run < budget {
+        fuzzer.step();
+        if fuzzer.found().contains_key(bug.expected_title()) {
+            break;
+        }
+    }
+    fuzzer.found().get(bug.expected_title()).cloned()
+}
+
+#[test]
+fn fuzzer_finds_the_figure1_bug_with_diagnosis() {
+    let bug = find_one(BugId::KnownWatchQueuePost, 7, 4000).expect("found");
+    assert!(
+        bug.barrier_location.contains("smp_wmb") || bug.barrier_location.contains("smp_rmb"),
+        "diagnosis names a barrier: {}",
+        bug.barrier_location
+    );
+    assert!(bug.barrier_location.contains("watch_queue.rs"));
+}
+
+#[test]
+fn fuzzer_finds_the_tls_mis_fix() {
+    let bug = find_one(BugId::TlsSkProt, 4, 8000).expect("found");
+    assert_eq!(bug.reorder_type, ReorderType::StoreStore);
+    assert!(bug.barrier_location.contains("tls.rs"));
+}
+
+#[test]
+fn fuzzer_finds_the_gsm_load_load_bug() {
+    let bug = find_one(BugId::GsmDlci, 4, 8000).expect("found");
+    assert_eq!(bug.reorder_type, ReorderType::LoadLoad);
+    assert!(bug.barrier_location.contains("smp_rmb"));
+}
+
+#[test]
+fn fuzzer_finds_the_rds_lock_bug() {
+    // The Figure 8 bug needs cursor progress + a non-maximal hint: the
+    // deepest end-to-end path in the suite.
+    let bug = find_one(BugId::RdsClearBit, 2024, 20_000).expect("found");
+    assert_eq!(bug.title, "KASAN: slab-out-of-bounds Read in rds_loop_xmit");
+    assert_eq!(bug.reorder_type, ReorderType::StoreStore);
+}
+
+#[test]
+fn interleaving_baseline_misses_what_ozz_finds() {
+    // The §2.3 comparison as an integration test: same kernel, same seed
+    // family — OZZ finds the bug, the interleaving-only baseline does not.
+    let bugs = BugSwitches::only([BugId::XskPoolPublish]);
+    let found = find_one(BugId::XskPoolPublish, 11, 6000);
+    assert!(found.is_some(), "OZZ finds Bug #4");
+    let mut baseline = baselines::interleave::InterleaveFuzzer::new(11, bugs);
+    for _ in 0..12 {
+        baseline.step();
+    }
+    assert!(
+        baseline.found().is_empty(),
+        "interleaving alone cannot trigger it: {:?}",
+        baseline.found()
+    );
+}
+
+#[test]
+fn patched_kernel_yields_no_crashes_end_to_end() {
+    let mut fuzzer = Fuzzer::new(FuzzConfig {
+        seed: 123,
+        bugs: BugSwitches::none(),
+        ..FuzzConfig::default()
+    });
+    for _ in 0..25 {
+        fuzzer.step();
+    }
+    assert!(fuzzer.stats().mtis_run > 50, "hints were exercised");
+    assert!(
+        fuzzer.found().is_empty(),
+        "no false positives: {:?}",
+        fuzzer.found().keys().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn campaign_summary_shape_matches_table3() {
+    // A bounded version of the table3_campaign binary: most of the Table 3
+    // set is discoverable within a modest budget, and every found bug
+    // carries a usable diagnosis.
+    let fuzzer = ozz::fuzzer::campaign(2024, 2000);
+    let found: Vec<_> = BugId::NEW
+        .iter()
+        .filter(|b| fuzzer.found().contains_key(b.expected_title()))
+        .collect();
+    assert!(
+        found.len() >= 8,
+        "most Table 3 bugs found within 2000 tests, got {}",
+        found.len()
+    );
+    for b in found {
+        let info = &fuzzer.found()[b.expected_title()];
+        assert!(info.barrier_location.contains("missing"));
+        // The triggering hint's mechanism usually matches the bug's class,
+        // but crash titles do not uniquely map to root causes on the
+        // all-bugs kernel (e.g. Bug #5's title can first fire via Bug #9's
+        // store reordering), so only the load-load rows that *cannot* be
+        // produced by delayed stores are pinned here.
+        if *b == BugId::GsmDlci {
+            assert_eq!(info.reorder_type, ReorderType::LoadLoad);
+        }
+    }
+}
