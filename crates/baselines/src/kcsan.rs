@@ -147,10 +147,7 @@ mod tests {
         // The only shared plain access pair is sk_err (write) vs sk_err
         // (read) — but the reader only touches sk_err after observing done,
         // which cannot have happened while the writer is stalled before it.
-        assert!(
-            reports.is_empty(),
-            "annotation silences KCSAN: {reports:?}"
-        );
+        assert!(reports.is_empty(), "annotation silences KCSAN: {reports:?}");
     }
 
     #[test]
@@ -162,7 +159,10 @@ mod tests {
             calls: vec![Syscall::RdsSendXmit, Syscall::RdsLoopXmit],
         };
         let reports = scan_pair(BugSwitches::only([BugId::RdsClearBit]), &sti, 0, 1);
-        assert!(reports.is_empty(), "no data race under the lock: {reports:?}");
+        assert!(
+            reports.is_empty(),
+            "no data race under the lock: {reports:?}"
+        );
     }
 
     #[test]
@@ -171,10 +171,7 @@ mod tests {
         // patch, the sk_prot accesses are marked; the unpublished-context
         // accesses never overlap while the writer is stalled pre-publication.
         let sti = Sti {
-            calls: vec![
-                Syscall::TlsInit { fd: 0 },
-                Syscall::SetSockOpt { fd: 0 },
-            ],
+            calls: vec![Syscall::TlsInit { fd: 0 }, Syscall::SetSockOpt { fd: 0 }],
         };
         let reports = scan_pair(BugSwitches::only([BugId::TlsSkProt]), &sti, 0, 1);
         assert!(

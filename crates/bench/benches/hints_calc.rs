@@ -1,17 +1,19 @@
 //! Cost of the hint pipeline (§4.3): Algorithm 2 filtering plus Algorithm 1
 //! grouping/sorting, on traces of realistic sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
 use kernelsim::{BugSwitches, Syscall};
+use kutil::bench::benchmark_group;
 use ozz::hints::calc_hints;
 use ozz::profile_sti;
 use ozz::sti::Sti;
 
-fn hints(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hints_calc");
+fn main() {
+    let mut group = benchmark_group("hints_calc");
     group.sample_size(30);
-    group.measurement_time(std::time::Duration::from_millis(600));
-    group.warm_up_time(std::time::Duration::from_millis(150));
+    group.measurement_time(Duration::from_millis(600));
+    group.warm_up_time(Duration::from_millis(150));
 
     // A real pair: the Figure 1 watch_queue traces.
     let sti = Sti {
@@ -37,7 +39,8 @@ fn hints(c: &mut Criterion) {
     };
     let traces = profile_sti(&sti, BugSwitches::all());
     group.bench_with_input(
-        BenchmarkId::new("all_pairs", traces.len()),
+        "all_pairs",
+        &traces.len().to_string(),
         &traces,
         |b, traces| {
             b.iter(|| {
@@ -54,6 +57,3 @@ fn hints(c: &mut Criterion) {
 
     group.finish();
 }
-
-criterion_group!(benches, hints);
-criterion_main!(benches);

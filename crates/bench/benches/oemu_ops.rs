@@ -5,14 +5,16 @@
 //!   (hierarchical-search cost);
 //! - store-history growth with and without GC (history-bound ablation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use kutil::bench::benchmark_group;
 use oemu::{iid, Engine, LoadAnn, StoreAnn, Tid};
 
-fn engine_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("oemu_ops");
+fn main() {
+    let mut group = benchmark_group("oemu_ops");
     group.sample_size(30);
-    group.measurement_time(std::time::Duration::from_millis(600));
-    group.warm_up_time(std::time::Duration::from_millis(150));
+    group.measurement_time(Duration::from_millis(600));
+    group.warm_up_time(Duration::from_millis(150));
 
     group.bench_function("store_commit", |b| {
         let e = Engine::new(1);
@@ -76,6 +78,3 @@ fn engine_ops(c: &mut Criterion) {
 
     group.finish();
 }
-
-criterion_group!(benches, engine_ops);
-criterion_main!(benches);

@@ -1,9 +1,11 @@
-//! Table 5 with Criterion statistics: every operation class measured in
+//! Table 5 with median-of-N statistics: every operation class measured in
 //! raw mode (the paper's uninstrumented Linux) and instrumented mode
 //! (Linux w/ OEMU).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
 use kernelsim::{run_one, BugSwitches, Kctx, Syscall};
+use kutil::bench::benchmark_group;
 use oemu::Tid;
 
 // Repeatable-in-place workloads, so boot cost stays out of the loop (the
@@ -12,14 +14,14 @@ const CLASSES: &[(&str, &[Syscall])] = &[
     ("null", &[Syscall::UnixGetname { fd: 0 }]),
     ("stat", &[Syscall::VlanGet { id: 3 }]),
     ("open_close", &[Syscall::BhReplace, Syscall::BhEvict]),
-    (
-        "file_create",
-        &[Syscall::SbitmapClear, Syscall::SbitmapGet],
-    ),
+    ("file_create", &[Syscall::SbitmapClear, Syscall::SbitmapGet]),
     ("pipe", &[Syscall::WqPost, Syscall::PipeRead]),
     (
         "unix",
-        &[Syscall::RingBufferWrite { data: 7 }, Syscall::RingBufferRead],
+        &[
+            Syscall::RingBufferWrite { data: 7 },
+            Syscall::RingBufferRead,
+        ],
     ),
     (
         "file_rewrite",
@@ -28,27 +30,23 @@ const CLASSES: &[(&str, &[Syscall])] = &[
     ("mmap", &[Syscall::RdsSendXmit, Syscall::RdsLoopXmit]),
 ];
 
-fn table5(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table5");
+fn main() {
+    let mut group = benchmark_group("table5");
     group.sample_size(20);
-    group.measurement_time(std::time::Duration::from_millis(600));
-    group.warm_up_time(std::time::Duration::from_millis(150));
+    group.measurement_time(Duration::from_millis(600));
+    group.warm_up_time(Duration::from_millis(150));
     for (name, calls) in CLASSES {
         for raw in [true, false] {
             let label = if raw { "raw" } else { "oemu" };
-            group.bench_with_input(
-                BenchmarkId::new(*name, label),
-                &(raw, *calls),
-                |b, (raw, calls)| {
-                    let k = Kctx::new(BugSwitches::none());
-                    k.set_raw(*raw);
-                    b.iter(|| {
-                        for &call in *calls {
-                            run_one(&k, Tid(0), call);
-                        }
-                    })
-                },
-            );
+            group.bench_with_input(name, label, &(raw, *calls), |b, (raw, calls)| {
+                let k = Kctx::new(BugSwitches::none());
+                k.set_raw(*raw);
+                b.iter(|| {
+                    for &call in *calls {
+                        run_one(&k, Tid(0), call);
+                    }
+                })
+            });
         }
     }
     // fork analog: machine boot.
@@ -57,6 +55,3 @@ fn table5(c: &mut Criterion) {
     });
     group.finish();
 }
-
-criterion_group!(benches, table5);
-criterion_main!(benches);

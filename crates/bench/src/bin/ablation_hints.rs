@@ -78,7 +78,13 @@ fn main() {
             println!(
                 "{}",
                 row(
-                    &[bug.label(), bug.subsystem(), &cells[0], &cells[1], &cells[2]],
+                    &[
+                        bug.label(),
+                        bug.subsystem(),
+                        &cells[0],
+                        &cells[1],
+                        &cells[2]
+                    ],
                     &widths
                 )
             );

@@ -42,7 +42,9 @@ fn main() {
             )
         );
     }
-    println!("\nE3 is the silent class: no oracle fires; only the returned value betrays the race.");
+    println!(
+        "\nE3 is the silent class: no oracle fires; only the returned value betrays the race."
+    );
     println!("E4 exercises store-load reordering — delayed stores overtaking a later load (§3.1).");
 }
 

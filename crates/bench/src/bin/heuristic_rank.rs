@@ -51,7 +51,10 @@ fn main() {
             *rank_histogram.entry(rank.min(9)).or_insert(0) += 1;
             println!(
                 "{}",
-                row(&[bug.label(), "(directed reproduction)", &rank.to_string()], &widths)
+                row(
+                    &[bug.label(), "(directed reproduction)", &rank.to_string()],
+                    &widths
+                )
             );
         }
     }

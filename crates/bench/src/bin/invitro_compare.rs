@@ -32,7 +32,11 @@ fn main() {
                     bug.label(),
                     bug.subsystem(),
                     &r.candidates.to_string(),
-                    if r.confirmed_in_vivo { "yes (oracle)" } else { "no" },
+                    if r.confirmed_in_vivo {
+                        "yes (oracle)"
+                    } else {
+                        "no"
+                    },
                 ],
                 &widths
             )

@@ -29,8 +29,16 @@ fn main() {
                 &[
                     r.bug.label(),
                     r.bug.subsystem(),
-                    if f.writer_store_barrier { "present" } else { "-" },
-                    if f.reader_load_barrier { "present" } else { "-" },
+                    if f.writer_store_barrier {
+                        "present"
+                    } else {
+                        "-"
+                    },
+                    if f.reader_load_barrier {
+                        "present"
+                    } else {
+                        "-"
+                    },
                     if r.detectable { "flagged" } else { "missed" },
                 ],
                 &widths

@@ -49,7 +49,9 @@ fn main() {
         );
     }
     let reproduced = results.iter().filter(|r| r.reproduced).count();
-    println!("\nreproduced {reproduced}/9 (paper: 8/9; the sbitmap per-CPU bug needs thread migration)");
+    println!(
+        "\nreproduced {reproduced}/9 (paper: 8/9; the sbitmap per-CPU bug needs thread migration)"
+    );
 
     // The §6.2 verification: with the manual per-CPU modification, the
     // sbitmap bug becomes reproducible.

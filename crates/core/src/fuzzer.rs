@@ -254,9 +254,7 @@ pub fn campaign(seed: u64, max_tests: u64) -> Fuzzer {
     });
     while fuzzer.stats.mtis_run < max_tests {
         fuzzer.step();
-        let found_all = expected
-            .iter()
-            .all(|t| fuzzer.found.contains_key(*t));
+        let found_all = expected.iter().all(|t| fuzzer.found.contains_key(*t));
         if found_all {
             break;
         }

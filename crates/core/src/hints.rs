@@ -146,7 +146,12 @@ pub fn calc_hints(si: &[TraceEvent], sj: &[TraceEvent]) -> Vec<SchedHint> {
         }
     }
     // Sort by decreasing number of reordered accesses.
-    hints.sort_by(|a, b| b.reorder.len().cmp(&a.reorder.len()).then(a.sched.ts.cmp(&b.sched.ts)));
+    hints.sort_by(|a, b| {
+        b.reorder
+            .len()
+            .cmp(&a.reorder.len())
+            .then(a.sched.ts.cmp(&b.sched.ts))
+    });
     hints
 }
 
@@ -395,11 +400,9 @@ mod tests {
         ];
         let hints = calc_hints(&si, &sj);
         assert!(
-            hints
-                .iter()
-                .any(|h| h.kind == HintKind::StoreBarrier
-                    && h.reorderer == PairSide::First
-                    && h.reorder.iter().any(|a| a.iid == Iid(1))),
+            hints.iter().any(|h| h.kind == HintKind::StoreBarrier
+                && h.reorderer == PairSide::First
+                && h.reorder.iter().any(|a| a.iid == Iid(1))),
             "the rmb must not protect stores"
         );
     }
@@ -478,9 +481,15 @@ mod tests {
             access(11, 0x18, AccessKind::Load, 11),
         ];
         let hints = calc_hints(&si, &sj);
-        let store = hints.iter().find(|h| h.kind == HintKind::StoreBarrier).unwrap();
+        let store = hints
+            .iter()
+            .find(|h| h.kind == HintKind::StoreBarrier)
+            .unwrap();
         assert!(store.barrier_location().contains("smp_wmb"));
-        let load = hints.iter().find(|h| h.kind == HintKind::LoadBarrier).unwrap();
+        let load = hints
+            .iter()
+            .find(|h| h.kind == HintKind::LoadBarrier)
+            .unwrap();
         assert!(load.barrier_location().contains("smp_rmb"));
     }
 }

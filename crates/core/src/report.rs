@@ -157,7 +157,10 @@ mod tests {
         assert!(text.contains("order:"));
         assert!(text.contains("[other CPU executes]"));
         assert!(text.contains("diagnosis:"));
-        assert!(text.contains("watch_queue.rs"), "locations are source-level");
+        assert!(
+            text.contains("watch_queue.rs"),
+            "locations are source-level"
+        );
     }
 
     #[test]

@@ -64,11 +64,7 @@ pub fn reproduce(bug: BugId, migration_override: bool) -> ReproResult {
         configure(&k);
         let out = mti.run_on(&k);
         // Crash-symptom reproduction.
-        if out
-            .crashes
-            .iter()
-            .any(|c| c.title == bug.expected_title())
-        {
+        if out.crashes.iter().any(|c| c.title == bug.expected_title()) {
             return ReproResult {
                 bug,
                 reproduced: true,

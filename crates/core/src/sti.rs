@@ -13,9 +13,7 @@
 //! which is where concurrency bugs live.
 
 use kernelsim::Syscall;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use kutil::DetRng;
 
 /// A single-threaded input: a sequence of syscalls executed in order.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -28,8 +26,8 @@ pub struct Sti {
 /// `setup` calls create subsystem state (resources); `actions` exercise it.
 struct Template {
     name: &'static str,
-    setup: fn(&mut StdRng) -> Vec<Syscall>,
-    actions: fn(&mut StdRng) -> Vec<Syscall>,
+    setup: fn(&mut DetRng) -> Vec<Syscall>,
+    actions: fn(&mut DetRng) -> Vec<Syscall>,
 }
 
 /// The template table — the reproduction's Syzlang corpus.
@@ -39,23 +37,34 @@ const TEMPLATES: &[Template] = &[
         setup: |r| {
             let mut v = vec![Syscall::WqPost];
             if r.gen_bool(0.5) {
-                v.insert(0, Syscall::WqSetFilter { nwords: r.gen_range(1..=4) });
+                v.insert(
+                    0,
+                    Syscall::WqSetFilter {
+                        nwords: r.gen_range(1..=4u64),
+                    },
+                );
             }
             v
         },
         actions: |r| {
             let mut v = vec![Syscall::WqPost, Syscall::PipeRead];
             if r.gen_bool(0.3) {
-                v.push(Syscall::WqSetFilter { nwords: r.gen_range(1..=4) });
+                v.push(Syscall::WqSetFilter {
+                    nwords: r.gen_range(1..=4u64),
+                });
             }
             v
         },
     },
     Template {
         name: "tls",
-        setup: |r| vec![Syscall::TlsInit { fd: r.gen_range(0..2) }],
+        setup: |r| {
+            vec![Syscall::TlsInit {
+                fd: r.gen_range(0..2u64),
+            }]
+        },
         actions: |r| {
-            let fd = r.gen_range(0..2);
+            let fd = r.gen_range(0..2u64);
             let mut v = vec![
                 Syscall::TlsInit { fd },
                 Syscall::SetSockOpt { fd },
@@ -76,11 +85,11 @@ const TEMPLATES: &[Template] = &[
     Template {
         name: "xsk",
         setup: |r| {
-            let fd = r.gen_range(0..2);
+            let fd = r.gen_range(0..2u64);
             vec![Syscall::XskRegUmem { fd }, Syscall::XskBind { fd }]
         },
         actions: |r| {
-            let fd = r.gen_range(0..2);
+            let fd = r.gen_range(0..2u64);
             vec![
                 Syscall::XskBind { fd },
                 Syscall::XskPoll { fd },
@@ -92,9 +101,13 @@ const TEMPLATES: &[Template] = &[
     },
     Template {
         name: "bpf_psock",
-        setup: |r| vec![Syscall::PsockInit { fd: r.gen_range(0..2) }],
+        setup: |r| {
+            vec![Syscall::PsockInit {
+                fd: r.gen_range(0..2u64),
+            }]
+        },
         actions: |r| {
-            let fd = r.gen_range(0..2);
+            let fd = r.gen_range(0..2u64);
             vec![Syscall::PsockInit { fd }, Syscall::SockRecvmsg { fd }]
         },
     },
@@ -102,7 +115,7 @@ const TEMPLATES: &[Template] = &[
         name: "smc",
         setup: |_| vec![],
         actions: |r| {
-            let fd = r.gen_range(0..2);
+            let fd = r.gen_range(0..2u64);
             let mut v = vec![Syscall::SmcConnect { fd }, Syscall::SmcConnect { fd }];
             if r.gen_bool(0.5) {
                 v.push(Syscall::SmcAccept { fd });
@@ -120,7 +133,7 @@ const TEMPLATES: &[Template] = &[
         name: "gsm",
         setup: |_| vec![],
         actions: |r| {
-            let idx = r.gen_range(0..4);
+            let idx = r.gen_range(0..4u64);
             vec![
                 Syscall::GsmDlciAlloc { idx },
                 Syscall::GsmDlciConfig { idx },
@@ -131,7 +144,7 @@ const TEMPLATES: &[Template] = &[
         name: "vlan",
         setup: |_| vec![],
         actions: |r| {
-            let id = r.gen_range(0..4);
+            let id = r.gen_range(0..4u64);
             vec![Syscall::VlanAdd { id }, Syscall::VlanGet { id }]
         },
     },
@@ -139,7 +152,7 @@ const TEMPLATES: &[Template] = &[
         name: "fs",
         setup: |_| vec![],
         actions: |r| {
-            let fd = r.gen_range(0..4);
+            let fd = r.gen_range(0..4u64);
             vec![Syscall::FdInstall { fd }, Syscall::FgetLight { fd }]
         },
     },
@@ -152,7 +165,7 @@ const TEMPLATES: &[Template] = &[
         name: "unix",
         setup: |_| vec![],
         actions: |r| {
-            let fd = r.gen_range(0..2);
+            let fd = r.gen_range(0..2u64);
             vec![Syscall::UnixBind { fd }, Syscall::UnixGetname { fd }]
         },
     },
@@ -171,7 +184,9 @@ const TEMPLATES: &[Template] = &[
         setup: |_| vec![Syscall::RingBufferWrite { data: 0x11 }],
         actions: |r| {
             vec![
-                Syscall::RingBufferWrite { data: r.gen_range(1..0xffff) },
+                Syscall::RingBufferWrite {
+                    data: r.gen_range(1..0xffff_u64),
+                },
                 Syscall::RingBufferRead,
             ]
         },
@@ -181,7 +196,9 @@ const TEMPLATES: &[Template] = &[
         setup: |_| vec![],
         actions: |r| {
             vec![
-                Syscall::FilemapWrite { val: r.gen_range(1..0xffff) },
+                Syscall::FilemapWrite {
+                    val: r.gen_range(1..0xffff_u64),
+                },
                 Syscall::FilemapRead,
             ]
         },
@@ -189,24 +206,26 @@ const TEMPLATES: &[Template] = &[
     Template {
         name: "usb",
         setup: |_| vec![],
-        actions: |_| vec![
-            Syscall::UsbSubmitUrb,
-            Syscall::UsbComplete,
-            Syscall::UsbKillUrb,
-        ],
+        actions: |_| {
+            vec![
+                Syscall::UsbSubmitUrb,
+                Syscall::UsbComplete,
+                Syscall::UsbKillUrb,
+            ]
+        },
     },
 ];
 
 /// Deterministic STI generator.
 pub struct StiGen {
-    rng: StdRng,
+    rng: DetRng,
 }
 
 impl StiGen {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
         StiGen {
-            rng: StdRng::seed_from_u64(seed),
+            rng: DetRng::new(seed),
         }
     }
 
@@ -217,7 +236,7 @@ impl StiGen {
         let t = &TEMPLATES[self.rng.gen_range(0..TEMPLATES.len())];
         let mut calls = (t.setup)(&mut self.rng);
         let mut actions = (t.actions)(&mut self.rng);
-        actions.shuffle(&mut self.rng);
+        self.rng.shuffle(&mut actions);
         calls.extend(actions);
         if self.rng.gen_bool(0.2) {
             let t2 = &TEMPLATES[self.rng.gen_range(0..TEMPLATES.len())];
@@ -231,7 +250,7 @@ impl StiGen {
     /// action, removes a call, or swaps two calls.
     pub fn mutate(&mut self, sti: &Sti) -> Sti {
         let mut calls = sti.calls.clone();
-        match self.rng.gen_range(0..3) {
+        match self.rng.gen_range(0..3u64) {
             0 => {
                 let t = &TEMPLATES[self.rng.gen_range(0..TEMPLATES.len())];
                 if let Some(c) = (t.actions)(&mut self.rng).first().copied() {
@@ -348,7 +367,10 @@ mod tests {
             let sti = known_bug_sti(bug).expect("repro input exists");
             assert!(sti.calls.len() >= 2, "writer + reader at least");
         }
-        assert!(known_bug_sti(BugId::TlsSkProt).is_none(), "new bugs have none");
+        assert!(
+            known_bug_sti(BugId::TlsSkProt).is_none(),
+            "new bugs have none"
+        );
     }
 
     #[test]

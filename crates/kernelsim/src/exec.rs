@@ -100,9 +100,12 @@ pub fn run_concurrent_closures(
 /// Runs two syscalls concurrently on CPUs 0 and 1 under `plan` — the core
 /// of an MTI run.
 pub fn run_concurrent(k: &Arc<Kctx>, plan: SchedulePlan, a: Syscall, b: Syscall) -> RunOutcome {
-    run_concurrent_closures(k, plan, move |k| dispatch(k, Tid(0), a), move |k| {
-        dispatch(k, Tid(1), b)
-    })
+    run_concurrent_closures(
+        k,
+        plan,
+        move |k| dispatch(k, Tid(0), a),
+        move |k| dispatch(k, Tid(1), b),
+    )
 }
 
 fn run_leg(
@@ -130,7 +133,9 @@ fn run_leg(
     out
 }
 
-fn join_leg(h: std::thread::ScopedJoinHandle<'_, Result<i64, Box<dyn std::any::Any + Send>>>) -> i64 {
+fn join_leg(
+    h: std::thread::ScopedJoinHandle<'_, Result<i64, Box<dyn std::any::Any + Send>>>,
+) -> i64 {
     match h.join().expect("simulated CPU thread must not die") {
         Ok(ret) => ret,
         Err(payload) => std::panic::resume_unwind(payload),

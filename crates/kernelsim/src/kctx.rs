@@ -20,8 +20,8 @@ use std::sync::{Arc, OnceLock};
 
 use kmem::{Fault, FnRegistry, Kmem, LockId, Lockdep, OracleSink};
 use ksched::Scheduler;
+use kutil::sync::Mutex;
 use oemu::{Engine, Iid, LoadAnn, RmwOrder, StoreAnn, Tid};
-use parking_lot::Mutex;
 
 use crate::bugs::{BugId, BugSwitches};
 use crate::subsys;
@@ -220,6 +220,20 @@ impl Kctx {
 
     /// Records the fault and unwinds the simulated CPU (kernel oops).
     pub fn oops(&self, fault: Fault) -> ! {
+        // A CrashSignal unwind is the simulated oops mechanism, never an
+        // error in the harness itself; every raise site is paired with a
+        // catch_unwind in `exec`. Silence the default "thread panicked"
+        // stderr noise for it (once, process-wide) so campaign output is
+        // the crash reports, not panic backtraces.
+        static QUIET_CRASH_SIGNALS: std::sync::Once = std::sync::Once::new();
+        QUIET_CRASH_SIGNALS.call_once(|| {
+            let default_hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if info.payload().downcast_ref::<CrashSignal>().is_none() {
+                    default_hook(info);
+                }
+            }));
+        });
         let title = fault.title();
         self.sink.record(fault);
         std::panic::panic_any(CrashSignal { title });
@@ -318,7 +332,14 @@ impl Kctx {
     }
 
     /// An instrumented atomic read-modify-write.
-    pub fn rmw(&self, t: Tid, iid: Iid, addr: u64, f: impl FnOnce(u64) -> u64, order: RmwOrder) -> u64 {
+    pub fn rmw(
+        &self,
+        t: Tid,
+        iid: Iid,
+        addr: u64,
+        f: impl FnOnce(u64) -> u64,
+        order: RmwOrder,
+    ) -> u64 {
         if self.is_raw() {
             let old = self.engine.raw_load(addr);
             self.engine.raw_store(addr, f(old));

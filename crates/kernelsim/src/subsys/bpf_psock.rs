@@ -63,7 +63,9 @@ pub fn psock_init(k: &Kctx, t: Tid, fd: u64) -> i64 {
         t,
         iid!(),
         psock + PSOCK_VERDICT,
-        k.fns.lookup("sk_psock_verdict_recv").expect("registered at boot"),
+        k.fns
+            .lookup("sk_psock_verdict_recv")
+            .expect("registered at boot"),
     );
     if !k.bug(BugId::PsockSavedReady) {
         // The psock must be fully initialised before the hook can find it.
@@ -74,7 +76,9 @@ pub fn psock_init(k: &Kctx, t: Tid, fd: u64) -> i64 {
         t,
         iid!(),
         sk + SK_DATA_READY,
-        k.fns.lookup("sk_psock_verdict_data_ready").expect("registered at boot"),
+        k.fns
+            .lookup("sk_psock_verdict_data_ready")
+            .expect("registered at boot"),
     );
     0
 }

@@ -54,7 +54,9 @@ pub fn fd_install(k: &Kctx, t: Tid, fd: u64) -> i64 {
         t,
         iid!(),
         file + FILE_F_OP,
-        k.fns.lookup("generic_file_read_iter").expect("registered at boot"),
+        k.fns
+            .lookup("generic_file_read_iter")
+            .expect("registered at boot"),
     );
     k.write(t, iid!(), file + FILE_F_MODE, 0o666);
     k.store_release(t, iid!(), slot, file);
@@ -88,9 +90,7 @@ pub fn fget_light(k: &Kctx, t: Tid, fd: u64) -> i64 {
 mod tests {
     use super::*;
     use crate::bugs::BugSwitches;
-    use crate::testutil::{
-        expect_crash, expect_no_crash, version_all_plain_loads_with_setup,
-    };
+    use crate::testutil::{expect_crash, expect_no_crash, version_all_plain_loads_with_setup};
 
     #[test]
     fn in_order_install_then_fget_works() {

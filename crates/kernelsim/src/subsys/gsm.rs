@@ -90,9 +90,7 @@ pub fn gsm_dlci_config(k: &Kctx, t: Tid, idx: u64) -> i64 {
 mod tests {
     use super::*;
     use crate::bugs::BugSwitches;
-    use crate::testutil::{
-        expect_crash, expect_no_crash, version_all_plain_loads_with_setup,
-    };
+    use crate::testutil::{expect_crash, expect_no_crash, version_all_plain_loads_with_setup};
 
     #[test]
     fn in_order_alloc_then_config_works() {

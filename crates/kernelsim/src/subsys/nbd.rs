@@ -79,9 +79,7 @@ pub fn nbd_ioctl(k: &Kctx, t: Tid) -> i64 {
 mod tests {
     use super::*;
     use crate::bugs::BugSwitches;
-    use crate::testutil::{
-        expect_crash, expect_no_crash, version_all_plain_loads_with_setup,
-    };
+    use crate::testutil::{expect_crash, expect_no_crash, version_all_plain_loads_with_setup};
 
     #[test]
     fn in_order_alloc_then_ioctl_works() {

@@ -124,7 +124,13 @@ pub fn smc_fput_worker(k: &Kctx, t: Tid, fd: u64) -> i64 {
 /// file produces exactly the paper's `KASAN: null-ptr-deref Write in fput`.
 fn fput(k: &Kctx, t: Tid, file: u64) {
     let _f = k.enter(t, "fput");
-    let old = k.rmw(t, iid!(), file + FILE_COUNT, |v| v.wrapping_sub(1), RmwOrder::Full);
+    let old = k.rmw(
+        t,
+        iid!(),
+        file + FILE_COUNT,
+        |v| v.wrapping_sub(1),
+        RmwOrder::Full,
+    );
     if old == 1 {
         k.kfree(t, file);
     }

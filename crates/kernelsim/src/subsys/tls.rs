@@ -53,15 +53,23 @@ pub struct TlsGlobals {
 /// Boots the subsystem: sockets start with the TCP proto table installed.
 pub fn boot(k: &Arc<Kctx>) -> TlsGlobals {
     let base_prots = k.kzalloc(16, "proto(tcp)");
-    k.engine
-        .raw_store(base_prots + PROT_SETSOCKOPT, k.fns.register("tcp_setsockopt"));
-    k.engine
-        .raw_store(base_prots + PROT_GETSOCKOPT, k.fns.register("tcp_getsockopt"));
+    k.engine.raw_store(
+        base_prots + PROT_SETSOCKOPT,
+        k.fns.register("tcp_setsockopt"),
+    );
+    k.engine.raw_store(
+        base_prots + PROT_GETSOCKOPT,
+        k.fns.register("tcp_getsockopt"),
+    );
     let tls_prots = k.kzalloc(16, "proto(tls)");
-    k.engine
-        .raw_store(tls_prots + PROT_SETSOCKOPT, k.fns.register("tls_setsockopt"));
-    k.engine
-        .raw_store(tls_prots + PROT_GETSOCKOPT, k.fns.register("tls_getsockopt"));
+    k.engine.raw_store(
+        tls_prots + PROT_SETSOCKOPT,
+        k.fns.register("tls_setsockopt"),
+    );
+    k.engine.raw_store(
+        tls_prots + PROT_GETSOCKOPT,
+        k.fns.register("tls_getsockopt"),
+    );
     let socks = std::array::from_fn(|_| {
         let sk = k.kzalloc(32, "sock");
         k.engine.raw_store(sk + SK_PROT, base_prots);

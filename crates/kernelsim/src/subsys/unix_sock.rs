@@ -82,9 +82,7 @@ pub fn unix_getname(k: &Kctx, t: Tid, fd: u64) -> i64 {
 mod tests {
     use super::*;
     use crate::bugs::BugSwitches;
-    use crate::testutil::{
-        expect_crash, expect_no_crash, version_all_plain_loads_with_setup,
-    };
+    use crate::testutil::{expect_crash, expect_no_crash, version_all_plain_loads_with_setup};
 
     #[test]
     fn in_order_bind_then_getname_works() {

@@ -134,7 +134,11 @@ mod tests {
         let (t0, t1) = (Tid(0), Tid(1));
         assert_eq!(usb_submit_urb(&k, t0), 0);
         k.syscall_exit(t0);
-        assert_eq!(usb_kill_urb(&k, t1), EBUSY, "in-flight transfer blocks kill");
+        assert_eq!(
+            usb_kill_urb(&k, t1),
+            EBUSY,
+            "in-flight transfer blocks kill"
+        );
         k.syscall_exit(t1);
         assert_eq!(usb_complete(&k, t0), 0);
         k.syscall_exit(t0);

@@ -226,7 +226,12 @@ mod tests {
                 hit: 1,
             }),
         };
-        let out = run_concurrent(&k, plan, Syscall::XskBind { fd: 0 }, Syscall::XskPoll { fd: 0 });
+        let out = run_concurrent(
+            &k,
+            plan,
+            Syscall::XskBind { fd: 0 },
+            Syscall::XskPoll { fd: 0 },
+        );
         assert!(out.crashed(), "Bug #4 must manifest: {out:?}");
         assert_eq!(
             out.title().unwrap(),

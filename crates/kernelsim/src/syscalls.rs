@@ -251,7 +251,9 @@ impl Syscall {
 /// The kernel entry point: dispatches one syscall on simulated CPU `t`.
 pub fn dispatch(k: &Kctx, t: Tid, sc: Syscall) -> i64 {
     match sc {
-        Syscall::WqSetFilter { nwords } => subsys::watch_queue::watch_queue_set_filter(k, t, nwords),
+        Syscall::WqSetFilter { nwords } => {
+            subsys::watch_queue::watch_queue_set_filter(k, t, nwords)
+        }
         Syscall::WqPost => subsys::watch_queue::post_one_notification(k, t),
         Syscall::PipeRead => subsys::watch_queue::pipe_read(k, t),
         Syscall::TlsInit { fd } => subsys::tls::tls_init(k, t, fd),

@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use parking_lot::Mutex;
+use kutil::sync::Mutex;
 
 use crate::report::{Fault, FaultKind};
 

@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
+use kutil::sync::Mutex;
 
 use crate::report::{Fault, FaultKind};
 

@@ -8,8 +8,8 @@
 
 use std::collections::{HashMap, HashSet};
 
+use kutil::sync::Mutex;
 use oemu::Tid;
-use parking_lot::Mutex;
 
 use crate::report::{Fault, FaultKind};
 

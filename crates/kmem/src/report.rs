@@ -10,7 +10,7 @@
 
 use std::fmt;
 
-use parking_lot::Mutex;
+use kutil::sync::Mutex;
 
 /// Classification of a detected kernel malfunction.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -29,7 +29,7 @@
 //!     breakpoint: Some(Breakpoint { iid: point, when: BreakWhen::After, hit: 1 }),
 //! };
 //! let sched = Arc::new(Scheduler::new(2, plan));
-//! let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+//! let order = Arc::new(kutil::sync::Mutex::new(Vec::new()));
 //! std::thread::scope(|s| {
 //!     let (sc, ord) = (Arc::clone(&sched), Arc::clone(&order));
 //!     s.spawn(move || {
@@ -49,8 +49,8 @@
 //! assert_eq!(*order.lock(), vec!["t0-a", "t1", "t0-b"]);
 //! ```
 
+use kutil::sync::{Condvar, Mutex};
 use oemu::{Iid, Tid};
-use parking_lot::{Condvar, Mutex};
 
 /// Whether the context switch fires before or after the matched access.
 ///

@@ -1,0 +1,216 @@
+//! Minimal timing harness (the workspace's `criterion`).
+//!
+//! The `crates/bench` benches only need: warmup, repeated timed samples,
+//! a robust central estimate, and machine-readable output. This harness
+//! provides exactly that — warmup for a configured duration, N samples of
+//! auto-sized batches, **median**-of-samples as the reported figure (robust
+//! against scheduler noise, unlike the mean) — and prints one JSON line per
+//! measurement plus a human-readable summary line:
+//!
+//! ```text
+//! {"group":"oemu_ops","name":"store_commit","median_ns":18.4,...}
+//! oemu_ops/store_commit            median 18.4 ns/iter (30 samples)
+//! ```
+//!
+//! The API deliberately mirrors the criterion subset the benches used
+//! (`benchmark_group`, `bench_function`, `Bencher::iter`) so the bench
+//! sources read the same as before the hermetic migration.
+
+use std::time::{Duration, Instant};
+
+/// A named group of measurements sharing sample configuration.
+pub struct Group {
+    name: String,
+    samples: usize,
+    warmup: Duration,
+    measurement: Duration,
+}
+
+/// Creates a measurement group. Mirrors criterion's `benchmark_group`.
+pub fn benchmark_group(name: &str) -> Group {
+    Group {
+        name: name.to_string(),
+        samples: 30,
+        warmup: Duration::from_millis(150),
+        measurement: Duration::from_millis(600),
+    }
+}
+
+impl Group {
+    /// Number of timed samples per measurement (median is taken of these).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 3, "need at least 3 samples for a meaningful median");
+        self.samples = n;
+        self
+    }
+
+    /// Total time budget for the timed samples of one measurement.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Untimed warmup duration before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Runs one measurement. The closure receives a [`Bencher`] and must
+    /// call [`Bencher::iter`] exactly once with the operation under test;
+    /// setup code before the `iter` call is untimed.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measurement: self.measurement,
+            samples: self.samples,
+            result: None,
+        };
+        f(&mut b);
+        let m = b
+            .result
+            .unwrap_or_else(|| panic!("bench_function {name:?} never called Bencher::iter"));
+        self.report(name, &m);
+        self
+    }
+
+    /// [`Group::bench_function`] with a parameter, labelled `name/param`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        name: &str,
+        param: &str,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(&format!("{name}/{param}"), |b| f(b, input))
+    }
+
+    /// No-op, kept so bench sources keep their criterion shape.
+    pub fn finish(&mut self) {}
+
+    fn report(&self, name: &str, m: &Measurement) {
+        println!(
+            "{{\"group\":\"{}\",\"name\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}",
+            self.name, name, m.median_ns, m.min_ns, m.max_ns, m.samples, m.iters_per_sample
+        );
+        println!(
+            "{:<40} median {} ({} samples)",
+            format!("{}/{}", self.name, name),
+            format_ns(m.median_ns),
+            m.samples
+        );
+    }
+}
+
+struct Measurement {
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// Handed to the measurement closure; times the operation under test.
+pub struct Bencher {
+    warmup: Duration,
+    measurement: Duration,
+    samples: usize,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Measures `f`: warmup until the warmup budget elapses (also sizing
+    /// the batch), then `samples` timed batches; records median/min/max
+    /// per-iteration nanoseconds. Return values are passed through
+    /// [`std::hint::black_box`] so the work is not optimized away.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warmup: run until the budget elapses, counting iterations to
+        // size the timed batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = self.warmup.as_secs_f64() / warm_iters.max(1) as f64;
+        // Size batches so all samples together fill the measurement budget.
+        let batch_secs = self.measurement.as_secs_f64() / self.samples as f64;
+        let iters_per_sample = ((batch_secs / per_iter) as u64).max(1);
+
+        let mut sample_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            sample_ns.push(t0.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        sample_ns.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = if sample_ns.len() % 2 == 1 {
+            sample_ns[sample_ns.len() / 2]
+        } else {
+            (sample_ns[sample_ns.len() / 2 - 1] + sample_ns[sample_ns.len() / 2]) / 2.0
+        };
+        self.result = Some(Measurement {
+            median_ns,
+            min_ns: sample_ns[0],
+            max_ns: sample_ns[sample_ns.len() - 1],
+            samples: sample_ns.len(),
+            iters_per_sample,
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1_000_000.0 {
+        format!("{:.3} ms/iter", ns / 1_000_000.0)
+    } else if ns >= 1_000.0 {
+        format!("{:.3} us/iter", ns / 1_000.0)
+    } else {
+        format!("{ns:.1} ns/iter")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports_without_panicking() {
+        let mut g = benchmark_group("selftest");
+        g.sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        g.bench_function("add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(3);
+                x
+            });
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        // Directly exercise the sample math: an artificial closure whose
+        // cost is constant gives a tight min/median spread.
+        let mut b = Bencher {
+            warmup: Duration::from_millis(2),
+            measurement: Duration::from_millis(10),
+            samples: 5,
+            result: None,
+        };
+        b.iter(|| std::hint::black_box(1 + 1));
+        let m = b.result.unwrap();
+        assert!(m.median_ns > 0.0);
+        assert!(m.min_ns <= m.median_ns && m.median_ns <= m.max_ns);
+        assert_eq!(m.samples, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "never called Bencher::iter")]
+    fn forgetting_iter_is_detected() {
+        benchmark_group("selftest").bench_function("noop", |_b| {});
+    }
+}

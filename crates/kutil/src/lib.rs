@@ -1,0 +1,24 @@
+//! Zero-dependency utilities that keep the workspace hermetic.
+//!
+//! OZZ's premise is that a reordering schedule found once is reproducible
+//! forever (§4.4: "OZZ can deterministically control the execution order").
+//! That promise extends to the build: a campaign seed must mean the same
+//! byte-for-byte `FoundBug` list on any machine, online or offline, today
+//! or in five years. This crate removes every crates-io dependency the
+//! workspace would otherwise need:
+//!
+//! - [`rng::DetRng`] — a SplitMix64-seeded xoshiro256** generator replacing
+//!   `rand`. The stream is pinned by golden-value tests, so a refactor that
+//!   silently changes campaign schedules fails CI.
+//! - [`sync`] — `Mutex`/`Condvar` wrappers over `std::sync` with the
+//!   `parking_lot` calling convention (`lock()` returns the guard directly,
+//!   poisoning is ignored). A panicking oracle thread must not poison the
+//!   crash-report sink it was about to write into.
+//! - [`bench`] — a minimal warmup + median-of-N timing harness replacing
+//!   `criterion`, emitting one JSON line per measurement.
+
+pub mod bench;
+pub mod rng;
+pub mod sync;
+
+pub use rng::DetRng;

@@ -1,0 +1,222 @@
+//! Poison-ignoring synchronization primitives (the workspace's
+//! `parking_lot`).
+//!
+//! [`Mutex`] and [`Condvar`] wrap `std::sync` with two deliberate
+//! differences, both matching the `parking_lot` convention the workspace
+//! was written against:
+//!
+//! 1. **`lock()` returns the guard directly**, no `Result`. Poisoning is
+//!    ignored: the simulated kernel's oracles (KASAN, lockdep, BUG_ON)
+//!    report crashes by panicking inside test threads, and a panicked
+//!    oracle must not wedge the crash-report sink or the scheduler state
+//!    it was holding — the next reader continues with whatever state is
+//!    there, exactly as `parking_lot` behaves.
+//! 2. **`Condvar::wait` takes `&mut MutexGuard`** instead of consuming and
+//!    returning the guard, so token-passing wait loops read naturally.
+//!
+//! Both types are `const`-constructible so they can back `static`s (the
+//! IID registry).
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{self, PoisonError};
+
+/// A mutual-exclusion lock whose guard ignores poisoning.
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex (usable in `static` initializers).
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available. A poisoned lock (a
+    /// panic while held) is entered anyway — see the module docs.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").field("inner", &self.inner).finish()
+    }
+}
+
+/// RAII guard for [`Mutex`]; unlocks on drop.
+///
+/// The guard is internally an `Option` only so [`Condvar::wait`] can move
+/// the underlying std guard out and back while the caller keeps borrowing
+/// this one; it is always `Some` outside that window.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present outside wait")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// A condition variable pairing with [`Mutex`].
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable (usable in `static` initializers).
+    pub const fn new() -> Self {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases the guard's lock and blocks until notified,
+    /// reacquiring before returning. Spurious wakeups are possible; call
+    /// from a predicate loop.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.inner.take().expect("guard present outside wait");
+        guard.inner = Some(
+            self.inner
+                .wait(std_guard)
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+    }
+
+    /// Wakes one blocked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all blocked waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad("Condvar")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_guards_mutation() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn const_static_mutex_works() {
+        static S: Mutex<Option<u32>> = Mutex::new(None);
+        *S.lock() = Some(5);
+        assert_eq!(*S.lock(), Some(5));
+    }
+
+    /// The load-bearing divergence from std: a panic while holding the
+    /// lock must not wedge later lockers.
+    #[test]
+    fn poisoned_lock_is_still_usable() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("oracle fired while holding the report sink");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7, "post-panic lock must succeed");
+        *m.lock() = 8;
+        assert_eq!(*m.lock(), 8);
+    }
+
+    #[test]
+    fn condvar_wait_notify_roundtrip() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let (m, cv) = &*pair2;
+                *m.lock() = true;
+                cv.notify_all();
+            });
+            let (m, cv) = &*pair;
+            let mut ready = m.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+            assert!(*ready);
+        });
+    }
+
+    #[test]
+    fn condvar_many_waiters() {
+        let state = Arc::new((Mutex::new(0usize), Condvar::new()));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let st = Arc::clone(&state);
+                s.spawn(move || {
+                    let (m, cv) = &*st;
+                    let mut turn = m.lock();
+                    *turn += 1;
+                    cv.notify_all();
+                    while *turn < 4 {
+                        cv.wait(&mut turn);
+                    }
+                });
+            }
+        });
+        assert_eq!(*state.0.lock(), 4);
+    }
+}

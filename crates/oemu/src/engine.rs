@@ -31,7 +31,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use parking_lot::Mutex;
+use kutil::sync::Mutex;
 
 use crate::history::{StoreHistory, StoreRecord};
 use crate::iid::Iid;
@@ -260,7 +260,14 @@ impl Engine {
     /// relaxed RMWs (`clear_bit`) commit immediately *without* flushing the
     /// buffer — which is precisely how the paper's RDS bug (Figure 8) lets a
     /// lock release overtake the critical section's delayed stores.
-    pub fn rmw(&self, tid: Tid, iid: Iid, addr: u64, f: impl FnOnce(u64) -> u64, order: RmwOrder) -> u64 {
+    pub fn rmw(
+        &self,
+        tid: Tid,
+        iid: Iid,
+        addr: u64,
+        f: impl FnOnce(u64) -> u64,
+        order: RmwOrder,
+    ) -> u64 {
         let mut inner = self.inner.lock();
         match order {
             RmwOrder::Full | RmwOrder::Release => {
@@ -410,13 +417,16 @@ impl Inner {
             return;
         }
         let ts = self.next_seq();
-        self.threads[tid.0].profile.events.push(TraceEvent::Access(AccessRecord {
-            iid,
-            addr,
-            size,
-            kind,
-            ts,
-        }));
+        self.threads[tid.0]
+            .profile
+            .events
+            .push(TraceEvent::Access(AccessRecord {
+                iid,
+                addr,
+                size,
+                kind,
+                ts,
+            }));
     }
 
     fn record_barrier(&mut self, tid: Tid, iid: Iid, kind: BarrierKind) {
@@ -561,7 +571,7 @@ mod tests {
         e.store(Tid(1), iid!(), X, 1, StoreAnn::Plain); // before the barrier
         e.smp_rmb(Tid(0), iid!());
         e.store(Tid(1), iid!(), X, 2, StoreAnn::Plain); // inside the window
-        // Valid pre-image is 1 (overwritten inside the window), never 0.
+                                                        // Valid pre-image is 1 (overwritten inside the window), never 0.
         assert_eq!(e.load(Tid(0), i, X, LoadAnn::Plain), 1);
     }
 
@@ -771,7 +781,11 @@ mod tests {
         let kinds: Vec<_> = p.barriers().map(|b| b.kind).collect();
         assert_eq!(
             kinds,
-            vec![BarrierKind::Release, BarrierKind::ReadOnce, BarrierKind::Acquire]
+            vec![
+                BarrierKind::Release,
+                BarrierKind::ReadOnce,
+                BarrierKind::Acquire
+            ]
         );
         // Release barrier precedes its store; ReadOnce/Acquire follow theirs.
         assert!(p.events[0].as_barrier().is_some());

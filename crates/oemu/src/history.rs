@@ -61,7 +61,8 @@ impl StoreHistory {
     /// Returns `None` when no store to `addr` committed inside the window —
     /// the load then reads current memory as its default behaviour.
     pub fn old_version(&self, reader: Tid, addr: u64, window_start: u64) -> Option<u64> {
-        self.old_version_at(reader, addr, window_start).map(|(v, _)| v)
+        self.old_version_at(reader, addr, window_start)
+            .map(|(v, _)| v)
     }
 
     /// Like [`old_version`](StoreHistory::old_version), additionally
@@ -69,12 +70,7 @@ impl StoreHistory {
     /// The value was current during the half-open interval ending at that
     /// timestamp, which the engine uses to maintain per-location read
     /// coherence (a thread never observes values moving backwards in time).
-    pub fn old_version_at(
-        &self,
-        reader: Tid,
-        addr: u64,
-        window_start: u64,
-    ) -> Option<(u64, u64)> {
+    pub fn old_version_at(&self, reader: Tid, addr: u64, window_start: u64) -> Option<(u64, u64)> {
         // Coherence bound: the reader must not travel back before its own
         // latest committed store to this address.
         let own_bound = self
@@ -155,8 +151,8 @@ mod tests {
         h.record(rec(0x10, 0, 1, 1, 0)); // other thread
         h.record(rec(0x10, 1, 5, 2, 1)); // reader's own store
         h.record(rec(0x10, 5, 9, 3, 0)); // other thread again
-        // Reader tid=1 wrote 5 at ts=2; it may only see pre-images of stores
-        // after that, i.e. 5 (pre-image of ts=3), never 0 or 1.
+                                         // Reader tid=1 wrote 5 at ts=2; it may only see pre-images of stores
+                                         // after that, i.e. 5 (pre-image of ts=3), never 0 or 1.
         assert_eq!(h.old_version(Tid(1), 0x10, 0), Some(5));
     }
 

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use parking_lot::Mutex;
+use kutil::sync::Mutex;
 
 /// A stable identifier for one instrumented memory access or barrier site.
 ///

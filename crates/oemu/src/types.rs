@@ -162,7 +162,11 @@ mod tests {
         for kind in [BarrierKind::Full, BarrierKind::Wmb, BarrierKind::Release] {
             assert!(kind.orders_stores(), "{kind:?} must flush stores");
         }
-        for kind in [BarrierKind::Rmb, BarrierKind::Acquire, BarrierKind::ReadOnce] {
+        for kind in [
+            BarrierKind::Rmb,
+            BarrierKind::Acquire,
+            BarrierKind::ReadOnce,
+        ] {
             assert!(!kind.orders_stores(), "{kind:?} must not flush stores");
         }
     }

@@ -1,9 +1,12 @@
 //! Property-based model checking of the OEMU engine.
 //!
-//! Random operation sequences (stores, loads, barriers, flushes across two
-//! threads, with random delay/version control sets) are executed against
-//! the engine, and the observations are checked against the memory-model
-//! invariants that §3.3 promises:
+//! Operation sequences (stores, loads, barriers, flushes across two
+//! threads, with delay/version control sets) are executed against the
+//! engine, and the observations are checked against the memory-model
+//! invariants that §3.3 promises. Case generation is fully deterministic:
+//! an enumerated pass over every operation pair, then a seeded [`DetRng`]
+//! sweep (the failing case's seed is printed on panic, replacing
+//! proptest's failure persistence). The invariants:
 //!
 //! 1. **No thin-air values**: every load returns the initial zero or a
 //!    value some store wrote.
@@ -18,33 +21,121 @@
 //!    each location's last store in program order per thread.
 
 use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
 
+use kutil::DetRng;
 use oemu::{Engine, Iid, LoadAnn, StoreAnn, Tid};
-use proptest::prelude::*;
 
 /// One scripted operation.
 #[derive(Copy, Clone, Debug)]
 enum Op {
-    Store { tid: usize, addr: u64, delayed: bool },
-    Load { tid: usize, addr: u64, versioned: bool },
-    Wmb { tid: usize },
-    Rmb { tid: usize },
-    Mb { tid: usize },
-    Flush { tid: usize },
+    Store {
+        tid: usize,
+        addr: u64,
+        delayed: bool,
+    },
+    Load {
+        tid: usize,
+        addr: u64,
+        versioned: bool,
+    },
+    Wmb {
+        tid: usize,
+    },
+    Rmb {
+        tid: usize,
+    },
+    Mb {
+        tid: usize,
+    },
+    Flush {
+        tid: usize,
+    },
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    let addr = (0u64..4).prop_map(|a| 0x1000 + a * 8);
-    prop_oneof![
-        4 => (0..2usize, addr.clone(), any::<bool>())
-            .prop_map(|(tid, addr, delayed)| Op::Store { tid, addr, delayed }),
-        4 => (0..2usize, addr, any::<bool>())
-            .prop_map(|(tid, addr, versioned)| Op::Load { tid, addr, versioned }),
-        1 => (0..2usize).prop_map(|tid| Op::Wmb { tid }),
-        1 => (0..2usize).prop_map(|tid| Op::Rmb { tid }),
-        1 => (0..2usize).prop_map(|tid| Op::Mb { tid }),
-        1 => (0..2usize).prop_map(|tid| Op::Flush { tid }),
-    ]
+/// One random operation, weighted 4:4:1:1:1:1 (stores and loads dominate,
+/// matching the distribution the proptest version of this suite used).
+fn arb_op(rng: &mut DetRng) -> Op {
+    let tid = rng.gen_range(0..2usize);
+    let addr = 0x1000 + rng.gen_range(0u64..4) * 8;
+    match rng.gen_range(0..12u32) {
+        0..=3 => Op::Store {
+            tid,
+            addr,
+            delayed: rng.gen_bool(0.5),
+        },
+        4..=7 => Op::Load {
+            tid,
+            addr,
+            versioned: rng.gen_bool(0.5),
+        },
+        8 => Op::Wmb { tid },
+        9 => Op::Rmb { tid },
+        10 => Op::Mb { tid },
+        _ => Op::Flush { tid },
+    }
+}
+
+/// A random script of 1..24 operations.
+fn arb_ops(rng: &mut DetRng) -> Vec<Op> {
+    let len = rng.gen_range(1..24usize);
+    (0..len).map(|_| arb_op(rng)).collect()
+}
+
+/// Every operation kind over a reduced domain (both threads, one fixed
+/// address, both flag values): the alphabet for the enumerated pass.
+fn op_alphabet() -> Vec<Op> {
+    let mut ops = Vec::new();
+    for tid in 0..2 {
+        for flag in [false, true] {
+            ops.push(Op::Store {
+                tid,
+                addr: 0x1000,
+                delayed: flag,
+            });
+            ops.push(Op::Load {
+                tid,
+                addr: 0x1000,
+                versioned: flag,
+            });
+        }
+        ops.push(Op::Wmb { tid });
+        ops.push(Op::Rmb { tid });
+        ops.push(Op::Mb { tid });
+        ops.push(Op::Flush { tid });
+    }
+    ops
+}
+
+/// Number of randomized cases per property (the old proptest case count).
+const CASES: u64 = 192;
+
+/// Runs `body` against enumerated small scripts (every pair over the op
+/// alphabet — 256 cases) and `CASES` randomized scripts. Deterministic:
+/// case i of property `salt` is always the same script. On failure, the
+/// reproducing seed is printed before the panic propagates, replacing
+/// proptest's persisted failure file.
+fn check_property(salt: u64, body: impl Fn(&[Op])) {
+    let alphabet = op_alphabet();
+    for (i, a) in alphabet.iter().enumerate() {
+        for (j, b) in alphabet.iter().enumerate() {
+            let script = [*a, *b];
+            let r = std::panic::catch_unwind(AssertUnwindSafe(|| body(&script)));
+            if let Err(e) = r {
+                eprintln!("property failed on enumerated pair ({i}, {j}): {script:?}");
+                std::panic::resume_unwind(e);
+            }
+        }
+    }
+    for case in 0..CASES {
+        let seed = salt.wrapping_mul(0x100_0000).wrapping_add(case);
+        let ops = arb_ops(&mut DetRng::new(seed));
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| body(&ops)));
+        if let Err(e) = r {
+            eprintln!("property failed with DetRng seed {seed}: {ops:?}");
+            std::panic::resume_unwind(e);
+        }
+    }
 }
 
 /// Result of running a script: per-load observations and final state.
@@ -80,10 +171,17 @@ fn run_script(ops: &[Op]) -> RunResult {
                     engine.delay_store_at(Tid(tid), iid);
                 }
                 engine.store(Tid(tid), iid, addr, val, StoreAnn::Plain);
-                stores_by_thread_addr.entry((tid, addr)).or_default().push(val);
+                stores_by_thread_addr
+                    .entry((tid, addr))
+                    .or_default()
+                    .push(val);
                 all_values.push(val);
             }
-            Op::Load { tid, addr, versioned } => {
+            Op::Load {
+                tid,
+                addr,
+                versioned,
+            } => {
                 if versioned {
                     engine.read_old_value_at(Tid(tid), iid);
                 }
@@ -101,7 +199,10 @@ fn run_script(ops: &[Op]) -> RunResult {
     // Reconstruct each location's value timeline from the history.
     let mut timeline: HashMap<u64, Vec<u64>> = HashMap::new();
     for rec in engine.history_records() {
-        timeline.entry(rec.addr).or_insert_with(|| vec![0]).push(rec.new);
+        timeline
+            .entry(rec.addr)
+            .or_insert_with(|| vec![0])
+            .push(rec.new);
     }
     let mut final_mem = HashMap::new();
     for addr in (0..4).map(|a| 0x1000 + a * 8) {
@@ -116,31 +217,31 @@ fn run_script(ops: &[Op]) -> RunResult {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    #[test]
-    fn no_thin_air_values(ops in proptest::collection::vec(arb_op(), 1..24)) {
-        let r = run_script(&ops);
+#[test]
+fn no_thin_air_values() {
+    check_property(1, |ops| {
+        let r = run_script(ops);
         for (tid, addr, v, _) in &r.loads {
-            prop_assert!(
+            assert!(
                 r.all_values.contains(v),
                 "thread {tid} read thin-air value {v} from {addr:#x}"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn read_your_own_writes(ops in proptest::collection::vec(arb_op(), 1..24)) {
-        // Replay the script tracking each thread's last store per addr;
-        // whenever that thread loads the addr, it must see a value at least
-        // as new as its own last store (forwarding or the store itself).
-        let r = run_script(&ops);
+#[test]
+fn read_your_own_writes() {
+    // Replay the script tracking each thread's last store per addr;
+    // whenever that thread loads the addr, it must see a value at least
+    // as new as its own last store (forwarding or the store itself).
+    check_property(2, |ops| {
+        let r = run_script(ops);
         // Replay, counting stores issued per (thread, addr) so far; the
         // thread's own last store is `list[count - 1]`.
         let mut issued: HashMap<(usize, u64), usize> = HashMap::new();
         let mut load_idx = 0;
-        for op in &ops {
+        for op in ops {
             match *op {
                 Op::Store { tid, addr, .. } => {
                     *issued.entry((tid, addr)).or_insert(0) += 1;
@@ -157,7 +258,7 @@ proptest! {
                         // *earlier own* values (read-your-writes); other
                         // threads' values are unconstrained here.
                         if let Some(vpos) = list.iter().position(|x| x == &v) {
-                            prop_assert!(
+                            assert!(
                                 vpos >= own_pos,
                                 "thread {tid} lost its own store: saw {v} (own pos {vpos} < {own_pos})"
                             );
@@ -166,7 +267,7 @@ proptest! {
                             // legal once the own store committed. Reading
                             // the initial zero, though, would mean the own
                             // store vanished.
-                            prop_assert!(
+                            assert!(
                                 v != 0,
                                 "thread {tid} read initial 0 after storing to {addr:#x}"
                             );
@@ -176,31 +277,38 @@ proptest! {
                 _ => {}
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn versioned_reads_are_historical(ops in proptest::collection::vec(arb_op(), 1..24)) {
-        let r = run_script(&ops);
+#[test]
+fn versioned_reads_are_historical() {
+    check_property(3, |ops| {
+        let r = run_script(ops);
         for (tid, addr, v, versioned) in &r.loads {
             if !versioned {
                 continue;
             }
             let timeline = r.timeline.get(addr).cloned().unwrap_or_else(|| vec![0]);
-            prop_assert!(
-                timeline.contains(v) || r.stores_by_thread_addr.get(&(*tid, *addr)).is_some_and(|l| l.contains(v)),
+            assert!(
+                timeline.contains(v)
+                    || r.stores_by_thread_addr
+                        .get(&(*tid, *addr))
+                        .is_some_and(|l| l.contains(v)),
                 "versioned load of {addr:#x} returned {v}, never held there"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn per_location_reads_are_monotonic(ops in proptest::collection::vec(arb_op(), 1..24)) {
-        // CoRR: for each (thread, addr), map read values to their position
-        // in the location's commit timeline; positions never decrease.
-        // (Values still buffered at read time are not in the timeline until
-        // flushed; since the final double flush commits everything and
-        // values are unique, every read value appears.)
-        let r = run_script(&ops);
+#[test]
+fn per_location_reads_are_monotonic() {
+    // CoRR: for each (thread, addr), map read values to their position
+    // in the location's commit timeline; positions never decrease.
+    // (Values still buffered at read time are not in the timeline until
+    // flushed; since the final double flush commits everything and
+    // values are unique, every read value appears.)
+    check_property(4, |ops| {
+        let r = run_script(ops);
         let mut last_pos: HashMap<(usize, u64), usize> = HashMap::new();
         for (tid, addr, v, _) in &r.loads {
             let timeline = r.timeline.get(addr).cloned().unwrap_or_else(|| vec![0]);
@@ -208,21 +316,23 @@ proptest! {
                 continue; // forwarded-from-buffer value committed later
             };
             let entry = last_pos.entry((*tid, *addr)).or_insert(0);
-            prop_assert!(
+            assert!(
                 pos >= *entry,
                 "thread {tid} read {addr:#x} backwards: timeline pos {pos} after {entry}"
             );
             *entry = pos;
         }
-    }
+    });
+}
 
-    #[test]
-    fn flush_completeness(ops in proptest::collection::vec(arb_op(), 1..24)) {
-        // After the final flushes, memory holds, per location, the last
-        // value of *some* thread's program-order store sequence — never an
-        // intermediate value of any single thread (FIFO buffers cannot
-        // reorder same-thread same-location stores).
-        let r = run_script(&ops);
+#[test]
+fn flush_completeness() {
+    // After the final flushes, memory holds, per location, the last
+    // value of *some* thread's program-order store sequence — never an
+    // intermediate value of any single thread (FIFO buffers cannot
+    // reorder same-thread same-location stores).
+    check_property(5, |ops| {
+        let r = run_script(ops);
         for (addr, final_v) in &r.final_mem {
             if *final_v == 0 {
                 continue;
@@ -232,10 +342,10 @@ proptest! {
                     .get(&(tid, *addr))
                     .is_some_and(|list| list.last() == Some(final_v))
             });
-            prop_assert!(
+            assert!(
                 is_last_of_some_thread,
                 "final value {final_v} at {addr:#x} is not any thread's last store"
             );
         }
-    }
+    });
 }

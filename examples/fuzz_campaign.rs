@@ -22,11 +22,16 @@ fn main() {
         bugs: BugSwitches::all(),
         ..FuzzConfig::default()
     });
-    let mut reported = 0;
+    let mut reported = std::collections::HashSet::new();
     while fuzzer.stats().mtis_run < max_tests {
         fuzzer.step();
-        // Report newly found bugs as the campaign progresses.
-        for (title, info) in fuzzer.found().iter().skip(reported) {
+        // Report newly found bugs as the campaign progresses. `found()` is
+        // sorted by title, not discovery order, so track what was printed
+        // by key rather than by count.
+        for (title, info) in fuzzer.found() {
+            if !reported.insert(title.clone()) {
+                continue;
+            }
             println!("[test {:>6}] {title}", info.tests_to_find);
             println!("             pair: {:?} || {:?}", info.pair.0, info.pair.1);
             println!(
@@ -34,7 +39,6 @@ fn main() {
                 info.barrier_location, info.reorder_type, info.hint_rank
             );
         }
-        reported = fuzzer.found().len();
     }
     let stats = fuzzer.stats();
     println!(

@@ -31,11 +31,7 @@ fn profile(bugs: &BugSwitches, call: Syscall) -> Vec<oemu::AccessRecord> {
     let k = Kctx::new(bugs.clone());
     k.engine.set_profiling(true);
     run_one(&k, Tid(0), call);
-    k.engine
-        .take_profile(Tid(0))
-        .accesses()
-        .copied()
-        .collect()
+    k.engine.take_profile(Tid(0)).accesses().copied().collect()
 }
 
 /// The hypothetical store barrier test (Figure 5a): delay the writer's
@@ -66,10 +62,7 @@ fn store_store_reordering() {
     };
     println!("  schedule_at(after {})", head_store.iid);
     let out = run_concurrent(&k, plan, Syscall::WqPost, Syscall::PipeRead);
-    println!(
-        "  -> {}\n",
-        out.title().unwrap_or("no crash (unexpected!)")
-    );
+    println!("  -> {}\n", out.title().unwrap_or("no crash (unexpected!)"));
     assert!(out.crashed());
 }
 
@@ -107,10 +100,7 @@ fn load_load_reordering() {
     };
     println!("  schedule_at(before {})", loads[0].iid);
     let out = run_concurrent(&k, plan, Syscall::WqPost, Syscall::PipeRead);
-    println!(
-        "  -> {}\n",
-        out.title().unwrap_or("no crash (unexpected!)")
-    );
+    println!("  -> {}\n", out.title().unwrap_or("no crash (unexpected!)"));
     assert!(out.crashed());
 }
 

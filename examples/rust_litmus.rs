@@ -77,7 +77,11 @@ fn main() {
         ),
     ];
     for (name, observed, expected) in rows {
-        let verdict = if observed == expected { "ok" } else { "VIOLATION" };
+        let verdict = if observed == expected {
+            "ok"
+        } else {
+            "VIOLATION"
+        };
         println!(
             "  [{verdict}] {name}: {}",
             if observed { "reachable" } else { "forbidden" }

@@ -40,12 +40,19 @@ fn main() {
             println!("OZZ report:");
             println!("  crash:     {}", bug.title);
             println!("  pair:      {:?} || {:?}", bug.pair.0, bug.pair.1);
-            println!("  reorder:   {} ({} accesses reordered)", bug.reorder_type, {
-                // The rank-0 hint reorders the most accesses.
-                bug.hint_rank + 1
-            });
+            println!(
+                "  reorder:   {} ({} accesses reordered)",
+                bug.reorder_type,
+                {
+                    // The rank-0 hint reorders the most accesses.
+                    bug.hint_rank + 1
+                }
+            );
             println!("  diagnosis: {}", bug.barrier_location);
-            println!("  found after {} tests (hint rank {})", bug.tests_to_find, bug.hint_rank);
+            println!(
+                "  found after {} tests (hint rank {})",
+                bug.tests_to_find, bug.hint_rank
+            );
             println!();
             println!("The diagnosis points into tls_init: the missing smp_wmb belongs right");
             println!("before the proto-table swap — exactly the upstream fix.");

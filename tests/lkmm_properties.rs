@@ -1,52 +1,117 @@
 //! Property-based LKMM compliance: random litmus programs explored
 //! exhaustively must satisfy the memory-model invariants of §3.3/§10.1
 //! under *every* combination of OEMU controls.
+//!
+//! Case generation is deterministic: each property runs an enumerated pass
+//! (every single-op thread-pair over the op alphabet) plus a seeded
+//! [`DetRng`] sweep. On failure the reproducing seed is printed before the
+//! panic propagates.
 
+use std::panic::AssertUnwindSafe;
+
+use kutil::DetRng;
 use litmus::{Litmus, Op};
 use oemu::{LoadAnn, StoreAnn};
-use proptest::prelude::*;
 
-/// Generator for one litmus thread program over `nvars` variables.
-fn arb_op(nvars: usize, reg_base: usize) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..nvars, 1u64..4).prop_map(|(var, val)| Op::Store {
-            var,
-            val,
+/// One random operation for a litmus thread program over `nvars`
+/// variables, with registers drawn from `reg_base..reg_base + 2`.
+fn arb_op(rng: &mut DetRng, nvars: usize, reg_base: usize) -> Op {
+    match rng.gen_range(0..7u32) {
+        0 => Op::Store {
+            var: rng.gen_range(0..nvars),
+            val: rng.gen_range(1u64..4),
             ann: StoreAnn::Plain,
-        }),
-        (0..nvars, 1u64..4).prop_map(|(var, val)| Op::Store {
-            var,
-            val,
+        },
+        1 => Op::Store {
+            var: rng.gen_range(0..nvars),
+            val: rng.gen_range(1u64..4),
             ann: StoreAnn::Release,
-        }),
-        (0..nvars, 0..2usize).prop_map(move |(var, r)| Op::Load {
-            reg: reg_base + r,
-            var,
+        },
+        2 => Op::Load {
+            reg: reg_base + rng.gen_range(0..2usize),
+            var: rng.gen_range(0..nvars),
             ann: LoadAnn::Plain,
-        }),
-        (0..nvars, 0..2usize).prop_map(move |(var, r)| Op::Load {
-            reg: reg_base + r,
-            var,
+        },
+        3 => Op::Load {
+            reg: reg_base + rng.gen_range(0..2usize),
+            var: rng.gen_range(0..nvars),
             ann: LoadAnn::ReadOnce,
-        }),
-        Just(Op::Wmb),
-        Just(Op::Rmb),
-        Just(Op::Mb),
-    ]
+        },
+        4 => Op::Wmb,
+        5 => Op::Rmb,
+        _ => Op::Mb,
+    }
 }
 
-fn arb_litmus() -> impl Strategy<Value = Litmus> {
-    let nvars = 2usize;
-    (
-        proptest::collection::vec(arb_op(nvars, 0), 1..4),
-        proptest::collection::vec(arb_op(nvars, 2), 1..4),
-    )
-        .prop_map(move |(t0, t1)| Litmus {
-            name: "random",
-            threads: vec![t0, t1],
-            nvars,
-            nregs: 4,
-        })
+const NVARS: usize = 2;
+
+fn arb_litmus(rng: &mut DetRng) -> Litmus {
+    let mut thread = |reg_base: usize| {
+        let len = rng.gen_range(1..4usize);
+        (0..len).map(|_| arb_op(rng, NVARS, reg_base)).collect()
+    };
+    let t0 = thread(0);
+    let t1 = thread(2);
+    Litmus {
+        name: "random",
+        threads: vec![t0, t1],
+        nvars: NVARS,
+        nregs: 4,
+    }
+}
+
+/// Every operation kind over the reduced domain, for the enumerated pass.
+fn op_alphabet(reg_base: usize) -> Vec<Op> {
+    let mut ops = Vec::new();
+    for var in 0..NVARS {
+        for ann in [StoreAnn::Plain, StoreAnn::Release] {
+            ops.push(Op::Store { var, val: 1, ann });
+        }
+        for ann in [LoadAnn::Plain, LoadAnn::ReadOnce] {
+            ops.push(Op::Load {
+                reg: reg_base,
+                var,
+                ann,
+            });
+        }
+    }
+    ops.push(Op::Wmb);
+    ops.push(Op::Rmb);
+    ops.push(Op::Mb);
+    ops
+}
+
+/// Randomized cases per property (the old proptest case count).
+const CASES: u64 = 48;
+
+/// Enumerated single-op thread pairs (121 cases) plus `CASES` random
+/// programs, all deterministic in (property salt, case index).
+fn check_property(salt: u64, body: impl Fn(&Litmus)) {
+    let (a0, a1) = (op_alphabet(0), op_alphabet(2));
+    for (i, x) in a0.iter().enumerate() {
+        for (j, y) in a1.iter().enumerate() {
+            let t = Litmus {
+                name: "enumerated",
+                threads: vec![vec![*x], vec![*y]],
+                nvars: NVARS,
+                nregs: 4,
+            };
+            let r = std::panic::catch_unwind(AssertUnwindSafe(|| body(&t)));
+            if let Err(e) = r {
+                eprintln!("property failed on enumerated pair ({i}, {j}): {t:?}");
+                std::panic::resume_unwind(e);
+            }
+        }
+    }
+    for case in 0..CASES {
+        let seed = salt.wrapping_mul(0x100_0000).wrapping_add(case);
+        let t = arb_litmus(&mut DetRng::new(seed));
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| body(&t)));
+        if let Err(e) = r {
+            eprintln!("property failed with DetRng seed {seed}: {t:?}");
+            std::panic::resume_unwind(e);
+        }
+    }
 }
 
 /// Values a program can legitimately produce: the initial zero or any
@@ -63,25 +128,25 @@ fn stored_values(t: &Litmus) -> Vec<u64> {
     vals
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// No out-of-thin-air values: every register outcome holds either the
-    /// initial zero or a value some store wrote.
-    #[test]
-    fn no_out_of_thin_air(t in arb_litmus()) {
-        let legal = stored_values(&t);
+/// No out-of-thin-air values: every register outcome holds either the
+/// initial zero or a value some store wrote.
+#[test]
+fn no_out_of_thin_air() {
+    check_property(1, |t| {
+        let legal = stored_values(t);
         for outcome in t.explore() {
             for v in outcome {
-                prop_assert!(legal.contains(&v), "thin-air value {v}");
+                assert!(legal.contains(&v), "thin-air value {v}");
             }
         }
-    }
+    });
+}
 
-    /// Barrier monotonicity: inserting smp_mb between every pair of ops
-    /// never *adds* outcomes — barriers only restrict behaviour.
-    #[test]
-    fn full_barriers_only_restrict(t in arb_litmus()) {
+/// Barrier monotonicity: inserting smp_mb between every pair of ops
+/// never *adds* outcomes — barriers only restrict behaviour.
+#[test]
+fn full_barriers_only_restrict() {
+    check_property(2, |t| {
         let strengthened = Litmus {
             name: "strengthened",
             threads: t
@@ -101,19 +166,21 @@ proptest! {
         };
         let weak = t.explore();
         let strong = strengthened.explore();
-        prop_assert!(
+        assert!(
             strong.is_subset(&weak),
             "smp_mb added outcomes: {:?}",
             strong.difference(&weak).collect::<Vec<_>>()
         );
-    }
+    });
+}
 
-    /// In-order containment: the sequentially-consistent outcomes (ops
-    /// executed atomically in some interleaving, which is what exploration
-    /// with all-empty control sets yields) are always among the explored
-    /// outcomes — weak memory only ever *adds* behaviours.
-    #[test]
-    fn sc_outcomes_are_preserved(t in arb_litmus()) {
+/// In-order containment: the sequentially-consistent outcomes (ops
+/// executed atomically in some interleaving, which is what exploration
+/// with all-empty control sets yields) are always among the explored
+/// outcomes — weak memory only ever *adds* behaviours.
+#[test]
+fn sc_outcomes_are_preserved() {
+    check_property(3, |t| {
         // Fully-fenced version = SC.
         let sc = Litmus {
             name: "sc",
@@ -134,9 +201,9 @@ proptest! {
         };
         let weak = t.explore();
         for outcome in sc.explore() {
-            prop_assert!(weak.contains(&outcome), "SC outcome {outcome:?} lost");
+            assert!(weak.contains(&outcome), "SC outcome {outcome:?} lost");
         }
-    }
+    });
 }
 
 /// Deterministic regression cases distilled from the properties.
