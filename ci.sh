@@ -17,6 +17,12 @@ cargo test -q --offline
 echo "== workspace tests (all crates, offline) =="
 cargo test --workspace -q --offline
 
+echo "== sharded-campaign determinism =="
+cargo test -q --offline --test parallel_determinism
+
+echo "== scaling bench builds (release) =="
+cargo build --release --offline -p bench --bin parallel_scaling
+
 echo "== formatting =="
 cargo fmt --check
 

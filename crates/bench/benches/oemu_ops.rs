@@ -3,7 +3,9 @@
 //! - plain commit vs delayed store + flush (store-buffer cost);
 //! - load from memory vs store-to-load forwarding vs versioned load
 //!   (hierarchical-search cost);
-//! - store-history growth with and without GC (history-bound ablation).
+//! - store-history growth with and without GC (history-bound ablation);
+//! - versioned-load lookup against a wide address space (the per-address
+//!   history index: cost tracks one address's records, not the whole log).
 
 use std::time::Duration;
 
@@ -75,6 +77,22 @@ fn main() {
             b.iter(|| e.load(Tid(0), i, 0x1000, LoadAnn::Plain));
         });
     }
+
+    // Per-address index ablation: 4096 stores spread over 4096 *distinct*
+    // addresses. The old two-scan lookup walked the full log (O(total
+    // stores)) to resolve one address; the indexed lookup touches only
+    // that address's single record. Compare against `history_unbounded`
+    // above, where 64 records share the queried address.
+    group.bench_function("history_wide_addresses", |b| {
+        let e = Engine::new(2);
+        let istore = iid!();
+        for n in 0..4096 {
+            e.store(Tid(1), istore, 0x1_0000 + n * 8, n, StoreAnn::Plain);
+        }
+        let i = iid!();
+        e.read_old_value_at(Tid(0), i);
+        b.iter(|| e.load(Tid(0), i, 0x1_0000 + 2048 * 8, LoadAnn::Plain));
+    });
 
     group.finish();
 }

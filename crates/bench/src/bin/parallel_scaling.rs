@@ -1,0 +1,63 @@
+//! Sharded-campaign scaling: MTI throughput at 1/2/4/8 workers.
+//!
+//! Runs the same fixed-budget campaign through `ozz::parallel` at each
+//! worker count on the `kutil::bench` harness and emits one JSON line per
+//! configuration with the derived MTIs/second and the speedup over the
+//! single-worker run. The campaign targets the *patched* kernel with an
+//! unfindable sentinel title so no early-stop shortens the measured work:
+//! every configuration executes exactly the same `budget` MTIs.
+//!
+//! Speedup is bounded by the machine: on a single-core container every
+//! worker count serializes onto one CPU and the curve is flat (barrier
+//! overhead only); the near-linear region needs as many free cores as
+//! workers.
+//!
+//! Run with: `cargo run --release --bin parallel_scaling [budget]`
+
+use std::time::Duration;
+
+use kernelsim::BugSwitches;
+use kutil::bench::benchmark_group;
+use ozz::parallel::ParallelCampaign;
+
+const SEED: u64 = 7;
+
+fn main() {
+    let budget: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1500);
+    println!("Sharded-campaign scaling: {budget} MTIs per configuration\n");
+
+    let mut group = benchmark_group("parallel_scaling");
+    group
+        .sample_size(5)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+
+    let mut base_rate = None;
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_function(&format!("campaign/{workers}w"), |b| {
+            b.iter(|| {
+                ParallelCampaign::new(SEED, workers, budget)
+                    .target(BugSwitches::none(), vec!["<unfindable>".into()])
+                    .run()
+                    .stats
+                    .mtis_run
+            });
+        });
+        let median_ns = group
+            .last_median_ns()
+            .expect("bench_function just measured");
+        let mtis_per_sec = budget as f64 * 1e9 / median_ns;
+        let base = *base_rate.get_or_insert(mtis_per_sec);
+        println!(
+            "{{\"group\":\"parallel_scaling\",\"name\":\"mtis_per_sec\",\
+             \"workers\":{workers},\"budget\":{budget},\
+             \"mtis_per_sec\":{mtis_per_sec:.1},\
+             \"speedup_vs_1w\":{:.2}}}",
+            mtis_per_sec / base
+        );
+    }
+    group.finish();
+}

@@ -7,6 +7,8 @@
 //! - `table4_repro` — Table 4: directed reproduction of the 9 known bugs;
 //! - `table5_table` — Table 5: instrumentation overhead per op class;
 //! - `throughput` — §6.3.2: OZZ vs interleaving-only baseline tests/s;
+//! - `parallel_scaling` — sharded-campaign MTI throughput at 1/2/4/8
+//!   workers (JSON lines with speedup over one worker);
 //! - `ofence_compare` — §6.4: the paired-barrier matcher over Table 3;
 //! - `heuristic_rank` — §4.3: rank of the triggering scheduling hint;
 //! - `invitro_compare` — §7: offline candidates vs in-vivo confirmation;

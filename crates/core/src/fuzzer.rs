@@ -11,6 +11,7 @@
 use std::collections::{BTreeMap, HashSet};
 
 use kernelsim::{BugSwitches, Kctx, ReorderType, Syscall};
+use kutil::splitmix64;
 use oemu::Iid;
 
 use crate::hints::{calc_hints, HintKind};
@@ -88,7 +89,20 @@ pub struct FuzzStats {
     pub crashes_total: u64,
     /// Instrumentation sites covered (KCov analog).
     pub coverage: usize,
+    /// Consecutive STIs (counting back from the latest) whose hint pipeline
+    /// produced zero MTIs — the liveness signal [`Fuzzer::run_until`] and
+    /// the sharded runner stall on.
+    pub barren_stis: u64,
+    /// Set when a bounded run aborted because [`STALL_LIMIT`] consecutive
+    /// STIs produced no MTIs: the MTI budget could never be consumed, so
+    /// looping on `mtis_run` alone would spin forever.
+    pub stalled: bool,
 }
+
+/// How many consecutive MTI-less STIs a bounded run tolerates before it
+/// declares the workload stalled and returns (surfaced as
+/// [`FuzzStats::stalled`]).
+pub const STALL_LIMIT: u64 = 256;
 
 /// The OZZ fuzzer.
 pub struct Fuzzer {
@@ -101,10 +115,41 @@ pub struct Fuzzer {
     rng_pick: u64,
 }
 
+/// Initial scramble state of the corpus-pick stream (golden ratio), XORed
+/// with a SplitMix64 expansion of the campaign seed so distinct seeds (and
+/// therefore distinct shards) draw decorrelated pick streams.
+const PICK_INIT: u64 = 0x9e37_79b9_7f4a_7c15;
+const PICK_MUL: u64 = 0x5851_f42d_4c95_7f2d;
+
+fn pick_draw(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(PICK_MUL).wrapping_add(1);
+    *state
+}
+
+/// The corpus scheduler's two decisions — mutate-vs-generate, and *which*
+/// corpus entry to mutate — each from its own draw. Returns the corpus
+/// index to mutate, or `None` to generate fresh.
+///
+/// Both draws are always consumed (a fixed two-draw stride per STI), so
+/// the decision taken never perturbs the stream position. Deriving both
+/// decisions from a single draw — the old code — correlated them: the
+/// toss conditions on high bits of the very value whose residue picks the
+/// index, biasing which corpus entries ever get mutated.
+fn corpus_pick(state: &mut u64, corpus_len: usize, mutate_ratio: f64) -> Option<usize> {
+    let toss = (pick_draw(state) >> 33) as f64 / (1u64 << 31) as f64;
+    let idx_draw = pick_draw(state);
+    if corpus_len == 0 || toss >= mutate_ratio {
+        return None;
+    }
+    Some((idx_draw % corpus_len as u64) as usize)
+}
+
 impl Fuzzer {
     /// Creates a fuzzer.
     pub fn new(cfg: FuzzConfig) -> Self {
         let gen = StiGen::new(cfg.seed);
+        let mut sm = cfg.seed;
+        let rng_pick = PICK_INIT ^ splitmix64(&mut sm);
         Fuzzer {
             cfg,
             gen,
@@ -112,13 +157,14 @@ impl Fuzzer {
             coverage: HashSet::new(),
             found: BTreeMap::new(),
             stats: FuzzStats::default(),
-            rng_pick: 0x9e37_79b9_7f4a_7c15,
+            rng_pick,
         }
     }
 
     /// Runs one full iteration (STI → profile → hints → MTIs); returns the
     /// number of *new* unique crashes found in this iteration.
     pub fn step(&mut self) -> usize {
+        let mtis_before = self.stats.mtis_run;
         let sti = self.next_sti();
         self.stats.stis_run += 1;
         // Step 1 (§4.2): run the STI with profiling.
@@ -195,31 +241,40 @@ impl Fuzzer {
                 }
             }
         }
+        // Liveness accounting: a step that yielded no MTIs cannot make
+        // progress against an MTI budget.
+        if self.stats.mtis_run == mtis_before {
+            self.stats.barren_stis += 1;
+        } else {
+            self.stats.barren_stis = 0;
+        }
         new_uniques
     }
 
-    /// Runs iterations until `max_tests` MTIs have executed or `target`
-    /// unique crashes were found.
+    /// Runs iterations until `max_tests` MTIs have executed, `target`
+    /// unique crashes were found, or [`STALL_LIMIT`] consecutive STIs
+    /// produced no MTIs (a hint-free workload would otherwise spin forever
+    /// without `mtis_run` ever advancing); a stall is surfaced as
+    /// [`FuzzStats::stalled`].
     pub fn run_until(&mut self, max_tests: u64, target: usize) {
         while self.stats.mtis_run < max_tests && self.found.len() < target {
             self.step();
+            if self.stats.barren_stis >= STALL_LIMIT {
+                self.stats.stalled = true;
+                break;
+            }
         }
     }
 
-    /// Picks the next STI: a corpus mutation or a fresh generation.
+    /// Picks the next STI: a corpus mutation or a fresh generation, each
+    /// decision from its own deterministic draw.
     fn next_sti(&mut self) -> Sti {
-        // Deterministic corpus pick (splitmix-style scramble).
-        self.rng_pick = self
-            .rng_pick
-            .wrapping_mul(0x5851_f42d_4c95_7f2d)
-            .wrapping_add(1);
-        let toss = (self.rng_pick >> 33) as f64 / (1u64 << 31) as f64;
-        if !self.corpus.is_empty() && toss < self.cfg.mutate_ratio {
-            let idx = (self.rng_pick % self.corpus.len() as u64) as usize;
-            let base = self.corpus[idx].clone();
-            self.gen.mutate(&base)
-        } else {
-            self.gen.generate()
+        match corpus_pick(&mut self.rng_pick, self.corpus.len(), self.cfg.mutate_ratio) {
+            Some(idx) => {
+                let base = self.corpus[idx].clone();
+                self.gen.mutate(&base)
+            }
+            None => self.gen.generate(),
         }
     }
 
@@ -236,6 +291,33 @@ impl Fuzzer {
     /// Corpus size.
     pub fn corpus_len(&self) -> usize {
         self.corpus.len()
+    }
+
+    /// The corpus — coverage-earning STIs plus imports — oldest first.
+    pub fn corpus(&self) -> &[Sti] {
+        &self.corpus
+    }
+
+    /// Appends foreign corpus entries (cross-shard broadcast) that are not
+    /// already present, preserving their order; returns how many were new.
+    /// Imports do not touch coverage — they only widen the mutation pool.
+    pub fn import_corpus(&mut self, entries: &[Sti]) -> usize {
+        let mut imported = 0;
+        for e in entries {
+            if !self.corpus.contains(e) {
+                self.corpus.push(e.clone());
+                imported += 1;
+            }
+        }
+        imported
+    }
+
+    /// Covered instrumentation sites, sorted (for deterministic cross-shard
+    /// coverage union).
+    pub fn coverage_iids(&self) -> Vec<Iid> {
+        let mut v: Vec<Iid> = self.coverage.iter().copied().collect();
+        v.sort_unstable();
+        v
     }
 }
 
@@ -340,6 +422,112 @@ mod tests {
         }
         assert!(f.stats().coverage >= c1);
         assert!(f.corpus_len() >= 1);
+    }
+
+    /// Pins the corpus-pick stream. The pick scramble is part of the
+    /// campaign-schedule contract (like the `DetRng` golden tests): if this
+    /// fails, every seeded campaign silently changed shape.
+    #[test]
+    fn golden_corpus_pick_stream() {
+        let run = |seed: u64| {
+            let mut sm = seed;
+            let mut state = PICK_INIT ^ splitmix64(&mut sm);
+            (0..8)
+                .map(|_| corpus_pick(&mut state, 4, 0.5))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            run(0),
+            vec![Some(0), Some(2), None, None, None, Some(2), Some(0), None]
+        );
+        assert_eq!(
+            run(7),
+            vec![None, None, None, Some(2), None, Some(2), Some(0), Some(2)]
+        );
+    }
+
+    /// The two scheduler decisions must come from independent draws: the
+    /// stream position after each call is the same (two draws) whether the
+    /// call mutated or generated, and conditioning on the mutate outcome
+    /// must not bias which corpus index is reachable.
+    #[test]
+    fn corpus_pick_decisions_are_decorrelated() {
+        let mut state = PICK_INIT;
+        let mut hits = [0u32; 5];
+        let mut mutates = 0u32;
+        for _ in 0..10_000 {
+            if let Some(idx) = corpus_pick(&mut state, 5, 0.5) {
+                hits[idx] += 1;
+                mutates += 1;
+            }
+        }
+        assert!(
+            (4_500..=5_500).contains(&mutates),
+            "ratio 0.5 gave {mutates}/10000 mutations"
+        );
+        for (i, &h) in hits.iter().enumerate() {
+            let expect = mutates / 5;
+            assert!(
+                h >= expect * 8 / 10 && h <= expect * 12 / 10,
+                "index {i} picked {h} times (expected ~{expect}): \
+                 the pick is biased by the toss draw"
+            );
+        }
+        // The fixed stride: the state advances exactly twice per call.
+        let mut a = PICK_INIT ^ 1;
+        let mut b = PICK_INIT ^ 1;
+        corpus_pick(&mut a, 0, 1.0); // forced generate (empty corpus)
+        corpus_pick(&mut b, 9, 1.0); // forced mutate
+        assert_eq!(a, b, "decision outcome must not shift the stream");
+    }
+
+    /// A workload whose STIs never yield MTIs (here: a zero hint budget)
+    /// must not hang `run_until`; the stall is surfaced in the stats.
+    #[test]
+    fn run_until_stalls_instead_of_spinning_on_hint_free_workload() {
+        let mut f = Fuzzer::new(FuzzConfig {
+            seed: 3,
+            max_hints_per_pair: 0,
+            ..FuzzConfig::default()
+        });
+        f.run_until(1_000, 1);
+        let s = f.stats();
+        assert_eq!(s.mtis_run, 0, "no hints, no MTIs");
+        assert!(s.stalled, "the stall must be surfaced");
+        assert_eq!(
+            s.stis_run, STALL_LIMIT,
+            "bounded by consecutive barren STIs"
+        );
+        assert_eq!(s.barren_stis, STALL_LIMIT);
+    }
+
+    #[test]
+    fn productive_runs_never_report_a_stall() {
+        let mut f = Fuzzer::new(FuzzConfig {
+            seed: 1,
+            ..FuzzConfig::default()
+        });
+        f.run_until(300, usize::MAX);
+        assert!(!f.stats().stalled);
+        assert!(f.stats().mtis_run >= 300);
+    }
+
+    #[test]
+    fn corpus_import_dedupes_and_appends() {
+        let mut f = Fuzzer::new(FuzzConfig::default());
+        for _ in 0..5 {
+            f.step();
+        }
+        let own: Vec<Sti> = f.corpus().to_vec();
+        assert_eq!(f.import_corpus(&own), 0, "own entries are duplicates");
+        // A shape generation cannot produce (templates emit ≥3 calls and
+        // mutation only perturbs them), so it is certainly not in the corpus.
+        let foreign = Sti {
+            calls: vec![Syscall::WqPost; 8],
+        };
+        assert_eq!(f.import_corpus(std::slice::from_ref(&foreign)), 1);
+        assert_eq!(f.corpus().last(), Some(&foreign));
+        assert_eq!(f.import_corpus(std::slice::from_ref(&foreign)), 0);
     }
 
     #[test]

@@ -94,9 +94,7 @@ pub fn filter_out(si: &[TraceEvent], sj: &[TraceEvent]) -> (Vec<TraceEvent>, Vec
             if !(ai.kind.writes() || aj.kind.writes()) {
                 continue;
             }
-            if let Some(addr) = overlap(ai, aj) {
-                shared.insert(addr);
-            }
+            shared.extend(overlap_words(ai, aj));
         }
     }
     let keep = |events: &[TraceEvent]| {
@@ -112,23 +110,33 @@ pub fn filter_out(si: &[TraceEvent], sj: &[TraceEvent]) -> (Vec<TraceEvent>, Vec
     (keep(si), keep(sj))
 }
 
-/// Word addresses an access covers (accesses are word-granular in the
-/// simulated kernel, but sub-word sizes still map to their word slot).
+const WORD_MASK: u64 = !7;
+
+/// The 8-byte word slots an access covers: from the word containing its
+/// first byte through the word containing its last byte. Both sides of the
+/// shared-set computation — slot insertion in `overlap_words` and slot
+/// lookup in `filter_out` — must use this same word-aligned granularity;
+/// keying either side on raw (possibly unaligned) byte addresses makes a
+/// partially-overlapping access miss its own shared slot and get filtered
+/// out of its own trace.
 fn words_of(a: &AccessRecord) -> impl Iterator<Item = u64> {
-    let start = a.addr;
-    let end = a.addr + u64::from(a.size.max(1));
-    (start..end).step_by(8).chain(std::iter::once(start))
+    let first = a.addr & WORD_MASK;
+    let last = (a.addr + u64::from(a.size.max(1)) - 1) & WORD_MASK;
+    (first..=last).step_by(8)
 }
 
-/// First overlapping word of two accesses, if their byte ranges intersect.
-fn overlap(a: &AccessRecord, b: &AccessRecord) -> Option<u64> {
+/// The word slots covered by the byte intersection of two accesses (empty
+/// when their byte ranges are disjoint).
+fn overlap_words(a: &AccessRecord, b: &AccessRecord) -> impl Iterator<Item = u64> {
     let (a0, a1) = (a.addr, a.addr + u64::from(a.size.max(1)));
     let (b0, b1) = (b.addr, b.addr + u64::from(b.size.max(1)));
-    if a0 < b1 && b0 < a1 {
-        Some(a0.max(b0))
+    let (lo, hi) = (a0.max(b0), a1.min(b1));
+    let slots = if lo < hi {
+        Some(((lo & WORD_MASK)..=((hi - 1) & WORD_MASK)).step_by(8))
     } else {
         None
-    }
+    };
+    slots.into_iter().flatten()
 }
 
 /// Algorithm 1: computes all scheduling hints for the pair `(si, sj)`,
@@ -299,6 +307,79 @@ mod tests {
         let sj = vec![access(2, 0x10, AccessKind::Load, 2)];
         let (fi, fj) = filter_out(&si, &sj);
         assert!(fi.is_empty());
+        assert!(fj.is_empty());
+    }
+
+    fn sized_access(iid: u64, addr: u64, size: u8, kind: AccessKind, ts: u64) -> TraceEvent {
+        TraceEvent::Access(AccessRecord {
+            iid: Iid(iid),
+            addr,
+            size,
+            kind,
+            ts,
+        })
+    }
+
+    /// Regression for the Algorithm 2 word-slot bug: a store at `0x10`
+    /// (size 8) overlaps a load at `0x14` (size 4) byte-wise, but the old
+    /// code inserted the *unaligned* overlap start `0x14` into the shared
+    /// set while mapping the store to word slot `0x10` — so the store was
+    /// filtered out of its own trace and no hint could ever pair them.
+    #[test]
+    fn misaligned_overlap_keeps_both_sides() {
+        for size in [1u8, 2, 4] {
+            let si = vec![access(1, 0x10, AccessKind::Store, 1)]; // 8 bytes
+            let sj = vec![sized_access(2, 0x14, size, AccessKind::Load, 2)];
+            let (fi, fj) = filter_out(&si, &sj);
+            assert_eq!(fi.len(), 1, "size-{size}: the store must survive");
+            assert_eq!(fj.len(), 1, "size-{size}: the load must survive");
+            // Hint groups need at least two accesses per side; repeat each
+            // side's access so the surviving pair actually yields hints.
+            let si = vec![
+                access(1, 0x10, AccessKind::Store, 1),
+                access(3, 0x10, AccessKind::Store, 3),
+            ];
+            let sj = vec![
+                sized_access(2, 0x14, size, AccessKind::Load, 2),
+                sized_access(4, 0x14, size, AccessKind::Load, 4),
+            ];
+            assert!(
+                !calc_hints(&si, &sj).is_empty(),
+                "size-{size}: the pair must produce hints"
+            );
+        }
+    }
+
+    /// Two sub-word accesses overlapping inside one word, neither at the
+    /// word boundary.
+    #[test]
+    fn misaligned_subword_pairs_share_their_word() {
+        let si = vec![sized_access(1, 0x12, 4, AccessKind::Store, 1)]; // 0x12..0x16
+        let sj = vec![sized_access(2, 0x15, 2, AccessKind::Load, 2)]; // 0x15..0x17
+        let (fi, fj) = filter_out(&si, &sj);
+        assert_eq!(fi.len(), 1);
+        assert_eq!(fj.len(), 1);
+    }
+
+    /// An unaligned store spanning a word boundary must register both word
+    /// slots, so a load touching only the second word still pairs with it.
+    #[test]
+    fn straddling_store_registers_both_words() {
+        let si = vec![sized_access(1, 0x14, 8, AccessKind::Store, 1)]; // 0x14..0x1c
+        let sj = vec![sized_access(2, 0x18, 4, AccessKind::Load, 2)]; // 0x18..0x1c
+        let (fi, fj) = filter_out(&si, &sj);
+        assert_eq!(fi.len(), 1, "store covers slot 0x18 too");
+        assert_eq!(fj.len(), 1);
+    }
+
+    /// Same-word but byte-disjoint accesses do *not* share memory: word
+    /// alignment must not widen the overlap test itself.
+    #[test]
+    fn byte_disjoint_accesses_in_one_word_stay_private() {
+        let si = vec![sized_access(1, 0x10, 2, AccessKind::Store, 1)]; // 0x10..0x12
+        let sj = vec![sized_access(2, 0x16, 2, AccessKind::Load, 2)]; // 0x16..0x18
+        let (fi, fj) = filter_out(&si, &sj);
+        assert!(fi.is_empty(), "no byte overlap, no sharing");
         assert!(fj.is_empty());
     }
 

@@ -13,6 +13,8 @@
 //!   hypothetical-barrier-test choreography (§4.4);
 //! - [`fuzzer`]: the full fuzzing loop with KCov-style coverage, corpus
 //!   management, and crash dedup (Figure 6);
+//! - [`parallel`]: sharded campaigns — N worker threads with private
+//!   fuzzers, epoch-lockstep corpus exchange, and a deterministic merge;
 //! - [`repro`]: the directed Table 4 reproduction methodology (§6.2).
 //!
 //! # Examples
@@ -44,6 +46,7 @@
 pub mod fuzzer;
 pub mod hints;
 pub mod mti;
+pub mod parallel;
 pub mod report;
 pub mod repro;
 pub mod sti;

@@ -1,0 +1,452 @@
+//! Sharded parallel campaigns with a deterministic merge.
+//!
+//! A [`ParallelCampaign`] splits one campaign budget across N OS-thread
+//! workers, each owning a private [`Fuzzer`] seeded from `(seed, shard)`.
+//! The coordinator merges every shard's crashes into one deduplicated map
+//! and periodically re-broadcasts new-coverage corpus entries so shards
+//! benefit from each other's discoveries — yet the merged result is a pure
+//! function of `(seed, shards, budget)`, independent of thread timing.
+//!
+//! # How determinism survives parallelism
+//!
+//! Nothing about the merged output may depend on which worker happens to
+//! run faster. Three rules enforce that:
+//!
+//! 1. **Deterministic budget slices.** Shard `i` owns exactly
+//!    `budget / shards` MTIs plus one of the `budget % shards` remainder
+//!    slots. A shared atomic counter tracks aggregate progress for
+//!    reporting, but it is *never* a stop condition — stopping on a racing
+//!    counter would make each shard's share timing-dependent.
+//! 2. **Epoch lockstep.** Workers run fixed-length epochs and block at an
+//!    epoch barrier until the coordinator has a report from every live
+//!    shard. Corpus broadcasts, crash merging, and the cross-shard
+//!    early-stop decision happen only at barriers, processed in shard-id
+//!    order, so every worker sees the same imports at the same point of its
+//!    own schedule on every run.
+//! 3. **Deterministic shard seeds.** Shard 0 fuzzes with the raw campaign
+//!    seed — a one-shard campaign reproduces the serial [`campaign`](crate::fuzzer::campaign)
+//!    byte-for-byte — and shard `i > 0` draws the `i`-th value of the
+//!    [`splitmix64`] chain over the seed, so shards are decorrelated but
+//!    reproducible from `(seed, shard)` alone.
+//!
+//! Cross-shard messages travel over [`kutil::chan`], the workspace's own
+//! MPSC channel (zero-dependency policy): one shared worker→coordinator
+//! queue, plus one coordinator→worker queue per shard for barrier replies.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use kernelsim::BugSwitches;
+use kutil::chan::{channel, Receiver, Sender};
+use kutil::splitmix64;
+use oemu::Iid;
+
+use crate::fuzzer::{FoundBug, FuzzConfig, FuzzStats, Fuzzer, STALL_LIMIT};
+use crate::sti::Sti;
+
+/// Default epoch length, in MTIs per shard between barriers. Long enough
+/// that barrier overhead is noise, short enough that corpus discoveries
+/// propagate while a campaign is young.
+pub const DEFAULT_EPOCH_MTIS: u64 = 64;
+
+/// One shard's report at an epoch barrier (or its final report).
+struct EpochReport {
+    shard: usize,
+    /// Unique crashes first seen this epoch, in title order.
+    bugs: Vec<FoundBug>,
+    /// Corpus entries added this epoch (coverage-earning STIs; imports are
+    /// excluded — every shard already received those from the broadcast).
+    corpus: Vec<Sti>,
+    /// Statistics snapshot as of this barrier.
+    stats: FuzzStats,
+    /// Covered sites as of this barrier, sorted.
+    coverage: Vec<Iid>,
+    /// This shard finished (budget slice exhausted, all expected bugs
+    /// found locally, or stalled) and will send nothing more.
+    done: bool,
+}
+
+/// Coordinator's barrier reply.
+#[derive(Debug)]
+enum BarrierReply {
+    /// Keep fuzzing; first import these foreign corpus entries.
+    Continue(Vec<Sti>),
+    /// Every expected crash has been found across the union; stop now.
+    Stop,
+}
+
+/// A sharded campaign over the all-bugs kernel (the parallel analog of
+/// [`campaign`](crate::fuzzer::campaign)). Construct with [`ParallelCampaign::new`], tweak, then
+/// [`run`](ParallelCampaign::run).
+pub struct ParallelCampaign {
+    seed: u64,
+    shards: usize,
+    budget: u64,
+    epoch_mtis: u64,
+    bugs: BugSwitches,
+    expected: Vec<String>,
+}
+
+/// The merged outcome of a sharded campaign.
+#[derive(Debug)]
+pub struct ParallelReport {
+    /// Union of every shard's unique crashes, keyed by title. For a title
+    /// found by several shards, the surviving diagnosis is the one merged
+    /// first in (epoch, shard) order — deterministic, not racy.
+    pub found: BTreeMap<String, FoundBug>,
+    /// Final per-shard statistics, indexed by shard id.
+    pub shard_stats: Vec<FuzzStats>,
+    /// Aggregate statistics: sums over shards, with `coverage` the size of
+    /// the *union* of covered sites (not the sum, which double-counts).
+    pub stats: FuzzStats,
+}
+
+impl ParallelCampaign {
+    /// A campaign of `budget` total MTIs split across `shards` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(seed: u64, shards: usize, budget: u64) -> Self {
+        assert!(shards > 0, "a campaign needs at least one shard");
+        ParallelCampaign {
+            seed,
+            shards,
+            budget,
+            epoch_mtis: DEFAULT_EPOCH_MTIS,
+            bugs: BugSwitches::all(),
+            expected: kernelsim::BugId::NEW
+                .iter()
+                .map(|b| b.expected_title().to_string())
+                .collect(),
+        }
+    }
+
+    /// Overrides the epoch length (MTIs per shard between barriers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_mtis == 0`.
+    pub fn epoch_mtis(mut self, epoch_mtis: u64) -> Self {
+        assert!(epoch_mtis > 0, "an epoch must make progress");
+        self.epoch_mtis = epoch_mtis;
+        self
+    }
+
+    /// Overrides the kernel build and the crash titles the campaign hunts;
+    /// the campaign early-stops once the union of shards found them all.
+    pub fn target(mut self, bugs: BugSwitches, expected: Vec<String>) -> Self {
+        self.bugs = bugs;
+        self.expected = expected;
+        self
+    }
+
+    /// Shard `shard`'s MTI slice: an equal share of the budget, with the
+    /// remainder spread over the lowest shard ids.
+    fn slice(&self, shard: usize) -> u64 {
+        self.budget / self.shards as u64
+            + u64::from((shard as u64) < self.budget % self.shards as u64)
+    }
+
+    /// Runs the campaign: spawns one worker thread per shard, coordinates
+    /// epoch barriers on the calling thread, joins every worker, and
+    /// returns the deterministic merge.
+    pub fn run(self) -> ParallelReport {
+        let (report_tx, report_rx) = channel::<EpochReport>();
+        // Aggregate progress for observability; never a stop condition
+        // (see module docs).
+        let mtis_total = Arc::new(AtomicU64::new(0));
+
+        let mut reply_txs: Vec<Sender<BarrierReply>> = Vec::with_capacity(self.shards);
+        let mut handles = Vec::with_capacity(self.shards);
+        for shard in 0..self.shards {
+            let (reply_tx, reply_rx) = channel::<BarrierReply>();
+            reply_txs.push(reply_tx);
+            let worker = ShardWorker {
+                shard,
+                seed: shard_seed(self.seed, shard),
+                slice: self.slice(shard),
+                epoch_mtis: self.epoch_mtis,
+                bugs: self.bugs.clone(),
+                expected: self.expected.clone(),
+                report_tx: report_tx.clone(),
+                reply_rx,
+                mtis_total: Arc::clone(&mtis_total),
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ozz-shard-{shard}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn shard worker"),
+            );
+        }
+        drop(report_tx);
+
+        let merged = self.coordinate(&report_rx, &reply_txs);
+        drop(reply_txs);
+        for h in handles {
+            h.join().expect("shard worker panicked");
+        }
+        debug_assert_eq!(
+            mtis_total.load(Ordering::Relaxed),
+            merged.shard_stats.iter().map(|s| s.mtis_run).sum::<u64>(),
+            "the atomic aggregate must agree with the per-shard sums"
+        );
+        merged
+    }
+
+    /// The coordinator: per round, collect one report from every live
+    /// shard, then merge and reply in shard-id order.
+    fn coordinate(
+        &self,
+        report_rx: &Receiver<EpochReport>,
+        reply_txs: &[Sender<BarrierReply>],
+    ) -> ParallelReport {
+        let mut live: BTreeSet<usize> = (0..self.shards).collect();
+        let mut found: BTreeMap<String, FoundBug> = BTreeMap::new();
+        let mut shard_stats: Vec<FuzzStats> = vec![FuzzStats::default(); self.shards];
+        let mut coverage: HashSet<Iid> = HashSet::new();
+
+        while !live.is_empty() {
+            // Lockstep: every live worker sends exactly one report per
+            // round, then blocks (unless done). Arrival order is racy;
+            // keying by shard id restores a deterministic order.
+            let mut round: BTreeMap<usize, EpochReport> = BTreeMap::new();
+            while round.len() < live.len() {
+                let r = report_rx.recv().expect("a live worker hung up early");
+                round.insert(r.shard, r);
+            }
+            for (&shard, r) in &round {
+                for bug in &r.bugs {
+                    // First merge in (epoch, shard) order wins the title.
+                    found
+                        .entry(bug.title.clone())
+                        .or_insert_with(|| bug.clone());
+                }
+                coverage.extend(r.coverage.iter().copied());
+                shard_stats[shard] = r.stats.clone();
+                if r.done {
+                    live.remove(&shard);
+                }
+            }
+            let stop = self.expected.iter().all(|t| found.contains_key(t));
+            for &shard in &live {
+                let reply = if stop {
+                    BarrierReply::Stop
+                } else {
+                    // Broadcast the other shards' fresh entries, in shard
+                    // order; the worker's import dedups.
+                    let entries: Vec<Sti> = round
+                        .iter()
+                        .filter(|(&s, _)| s != shard)
+                        .flat_map(|(_, r)| r.corpus.iter().cloned())
+                        .collect();
+                    BarrierReply::Continue(entries)
+                };
+                reply_txs[shard]
+                    .send(reply)
+                    .expect("a live worker dropped its barrier queue");
+            }
+            if stop {
+                break;
+            }
+        }
+
+        let stats = FuzzStats {
+            stis_run: shard_stats.iter().map(|s| s.stis_run).sum(),
+            mtis_run: shard_stats.iter().map(|s| s.mtis_run).sum(),
+            crashes_total: shard_stats.iter().map(|s| s.crashes_total).sum(),
+            coverage: coverage.len(),
+            barren_stis: 0,
+            stalled: shard_stats.iter().all(|s| s.stalled),
+        };
+        ParallelReport {
+            found,
+            shard_stats,
+            stats,
+        }
+    }
+}
+
+/// Shard `shard`'s fuzzer seed: the raw campaign seed for shard 0 (so one
+/// shard reproduces the serial [`campaign`](crate::fuzzer::campaign) exactly), the `shard`-th value
+/// of the seed's [`splitmix64`] chain otherwise.
+fn shard_seed(seed: u64, shard: usize) -> u64 {
+    let mut sm = seed;
+    let mut derived = seed;
+    for _ in 0..shard {
+        derived = splitmix64(&mut sm);
+    }
+    derived
+}
+
+/// One worker thread's state.
+struct ShardWorker {
+    shard: usize,
+    seed: u64,
+    slice: u64,
+    epoch_mtis: u64,
+    bugs: BugSwitches,
+    expected: Vec<String>,
+    report_tx: Sender<EpochReport>,
+    reply_rx: Receiver<BarrierReply>,
+    mtis_total: Arc<AtomicU64>,
+}
+
+impl ShardWorker {
+    /// The worker loop. The inner step loop is a faithful copy of the
+    /// serial [`campaign`](crate::fuzzer::campaign) loop — step, then check the early-stop — bounded
+    /// per epoch, so a one-shard campaign replays it exactly.
+    fn run(self) {
+        let mut f = Fuzzer::new(FuzzConfig {
+            seed: self.seed,
+            bugs: self.bugs.clone(),
+            ..FuzzConfig::default()
+        });
+        // Corpus high-water mark: entries below it were already reported
+        // (or arrived via broadcast and need no re-broadcast).
+        let mut corpus_mark = 0usize;
+        let mut bugs_sent: BTreeSet<String> = BTreeSet::new();
+        let mut epoch = 0u64;
+        loop {
+            let target = self.slice.min((epoch + 1) * self.epoch_mtis);
+            let mut found_all = false;
+            while f.stats().mtis_run < target {
+                let before = f.stats().mtis_run;
+                f.step();
+                self.mtis_total
+                    .fetch_add(f.stats().mtis_run - before, Ordering::Relaxed);
+                if self.expected.iter().all(|t| f.found().contains_key(t)) {
+                    found_all = true;
+                    break;
+                }
+                if f.stats().barren_stis >= STALL_LIMIT {
+                    break;
+                }
+            }
+            let stalled = f.stats().barren_stis >= STALL_LIMIT;
+            let done = found_all || stalled || f.stats().mtis_run >= self.slice;
+
+            let bugs: Vec<FoundBug> = f
+                .found()
+                .iter()
+                .filter(|(title, _)| !bugs_sent.contains(*title))
+                .map(|(_, b)| b.clone())
+                .collect();
+            bugs_sent.extend(bugs.iter().map(|b| b.title.clone()));
+            let corpus = f.corpus()[corpus_mark..].to_vec();
+            let mut stats = f.stats().clone();
+            stats.stalled = stalled;
+            let report = EpochReport {
+                shard: self.shard,
+                bugs,
+                corpus,
+                stats,
+                coverage: f.coverage_iids(),
+                done,
+            };
+            if self.report_tx.send(report).is_err() || done {
+                return;
+            }
+            match self.reply_rx.recv() {
+                Ok(BarrierReply::Continue(entries)) => {
+                    f.import_corpus(&entries);
+                    // Imports widen the mutation pool but are not ours to
+                    // re-broadcast.
+                    corpus_mark = f.corpus().len();
+                }
+                Ok(BarrierReply::Stop) | Err(_) => return,
+            }
+            epoch += 1;
+        }
+    }
+}
+
+/// Runs a sharded Table 3-style campaign on the all-bugs kernel: the
+/// parallel analog of [`campaign`](crate::fuzzer::campaign), with identical semantics at
+/// `shards == 1`.
+pub fn parallel_campaign(seed: u64, shards: usize, budget: u64) -> ParallelReport {
+    ParallelCampaign::new(seed, shards, budget).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuzzer::campaign;
+
+    #[test]
+    fn slices_partition_the_budget_exactly() {
+        for (shards, budget) in [(1usize, 100u64), (3, 100), (4, 7), (8, 0), (5, 5)] {
+            let c = ParallelCampaign::new(0, shards, budget);
+            let total: u64 = (0..shards).map(|s| c.slice(s)).sum();
+            assert_eq!(total, budget, "shards={shards} budget={budget}");
+            // Slices differ by at most one MTI.
+            let min = (0..shards).map(|s| c.slice(s)).min().unwrap();
+            let max = (0..shards).map(|s| c.slice(s)).max().unwrap();
+            assert!(max - min <= 1);
+        }
+    }
+
+    #[test]
+    fn shard_zero_uses_the_raw_campaign_seed() {
+        assert_eq!(shard_seed(7, 0), 7);
+        assert_eq!(shard_seed(0xdead_beef, 0), 0xdead_beef);
+    }
+
+    #[test]
+    fn shard_seeds_follow_the_splitmix_chain() {
+        let mut sm = 7u64;
+        let first = splitmix64(&mut sm);
+        let second = splitmix64(&mut sm);
+        assert_eq!(shard_seed(7, 1), first);
+        assert_eq!(shard_seed(7, 2), second);
+        let seeds: BTreeSet<u64> = (0..8).map(|s| shard_seed(7, s)).collect();
+        assert_eq!(seeds.len(), 8, "shard seeds must be distinct");
+    }
+
+    #[test]
+    fn two_runs_merge_identically() {
+        let render = || format!("{:#?}", parallel_campaign(3, 2, 600).found);
+        assert_eq!(render(), render());
+    }
+
+    #[test]
+    fn aggregate_stats_sum_the_shards() {
+        let r = parallel_campaign(5, 3, 300);
+        assert_eq!(r.shard_stats.len(), 3);
+        assert_eq!(
+            r.stats.mtis_run,
+            r.shard_stats.iter().map(|s| s.mtis_run).sum::<u64>()
+        );
+        assert_eq!(
+            r.stats.stis_run,
+            r.shard_stats.iter().map(|s| s.stis_run).sum::<u64>()
+        );
+        assert!(r.stats.mtis_run >= 300 || !r.found.is_empty());
+        // Union coverage can never exceed the per-shard sum.
+        assert!(r.stats.coverage <= r.shard_stats.iter().map(|s| s.coverage).sum::<usize>());
+        assert!(r.stats.coverage >= r.shard_stats.iter().map(|s| s.coverage).max().unwrap());
+    }
+
+    #[test]
+    fn zero_budget_returns_immediately_and_empty() {
+        let r = parallel_campaign(1, 4, 0);
+        assert!(r.found.is_empty());
+        assert_eq!(r.stats.mtis_run, 0);
+    }
+
+    #[test]
+    fn single_shard_equals_serial_campaign() {
+        let serial = campaign(3, 500);
+        let parallel = parallel_campaign(3, 1, 500);
+        assert_eq!(
+            format!("{:#?}", serial.found()),
+            format!("{:#?}", parallel.found),
+            "one shard must replay the serial campaign"
+        );
+        assert_eq!(serial.stats().mtis_run, parallel.stats.mtis_run);
+        assert_eq!(serial.stats().stis_run, parallel.stats.stis_run);
+        assert_eq!(serial.stats().coverage, parallel.stats.coverage);
+    }
+}

@@ -24,6 +24,7 @@ pub struct Group {
     samples: usize,
     warmup: Duration,
     measurement: Duration,
+    last_median_ns: Option<f64>,
 }
 
 /// Creates a measurement group. Mirrors criterion's `benchmark_group`.
@@ -33,6 +34,7 @@ pub fn benchmark_group(name: &str) -> Group {
         samples: 30,
         warmup: Duration::from_millis(150),
         measurement: Duration::from_millis(600),
+        last_median_ns: None,
     }
 }
 
@@ -70,8 +72,16 @@ impl Group {
         let m = b
             .result
             .unwrap_or_else(|| panic!("bench_function {name:?} never called Bencher::iter"));
+        self.last_median_ns = Some(m.median_ns);
         self.report(name, &m);
         self
+    }
+
+    /// Median of the most recent measurement, in nanoseconds per iteration.
+    /// Lets a bench binary derive throughput figures (items/sec) from a
+    /// measurement instead of re-timing it.
+    pub fn last_median_ns(&self) -> Option<f64> {
+        self.last_median_ns
     }
 
     /// [`Group::bench_function`] with a parameter, labelled `name/param`.
@@ -181,6 +191,7 @@ mod tests {
         g.sample_size(5)
             .warm_up_time(Duration::from_millis(5))
             .measurement_time(Duration::from_millis(20));
+        assert!(g.last_median_ns().is_none());
         g.bench_function("add", |b| {
             let mut x = 0u64;
             b.iter(|| {
@@ -188,6 +199,7 @@ mod tests {
                 x
             });
         });
+        assert!(g.last_median_ns().unwrap() > 0.0);
         g.finish();
     }
 

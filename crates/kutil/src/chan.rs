@@ -1,0 +1,249 @@
+//! A minimal MPSC channel (the workspace's `std::sync::mpsc`).
+//!
+//! The sharded campaign runner (`ozz::parallel`) needs exactly one
+//! communication primitive: a bounded-complexity, unbounded-capacity
+//! multi-producer single-consumer queue for shipping epoch reports from
+//! shard workers to the coordinator, and one single-producer queue per
+//! worker for the coordinator's corpus broadcasts. Rather than reach for
+//! `std::sync::mpsc` (whose `Receiver` is `!Sync` and whose poisoning
+//! semantics differ from the rest of the workspace), this module builds the
+//! channel on the workspace's own poison-ignoring [`crate::sync`]
+//! primitives, keeping the zero-dependency policy and the property that a
+//! panicking worker never wedges the coordinator.
+//!
+//! Semantics:
+//!
+//! - [`Sender`] is `Clone`; dropping the last sender disconnects the
+//!   channel and wakes any blocked receiver.
+//! - [`Receiver::recv`] blocks until a message or disconnection;
+//!   [`Receiver::try_recv`] never blocks.
+//! - Messages arrive in FIFO order per sender, and in a single global FIFO
+//!   order overall (one queue, one lock).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::sync::{Condvar, Mutex};
+
+/// Error returned by [`Sender::send`] when the receiver was dropped. The
+/// unsent message is handed back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when every sender was dropped and
+/// the queue is drained.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message queued right now; senders still exist.
+    Empty,
+    /// Every sender was dropped and the queue is drained.
+    Disconnected,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+/// The sending half; clone freely across worker threads.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half; exactly one per channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a connected `(Sender, Receiver)` pair.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receiver_alive: true,
+        }),
+        ready: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value`, waking the receiver. Fails (returning the value)
+    /// only if the receiver was dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.state.lock();
+        if !state.receiver_alive {
+            return Err(SendError(value));
+        }
+        state.queue.push_back(value);
+        drop(state);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock();
+        state.senders -= 1;
+        let disconnected = state.senders == 0;
+        drop(state);
+        if disconnected {
+            // Wake a receiver blocked in recv() so it observes the hangup.
+            self.shared.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or every sender is dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.state.lock();
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            self.shared.ready.wait(&mut state);
+        }
+    }
+
+    /// Returns a queued message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.state.lock();
+        match state.queue.pop_front() {
+            Some(v) => Ok(v),
+            None if state.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Drains every message currently queued, without blocking.
+    pub fn drain(&self) -> Vec<T> {
+        let mut state = self.shared.state.lock();
+        state.queue.drain(..).collect()
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.state.lock().receiver_alive = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_a_thread() {
+        let (tx, rx) = channel();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cross_thread_roundtrip() {
+        let (tx, rx) = channel();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for j in 0..25 {
+                        tx.send(i * 100 + j).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(got.len(), 100);
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), 100, "no message lost or duplicated");
+    }
+
+    #[test]
+    fn recv_unblocks_on_disconnect() {
+        let (tx, rx) = channel::<u8>();
+        let h = std::thread::spawn(move || rx.recv());
+        // Let the receiver block, then hang up.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(h.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = channel();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn try_recv_reports_empty_vs_disconnected() {
+        let (tx, rx) = channel::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(1).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn queued_messages_survive_sender_drop() {
+        let (tx, rx) = channel();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn drain_takes_everything_queued() {
+        let (tx, rx) = channel();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.drain(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+}

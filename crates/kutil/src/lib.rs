@@ -16,9 +16,13 @@
 //!   crash-report sink it was about to write into.
 //! - [`bench`] — a minimal warmup + median-of-N timing harness replacing
 //!   `criterion`, emitting one JSON line per measurement.
+//! - [`chan`] — a poison-tolerant MPSC channel replacing `std::sync::mpsc`
+//!   for the sharded campaign runner (epoch reports worker→coordinator,
+//!   corpus broadcasts coordinator→worker).
 
 pub mod bench;
+pub mod chan;
 pub mod rng;
 pub mod sync;
 
-pub use rng::DetRng;
+pub use rng::{splitmix64, DetRng};

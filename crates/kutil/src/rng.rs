@@ -16,7 +16,12 @@
 use std::ops::{Range, RangeInclusive};
 
 /// SplitMix64 step: the seed expander (Vigna's reference constants).
-fn splitmix64(state: &mut u64) -> u64 {
+///
+/// Public because seed *derivation* is part of the workspace contract too:
+/// the sharded campaign runner derives each shard's sub-seed from the
+/// campaign seed with this exact function, so a shard's schedule is
+/// reproducible from `(seed, shard_id)` alone.
+pub fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);

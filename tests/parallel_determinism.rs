@@ -1,0 +1,71 @@
+//! Sharded-campaign determinism: parallelism must not cost reproducibility.
+//!
+//! The sharded runner (`ozz::parallel`) spreads one campaign over N worker
+//! threads, yet its merged `FoundBug` map is specified to be a pure
+//! function of `(seed, shards, budget)` — thread scheduling, core count,
+//! and machine load must not leak into the result. These tests pin that
+//! contract: byte-identical reruns at one and at four shards, exact
+//! agreement with the serial `campaign()` at one shard, and a multi-shard
+//! smoke test that actually finds the Figure 7 TLS bug.
+
+use kernelsim::BugId;
+use ozz::fuzzer::campaign;
+use ozz::parallel::parallel_campaign;
+
+/// Renders the merged found-bug map to bytes (titles, diagnoses, pairs,
+/// counters — the full Debug serialization), as `tests/determinism.rs`
+/// does for the serial campaign.
+fn parallel_bytes(seed: u64, shards: usize, budget: u64) -> Vec<u8> {
+    format!("{:#?}", parallel_campaign(seed, shards, budget).found).into_bytes()
+}
+
+#[test]
+fn reruns_are_byte_identical_at_one_and_four_shards() {
+    for shards in [1usize, 4] {
+        let a = parallel_bytes(7, shards, 800);
+        let b = parallel_bytes(7, shards, 800);
+        assert!(!a.is_empty(), "shards={shards}: the budget finds something");
+        assert_eq!(
+            a, b,
+            "shards={shards}: same (seed, shards, budget) diverged — \
+             thread timing leaked into the merge"
+        );
+    }
+}
+
+#[test]
+fn one_shard_reproduces_the_serial_campaign() {
+    let serial = campaign(7, 800);
+    let sharded = parallel_campaign(7, 1, 800);
+    assert_eq!(
+        format!("{:#?}", serial.found()).into_bytes(),
+        format!("{:#?}", sharded.found).into_bytes(),
+        "a one-shard campaign must replay the serial schedule byte-for-byte"
+    );
+    assert_eq!(serial.stats().mtis_run, sharded.stats.mtis_run);
+    assert_eq!(serial.stats().stis_run, sharded.stats.stis_run);
+    assert_eq!(serial.stats().coverage, sharded.stats.coverage);
+}
+
+#[test]
+fn multi_shard_campaign_finds_the_figure7_tls_bug() {
+    // Table 3 smoke test on the all-bugs kernel: four shards sharing a
+    // budget comparable to the serial tests' must surface the TLS
+    // sk_proto reordering (Figure 7), and the merged diagnosis carries a
+    // store-barrier location like the serial one does.
+    let report = parallel_campaign(7, 4, 6000);
+    let bug = report
+        .found
+        .get(BugId::TlsSkProt.expected_title())
+        .expect("four shards must find the Figure 7 bug within the budget");
+    assert!(
+        bug.barrier_location.contains("smp_wmb"),
+        "diagnosis names the missing store barrier: {}",
+        bug.barrier_location
+    );
+    // Every merged bug's tests-to-find fits inside its finding shard's
+    // slice of the budget.
+    for b in report.found.values() {
+        assert!(b.tests_to_find <= 6000 / 4 + 1);
+    }
+}
