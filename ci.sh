@@ -23,6 +23,11 @@ cargo test -q --offline --test parallel_determinism
 echo "== scaling bench builds (release) =="
 cargo build --release --offline -p bench --bin parallel_scaling
 
+echo "== mti throughput smoke (pool vs fresh boots) =="
+cargo build --release --offline -p bench --bin mti_throughput
+./target/release/mti_throughput 200 1
+cat BENCH_mti_throughput.json
+
 echo "== formatting =="
 cargo fmt --check
 

@@ -1,0 +1,75 @@
+//! Zero-boot MTI execution: pooled machines vs fresh boots.
+//!
+//! The paper runs tests in-vivo inside long-lived VMs; this reproduction's
+//! analog is the machine pool — reset-to-boot-snapshot machines with
+//! persistent CPU workers and per-pair setup reuse. This bench runs the
+//! same seeded campaign twice, once booting a machine (and spawning
+//! threads) per test and once on the pool, and reports MTIs/second for
+//! each. The two arms produce byte-identical campaign results (pinned by
+//! `tests/pool_fidelity.rs`); only the throughput differs.
+//!
+//! Usage: `mti_throughput [mti_budget] [reps]` (defaults 600, 3). Writes
+//! `BENCH_mti_throughput.json` with the median rates into the working
+//! directory.
+
+use std::time::Instant;
+
+use kernelsim::BugSwitches;
+use ozz::fuzzer::{FuzzConfig, Fuzzer};
+
+/// One campaign to `budget` MTIs; returns MTIs/second.
+fn run_arm(reuse_machines: bool, budget: u64) -> f64 {
+    let mut fuzzer = Fuzzer::new(FuzzConfig {
+        seed: 2024,
+        bugs: BugSwitches::all(),
+        reuse_machines,
+        ..FuzzConfig::default()
+    });
+    let start = Instant::now();
+    while fuzzer.stats().mtis_run < budget {
+        fuzzer.step();
+    }
+    fuzzer.stats().mtis_run as f64 / start.elapsed().as_secs_f64()
+}
+
+fn median(mut rates: Vec<f64>) -> f64 {
+    rates.sort_by(|a, b| a.total_cmp(b));
+    rates[rates.len() / 2]
+}
+
+fn main() {
+    let budget: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(600);
+    let reps: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    println!("MTI throughput: fresh boots vs machine pool ({budget} MTIs x {reps} reps)\n");
+
+    let mut fresh_rates = Vec::with_capacity(reps);
+    let mut pooled_rates = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let fresh = run_arm(false, budget);
+        let pooled = run_arm(true, budget);
+        println!("rep {rep}: fresh {fresh:>9.1} MTIs/s | pooled {pooled:>9.1} MTIs/s");
+        fresh_rates.push(fresh);
+        pooled_rates.push(pooled);
+    }
+
+    let fresh = median(fresh_rates);
+    let pooled = median(pooled_rates);
+    let speedup = pooled / fresh;
+    println!("\nmedian fresh:  {fresh:>9.1} MTIs/s (boot + thread spawn per test)");
+    println!("median pooled: {pooled:>9.1} MTIs/s (reset + persistent workers)");
+    println!("speedup:       {speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"budget\": {budget},\n  \"reps\": {reps},\n  \
+         \"fresh_mtis_per_sec\": {fresh:.1},\n  \
+         \"pooled_mtis_per_sec\": {pooled:.1},\n  \"speedup\": {speedup:.2}\n}}\n"
+    );
+    std::fs::write("BENCH_mti_throughput.json", json).expect("write BENCH_mti_throughput.json");
+    println!("\nwrote BENCH_mti_throughput.json");
+}

@@ -10,14 +10,14 @@
 
 use std::collections::{BTreeMap, HashSet};
 
-use kernelsim::{BugSwitches, Kctx, ReorderType, Syscall};
+use kernelsim::{BugSwitches, Kctx, MachinePool, MachineSnapshot, ReorderType, Syscall};
 use kutil::splitmix64;
 use oemu::Iid;
 
 use crate::hints::{calc_hints, HintKind};
 use crate::mti::build_mtis;
-use crate::profile_sti;
 use crate::sti::{Sti, StiGen};
+use crate::{profile_sti, profile_sti_on};
 
 /// Ordering strategy for scheduling hints within a pair — the §4.3 search
 /// heuristic and its ablations (DESIGN.md §7).
@@ -44,6 +44,11 @@ pub struct FuzzConfig {
     pub mutate_ratio: f64,
     /// Hint-ordering strategy (the §4.3 heuristic or an ablation).
     pub hint_order: HintOrder,
+    /// Run tests on pooled, reset machines with persistent CPU workers
+    /// (the in-vivo discipline) instead of booting a machine and spawning
+    /// threads per test. Campaign output is byte-identical either way —
+    /// pinned by `tests/pool_fidelity.rs` — only throughput differs.
+    pub reuse_machines: bool,
 }
 
 impl Default for FuzzConfig {
@@ -54,6 +59,7 @@ impl Default for FuzzConfig {
             max_hints_per_pair: 8,
             mutate_ratio: 0.5,
             hint_order: HintOrder::MaxReorderFirst,
+            reuse_machines: true,
         }
     }
 }
@@ -109,10 +115,17 @@ pub struct Fuzzer {
     cfg: FuzzConfig,
     gen: StiGen,
     corpus: Vec<Sti>,
+    /// Mirror of `corpus` for O(1) duplicate checks in [`Fuzzer::import_corpus`]
+    /// (the corpus `Vec` stays authoritative for ordering and mutation picks).
+    corpus_set: HashSet<Sti>,
     coverage: HashSet<Iid>,
     found: BTreeMap<String, FoundBug>,
     stats: FuzzStats,
     rng_pick: u64,
+    /// Reset machines with persistent workers, reused across steps when
+    /// `cfg.reuse_machines` is set. Private per fuzzer: shards in a
+    /// parallel campaign never contend on a shelf.
+    pool: MachinePool,
 }
 
 /// Initial scramble state of the corpus-pick stream (golden ratio), XORed
@@ -154,10 +167,12 @@ impl Fuzzer {
             cfg,
             gen,
             corpus: Vec::new(),
+            corpus_set: HashSet::new(),
             coverage: HashSet::new(),
             found: BTreeMap::new(),
             stats: FuzzStats::default(),
             rng_pick,
+            pool: MachinePool::new(),
         }
     }
 
@@ -167,8 +182,16 @@ impl Fuzzer {
         let mtis_before = self.stats.mtis_run;
         let sti = self.next_sti();
         self.stats.stis_run += 1;
-        // Step 1 (§4.2): run the STI with profiling.
-        let traces = profile_sti(&sti, self.cfg.bugs.clone());
+        // Step 1 (§4.2): run the STI with profiling — on a pooled machine
+        // (checked out in exact boot state) or a freshly booted one.
+        let machine = self
+            .cfg
+            .reuse_machines
+            .then(|| self.pool.checkout(&self.cfg.bugs));
+        let traces = match &machine {
+            Some(m) => profile_sti_on(m.kctx(), &sti),
+            None => profile_sti(&sti, self.cfg.bugs.clone()),
+        };
         // KCov-style coverage gates corpus growth.
         let before = self.coverage.len();
         for t in &traces {
@@ -178,6 +201,7 @@ impl Fuzzer {
         }
         if self.coverage.len() > before {
             self.corpus.push(sti.clone());
+            self.corpus_set.insert(sti.clone());
         }
         self.stats.coverage = self.coverage.len();
         // Steps 2+3 (§4.3, §4.4): hints and MTI execution. Hints are
@@ -212,12 +236,34 @@ impl Fuzzer {
         );
         // Rank within each pair (build_mtis preserves per-pair hint order).
         let mut rank_of_pair: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        // Pooled per-pair setup reuse: every MTI of one pair shares the
+        // single-threaded setup prefix, so it runs once per pair — the
+        // machine resets to boot state, runs setup, and is snapshotted;
+        // subsequent hints of the pair restore the snapshot instead.
+        // (The snapshot carries any oracle reports setup raised, so each
+        // hint's outcome drains exactly what a fresh-boot run would.)
+        let mut cur_pair: Option<(usize, usize)> = None;
+        let mut post_setup: Option<MachineSnapshot> = None;
         for mti in mtis {
             let rank = rank_of_pair.entry((mti.i, mti.j)).or_insert(0);
             let this_rank = *rank;
             *rank += 1;
             self.stats.mtis_run += 1;
-            let out = mti.run(self.cfg.bugs.clone());
+            let out = match &machine {
+                Some(m) => {
+                    let k = m.kctx();
+                    if cur_pair != Some((mti.i, mti.j)) {
+                        k.reset();
+                        mti.run_setup(k);
+                        post_setup = Some(k.snapshot());
+                        cur_pair = Some((mti.i, mti.j));
+                    } else {
+                        k.restore(post_setup.as_ref().expect("snapshot set with cur_pair"));
+                    }
+                    mti.run_pair_pooled(m)
+                }
+                None => mti.run(self.cfg.bugs.clone()),
+            };
             if out.crashed() {
                 self.stats.crashes_total += out.crashes.len() as u64;
                 for crash in &out.crashes {
@@ -240,6 +286,15 @@ impl Fuzzer {
                     }
                 }
             }
+        }
+        if let Some(m) = machine {
+            // Hand the profile buffers back to the engine's spare pool so
+            // the next step's `take_profile` reuses them, then shelve the
+            // machine (checkin resets it to boot state).
+            for t in traces {
+                m.kctx().engine.recycle_profile_events(t.events);
+            }
+            self.pool.checkin(m);
         }
         // Liveness accounting: a step that yielded no MTIs cannot make
         // progress against an MTI budget.
@@ -304,12 +359,20 @@ impl Fuzzer {
     pub fn import_corpus(&mut self, entries: &[Sti]) -> usize {
         let mut imported = 0;
         for e in entries {
-            if !self.corpus.contains(e) {
+            if !self.corpus_set.contains(e) {
+                self.corpus_set.insert(e.clone());
                 self.corpus.push(e.clone());
                 imported += 1;
             }
         }
         imported
+    }
+
+    /// Machines booted over the fuzzer's lifetime when machine reuse is on
+    /// (0 until the first step). A fresh-boot campaign would instead boot
+    /// once per STI profile plus once per MTI.
+    pub fn machine_boots(&self) -> u64 {
+        self.pool.boots()
     }
 
     /// Covered instrumentation sites, sorted (for deterministic cross-shard

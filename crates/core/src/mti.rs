@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use kernelsim::{run_concurrent, run_one, BugSwitches, Kctx, RunOutcome, Syscall};
+use kernelsim::{run_concurrent, run_one, BugSwitches, Kctx, PooledMachine, RunOutcome, Syscall};
 use ksched::{BreakWhen, Breakpoint, SchedulePlan};
 use oemu::Tid;
 
@@ -24,10 +24,14 @@ use crate::hints::{HintKind, PairSide, SchedHint};
 use crate::sti::Sti;
 
 /// A multi-threaded input: an STI with a concurrency annotation.
+///
+/// The STI is shared (`Arc`): [`build_mtis`] emits one MTI per hint, and
+/// every hint of an STI annotates the *same* syscall sequence — cloning it
+/// per hint would deep-copy the call vector `pairs × hints` times.
 #[derive(Clone, Debug)]
 pub struct Mti {
     /// The underlying syscall sequence.
-    pub sti: Sti,
+    pub sti: Arc<Sti>,
     /// Index of the first syscall of the concurrent pair.
     pub i: usize,
     /// Index of the second syscall of the concurrent pair (`i < j`).
@@ -56,27 +60,47 @@ impl Mti {
     /// Executes the MTI on an existing machine (used by the throughput
     /// benchmark to measure pure execution cost).
     pub fn run_on(&self, k: &Arc<Kctx>) -> RunOutcome {
+        self.run_setup(k);
+        self.install_controls(k);
+        let (a, b) = self.pair();
+        run_concurrent(k, self.plan(), a, b)
+    }
+
+    /// Runs the single-threaded setup prefix (every syscall before `j`
+    /// except `i`) on `k`. All MTIs of one pair `(i, j)` share this prefix,
+    /// so a pooled executor runs it once per pair and snapshots the machine
+    /// instead of re-running it per hint.
+    pub fn run_setup(&self, k: &Arc<Kctx>) {
         for (idx, &call) in self.sti.calls.iter().enumerate().take(self.j) {
             if idx != self.i {
                 run_one(k, Tid(0), call);
             }
         }
-        let (a, b) = self.pair();
-        let reorder_tid = match self.hint.reorderer {
-            PairSide::First => Tid(0),
-            PairSide::Second => Tid(1),
-        };
-        // Install the Table 2 reordering instructions for the reorderer.
+    }
+
+    /// Installs the Table 2 reordering instructions for the reorderer.
+    fn install_controls(&self, k: &Kctx) {
+        let reorder_tid = self.reorder_tid();
         for acc in &self.hint.reorder {
             match self.hint.kind {
                 HintKind::StoreBarrier => k.engine.delay_store_at(reorder_tid, acc.iid),
                 HintKind::LoadBarrier => k.engine.read_old_value_at(reorder_tid, acc.iid),
             }
         }
-        // The reorderer always starts first; the breakpoint semantics
-        // depend on the test type (Figure 5a vs 5b).
-        let plan = SchedulePlan {
-            first: reorder_tid,
+    }
+
+    fn reorder_tid(&self) -> Tid {
+        match self.hint.reorderer {
+            PairSide::First => Tid(0),
+            PairSide::Second => Tid(1),
+        }
+    }
+
+    /// The schedule enforcing the hint: the reorderer always starts first;
+    /// the breakpoint semantics depend on the test type (Figure 5a vs 5b).
+    fn plan(&self) -> SchedulePlan {
+        SchedulePlan {
+            first: self.reorder_tid(),
             breakpoint: Some(Breakpoint {
                 iid: self.hint.sched.iid,
                 when: match self.hint.kind {
@@ -85,8 +109,17 @@ impl Mti {
                 },
                 hit: self.hint.sched_hit,
             }),
-        };
-        run_concurrent(k, plan, a, b)
+        }
+    }
+
+    /// Runs the concurrent pair on a pooled machine's persistent CPU
+    /// workers. The caller has already established the setup state (via
+    /// [`Mti::run_setup`] or a snapshot restore); this installs the
+    /// reordering controls and runs the Figure 5 choreography.
+    pub fn run_pair_pooled(&self, m: &PooledMachine) -> RunOutcome {
+        self.install_controls(m.kctx());
+        let (a, b) = self.pair();
+        m.run_pair(self.plan(), a, b)
     }
 }
 
@@ -98,12 +131,13 @@ pub fn build_mtis(
     hints_for_pair: impl Fn(usize, usize) -> Vec<SchedHint>,
     max_hints_per_pair: usize,
 ) -> Vec<Mti> {
+    let shared = Arc::new(sti.clone());
     let mut mtis = Vec::new();
     for i in 0..sti.calls.len() {
         for j in (i + 1)..sti.calls.len() {
             for hint in hints_for_pair(i, j).into_iter().take(max_hints_per_pair) {
                 mtis.push(Mti {
-                    sti: sti.clone(),
+                    sti: Arc::clone(&shared),
                     i,
                     j,
                     hint,
@@ -135,7 +169,7 @@ mod tests {
         let mut found = None;
         for (rank, hint) in hints.iter().enumerate() {
             let mti = Mti {
-                sti: sti.clone(),
+                sti: Arc::new(sti.clone()),
                 i: 0,
                 j: 1,
                 hint: hint.clone(),
@@ -164,7 +198,7 @@ mod tests {
         let hints = crate::hints::calc_hints(&traces[0].events, &traces[1].events);
         for hint in hints {
             let mti = Mti {
-                sti: sti.clone(),
+                sti: Arc::new(sti.clone()),
                 i: 0,
                 j: 1,
                 hint,
@@ -206,7 +240,7 @@ mod tests {
         let traces = profile_sti(&sti, bugs.clone());
         let hints = crate::hints::calc_hints(&traces[1].events, &traces[2].events);
         let mti = Mti {
-            sti: sti.clone(),
+            sti: Arc::new(sti.clone()),
             i: 1,
             j: 2,
             hint: hints.into_iter().next().expect("tls pair shares state"),

@@ -135,7 +135,7 @@ mod tests {
         let hints = calc_hints(&traces[0].events, &traces[1].events);
         for (n, hint) in hints.into_iter().enumerate() {
             let mti = Mti {
-                sti: sti.clone(),
+                sti: std::sync::Arc::new(sti.clone()),
                 i: 0,
                 j: 1,
                 hint,

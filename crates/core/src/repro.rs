@@ -15,7 +15,7 @@
 //! - **tls (#8)** has no crash symptom; reproduction is detected by the
 //!   wrong syscall return value (`✓*`).
 
-use kernelsim::{BugId, BugSwitches, Kctx, ReorderType, Syscall};
+use kernelsim::{BugId, BugSwitches, Kctx, MachinePool, ReorderType, Syscall};
 
 use crate::hints::calc_hints;
 use crate::mti::build_mtis;
@@ -48,10 +48,13 @@ pub fn reproduce(bug: BugId, migration_override: bool) -> ReproResult {
             k.set_migration_override(true);
         }
     };
-    // Profile on a machine with the same configuration.
-    let kp = Kctx::new(bugs.clone());
-    configure(&kp);
-    let traces = profile_sti_on(&kp, &sti);
+    // One pooled machine serves the whole attempt: profile on it, then
+    // reset it back to boot state (re-applying the §6.2 configuration —
+    // the boot snapshot predates it) before each MTI.
+    let pool = MachinePool::new();
+    let m = pool.checkout(&bugs);
+    configure(m.kctx());
+    let traces = profile_sti_on(m.kctx(), &sti);
     let mtis = build_mtis(
         &sti,
         |i, j| calc_hints(&traces[i].events, &traces[j].events),
@@ -60,9 +63,11 @@ pub fn reproduce(bug: BugId, migration_override: bool) -> ReproResult {
     let mut tests = 0;
     for mti in mtis {
         tests += 1;
-        let k = Kctx::new(bugs.clone());
-        configure(&k);
-        let out = mti.run_on(&k);
+        let k = m.kctx();
+        k.reset();
+        configure(k);
+        mti.run_setup(k);
+        let out = mti.run_pair_pooled(&m);
         // Crash-symptom reproduction.
         if out.crashes.iter().any(|c| c.title == bug.expected_title()) {
             return ReproResult {

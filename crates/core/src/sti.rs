@@ -16,7 +16,7 @@ use kernelsim::Syscall;
 use kutil::DetRng;
 
 /// A single-threaded input: a sequence of syscalls executed in order.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Sti {
     /// The syscall sequence.
     pub calls: Vec<Syscall>,

@@ -7,7 +7,7 @@
 //! mirrors the paper's §6.2 methodology of reverting fix patches to
 //! reintroduce the bugs.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Identifier of one seeded OOO bug.
@@ -291,9 +291,12 @@ impl fmt::Display for ReorderType {
 }
 
 /// The set of bug switches active in one simulated kernel build.
-#[derive(Clone, Debug, Default)]
+///
+/// Ordered and hashable so it can key a machine pool: machines booted with
+/// the same switch set are interchangeable.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct BugSwitches {
-    enabled: HashSet<BugId>,
+    enabled: BTreeSet<BugId>,
 }
 
 impl BugSwitches {

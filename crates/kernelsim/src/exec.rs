@@ -15,6 +15,7 @@ use ksched::{SchedulePlan, Scheduler};
 use oemu::Tid;
 
 use crate::kctx::{CrashSignal, Kctx, ECRASH};
+use crate::pool::CpuWorkers;
 use crate::syscalls::{dispatch, Syscall};
 
 /// Result of one concurrent test run.
@@ -106,6 +107,64 @@ pub fn run_concurrent(k: &Arc<Kctx>, plan: SchedulePlan, a: Syscall, b: Syscall)
         move |k| dispatch(k, Tid(0), a),
         move |k| dispatch(k, Tid(1), b),
     )
+}
+
+/// Runs two syscalls concurrently on persistent CPU workers instead of
+/// spawning threads — the pooled equivalent of [`run_concurrent`], used by
+/// [`crate::PooledMachine::run_pair`].
+///
+/// The per-leg choreography (scheduler `thread_start`, oops isolation,
+/// syscall-exit flush, `thread_finish`) is byte-for-byte the spawned
+/// version's: both executors funnel through [`run_leg`], so a campaign's
+/// deterministic output is identical either way.
+pub(crate) fn run_concurrent_on(
+    k: &Arc<Kctx>,
+    workers: &CpuWorkers,
+    plan: SchedulePlan,
+    a: Syscall,
+    b: Syscall,
+) -> RunOutcome {
+    let sched = Arc::new(Scheduler::new(2, plan));
+    k.set_scheduler(Some(Arc::clone(&sched)));
+    let (tx_a, rx_a) = kutil::chan::channel();
+    let (kk, sc) = (Arc::clone(k), Arc::clone(&sched));
+    workers.submit(
+        0,
+        Box::new(move || {
+            let r = run_leg(&kk, &sc, Tid(0), move |k| dispatch(k, Tid(0), a));
+            let _ = tx_a.send(r);
+        }),
+    );
+    let (tx_b, rx_b) = kutil::chan::channel();
+    let (kk, sc) = (Arc::clone(k), Arc::clone(&sched));
+    workers.submit(
+        1,
+        Box::new(move || {
+            let r = run_leg(&kk, &sc, Tid(1), move |k| dispatch(k, Tid(1), b));
+            let _ = tx_b.send(r);
+        }),
+    );
+    // Collect both legs before settling either, so a harness panic in one
+    // leg cannot leave the other lane's worker wedged mid-run.
+    let ra = rx_a.recv().expect("cpu worker 0 must not die");
+    let rb = rx_b.recv().expect("cpu worker 1 must not die");
+    k.set_scheduler(None);
+    k.engine.clear_controls(Tid(0));
+    k.engine.clear_controls(Tid(1));
+    let ret_a = settle(ra);
+    let ret_b = settle(rb);
+    RunOutcome {
+        crashes: k.sink.take(),
+        ret_a,
+        ret_b,
+    }
+}
+
+fn settle(r: Result<i64, Box<dyn std::any::Any + Send>>) -> i64 {
+    match r {
+        Ok(ret) => ret,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
 }
 
 fn run_leg(

@@ -18,10 +18,13 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use kmem::{Fault, FnRegistry, Kmem, LockId, Lockdep, OracleSink};
+use kmem::{
+    CrashReport, Fault, FnRegistry, FnRegistrySnapshot, Kmem, KmemSnapshot, LockId, Lockdep,
+    LockdepSnapshot, OracleSink,
+};
 use ksched::Scheduler;
 use kutil::sync::Mutex;
-use oemu::{Engine, Iid, LoadAnn, RmwOrder, StoreAnn, Tid};
+use oemu::{Engine, EngineSnapshot, Iid, LoadAnn, RmwOrder, StoreAnn, Tid};
 
 use crate::bugs::{BugId, BugSwitches};
 use crate::subsys;
@@ -87,6 +90,55 @@ pub struct Globals {
     pub usb: subsys::usb::UsbGlobals,
 }
 
+/// A full copy of one machine's mutable state — the engine, allocator,
+/// registries, oracles, per-CPU frames, and mode flags. Subsystem globals
+/// are *not* copied: they are plain structs of simulated addresses fixed at
+/// boot, and all state behind those addresses lives in the engine's memory
+/// and the allocator, which the snapshot covers.
+///
+/// Captured by [`Kctx::snapshot`], written back by [`Kctx::restore`]. The
+/// boot-time snapshot every machine captures at the end of [`Kctx::new`] is
+/// what [`Kctx::reset`] rolls back to.
+#[derive(Clone)]
+pub struct MachineSnapshot {
+    engine: EngineSnapshot,
+    kmem: KmemSnapshot,
+    fns: FnRegistrySnapshot,
+    lockdep: LockdepSnapshot,
+    sink: Vec<CrashReport>,
+    raw: bool,
+    migration_override: bool,
+    frames: [Vec<&'static str>; MAX_CPUS],
+}
+
+impl MachineSnapshot {
+    /// Deterministic rendering of the captured machine state, for
+    /// byte-comparing a reset machine against a fresh boot. Purely
+    /// observational counters (engine/allocator stats) are excluded — they
+    /// never influence execution.
+    pub fn digest(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "machine raw={} migration_override={}",
+            self.raw, self.migration_override
+        )
+        .unwrap();
+        for (cpu, frames) in self.frames.iter().enumerate() {
+            writeln!(out, "frames cpu={cpu} {frames:?}").unwrap();
+        }
+        for r in &self.sink {
+            writeln!(out, "report {}", r.title).unwrap();
+        }
+        self.engine.digest(&mut out);
+        self.kmem.digest(&mut out);
+        self.fns.digest(&mut out);
+        self.lockdep.digest(&mut out);
+        out
+    }
+}
+
 /// One booted simulated machine.
 pub struct Kctx {
     /// The OEMU emulation engine.
@@ -108,6 +160,9 @@ pub struct Kctx {
     migration_override: AtomicBool,
     frames: Mutex<[Vec<&'static str>; MAX_CPUS]>,
     globals: OnceLock<Globals>,
+    /// State at the end of boot, captured once by `Kctx::new`; what
+    /// [`Kctx::reset`] restores.
+    boot: OnceLock<MachineSnapshot>,
 }
 
 impl Kctx {
@@ -125,6 +180,7 @@ impl Kctx {
             migration_override: AtomicBool::new(false),
             frames: Mutex::new(Default::default()),
             globals: OnceLock::new(),
+            boot: OnceLock::new(),
         });
         let globals = Globals {
             wq: subsys::watch_queue::boot(&k),
@@ -146,7 +202,60 @@ impl Kctx {
             usb: subsys::usb::boot(&k),
         };
         k.globals.set(globals).ok().expect("boot happens once");
+        k.boot
+            .set(k.snapshot())
+            .ok()
+            .expect("boot snapshot happens once");
         k
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore / reset.
+    // ------------------------------------------------------------------
+
+    /// Captures the machine's full mutable state.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            engine: self.engine.snapshot(),
+            kmem: self.kmem.snapshot(),
+            fns: self.fns.snapshot(),
+            lockdep: self.lockdep.snapshot(),
+            sink: self.sink.snapshot(),
+            raw: self.raw.load(Ordering::Relaxed),
+            migration_override: self.migration_override.load(Ordering::Relaxed),
+            frames: self.frames.lock().clone(),
+        }
+    }
+
+    /// Restores a previously captured state, reusing the machine's existing
+    /// allocations. Any installed scheduler is removed — snapshots are only
+    /// taken between runs, never mid-concurrent-phase.
+    pub fn restore(&self, snap: &MachineSnapshot) {
+        self.set_scheduler(None);
+        self.engine.restore(&snap.engine);
+        self.kmem.restore(&snap.kmem);
+        self.fns.restore(&snap.fns);
+        self.lockdep.restore(&snap.lockdep);
+        self.sink.restore(&snap.sink);
+        self.raw.store(snap.raw, Ordering::Relaxed);
+        self.migration_override
+            .store(snap.migration_override, Ordering::Relaxed);
+        self.frames.lock().clone_from(&snap.frames);
+    }
+
+    /// Rolls the machine back to its exact end-of-boot state without
+    /// reallocating — the reproduction's analog of the paper's long-lived
+    /// in-vivo VMs, which run test after test without rebooting.
+    pub fn reset(&self) {
+        let boot = self.boot.get().expect("machine is booted");
+        self.restore(boot);
+    }
+
+    /// Deterministic rendering of the machine's current semantic state;
+    /// two machines with equal digests behave identically on any future
+    /// input. See [`MachineSnapshot::digest`].
+    pub fn state_digest(&self) -> String {
+        self.snapshot().digest()
     }
 
     /// Boot-time globals.
@@ -512,6 +621,59 @@ mod tests {
             k.call_fn(t, 0);
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn reset_restores_exact_boot_state() {
+        let fresh = Kctx::new(BugSwitches::all());
+        let k = Kctx::new(BugSwitches::all());
+        let boot_digest = fresh.state_digest();
+        assert_eq!(
+            k.state_digest(),
+            boot_digest,
+            "boot is deterministic: two fresh machines agree byte-for-byte"
+        );
+
+        // Dirty every state dimension reset() must clear: delayed-store and
+        // versioned-load controls, memory + store history, lockdep edges,
+        // the oracle sink, per-CPU frames, and the mode flags.
+        let t = Tid(0);
+        let i = iid!();
+        k.engine.delay_store_at(t, i);
+        k.engine.read_old_value_at(Tid(1), iid!());
+        let obj = k.kzalloc(32, "dirty");
+        k.write(t, i, obj, 7); // delayed: sits in the store buffer
+        k.write(t, iid!(), obj + 8, 9); // commits: memory + history entry
+        k.lock(t, LockId(0x11));
+        k.lock(t, LockId(0x22)); // learned ordering edge
+        k.unlock(t, LockId(0x22));
+        k.unlock(t, LockId(0x11));
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _f = k.enter(t, "dirty_fn");
+            k.read(t, iid!(), 0); // null deref -> sink report
+        }));
+        k.set_migration_override(true);
+        k.set_raw(true);
+        assert_ne!(k.state_digest(), boot_digest, "machine is dirty");
+        assert!(k.sink.has_reports());
+        assert!(k.engine.pending_stores(t) > 0);
+
+        k.reset();
+        assert_eq!(
+            k.state_digest(),
+            boot_digest,
+            "reset() restores the exact boot state"
+        );
+        assert!(!k.sink.has_reports(), "sink cleared");
+        assert_eq!(k.engine.pending_stores(t), 0, "controls + buffer cleared");
+        // The cleared delay control stays cleared: a store at the formerly
+        // delayed iid now commits immediately.
+        let obj2 = k.kzalloc(32, "after");
+        k.write(t, i, obj2, 5);
+        assert_eq!(k.engine.raw_load(obj2), 5);
+        // And the reset machine behaves like the fresh one.
+        assert_eq!(k.cpu_of(Tid(1)), 1, "migration override cleared");
+        assert!(!k.is_raw(), "raw mode cleared");
     }
 
     #[test]

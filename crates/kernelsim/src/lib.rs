@@ -26,6 +26,7 @@ mod bitops;
 mod bugs;
 mod exec;
 mod kctx;
+mod pool;
 pub mod subsys;
 mod syscalls;
 pub mod testutil;
@@ -37,6 +38,8 @@ pub use bitops::{
 pub use bugs::{BugId, BugSwitches, ReorderType};
 pub use exec::{run_concurrent, run_concurrent_closures, run_one, run_sti, RunOutcome};
 pub use kctx::{
-    CrashSignal, FnFrame, Globals, Kctx, EAGAIN, EBADF, EBUSY, ECRASH, EINVAL, MAX_CPUS,
+    CrashSignal, FnFrame, Globals, Kctx, MachineSnapshot, EAGAIN, EBADF, EBUSY, ECRASH, EINVAL,
+    MAX_CPUS,
 };
+pub use pool::{CpuWorkers, MachinePool, PooledMachine};
 pub use syscalls::{dispatch, Syscall};

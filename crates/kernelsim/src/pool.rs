@@ -1,0 +1,277 @@
+//! Machine pool and persistent CPU workers: zero-boot MTI execution.
+//!
+//! The paper runs tests *in-vivo* inside long-lived QEMU/KVM VMs — a
+//! machine boots once and then executes test after test, with the executor
+//! processes reused across programs the way Syzkaller reuses them. This
+//! module gives the reproduction the same discipline:
+//!
+//! - [`CpuWorkers`]: two parked OS threads per machine standing in for its
+//!   simulated CPUs. A concurrent run hands each one a closure over a
+//!   channel instead of spawning fresh threads, while the custom
+//!   scheduler's handshake (`thread_start` → gates → `thread_finish`) and
+//!   the oops isolation are exactly those of the spawning executor.
+//! - [`PooledMachine`]: a booted [`Kctx`] bundled with its workers.
+//! - [`MachinePool`]: a shelf of reset machines keyed by [`BugSwitches`].
+//!   Checking a machine in rolls it back to its boot snapshot
+//!   ([`Kctx::reset`]), so a checkout is always byte-identical to a fresh
+//!   boot — verified by the reset-fidelity tests — at a fraction of the
+//!   cost.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use ksched::SchedulePlan;
+use kutil::chan::{channel, Sender};
+use kutil::sync::Mutex;
+
+use crate::bugs::BugSwitches;
+use crate::exec::{run_concurrent_on, RunOutcome};
+use crate::kctx::Kctx;
+use crate::syscalls::Syscall;
+
+/// A unit of work shipped to a parked CPU worker.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Lane {
+    /// `Some` while the worker runs; dropped to disconnect the channel and
+    /// let the worker exit.
+    tx: Option<Sender<Job>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A fixed set of persistent worker threads, one per simulated CPU lane.
+///
+/// Workers park on a channel `recv` between jobs; a simulated oops unwinds
+/// inside the job (caught at the syscall boundary exactly as on a spawned
+/// thread) and never kills the worker.
+pub struct CpuWorkers {
+    lanes: Vec<Lane>,
+}
+
+impl CpuWorkers {
+    /// Spawns `nlanes` parked worker threads.
+    pub fn new(nlanes: usize) -> Self {
+        let lanes = (0..nlanes)
+            .map(|i| {
+                let (tx, rx) = channel::<Job>();
+                let handle = std::thread::Builder::new()
+                    .name(format!("ozz-cpu-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn cpu worker");
+                Lane {
+                    tx: Some(tx),
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        CpuWorkers { lanes }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Ships a job to lane `lane`. Jobs on one lane run in FIFO order.
+    pub(crate) fn submit(&self, lane: usize, job: Job) {
+        self.lanes[lane]
+            .tx
+            .as_ref()
+            .expect("worker running")
+            .send(job)
+            .ok()
+            .expect("cpu worker hung up");
+    }
+}
+
+impl Drop for CpuWorkers {
+    fn drop(&mut self) {
+        // Disconnect every lane first, then join: a worker exits when its
+        // channel drains and hangs up.
+        for lane in &mut self.lanes {
+            lane.tx = None;
+        }
+        for lane in &mut self.lanes {
+            if let Some(h) = lane.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// A booted machine plus its persistent CPU workers, ready to run MTIs
+/// without booting or spawning anything.
+pub struct PooledMachine {
+    k: Arc<Kctx>,
+    workers: CpuWorkers,
+}
+
+impl PooledMachine {
+    /// Boots a fresh machine with two worker lanes (an MTI's two CPUs).
+    pub fn boot(bugs: BugSwitches) -> Self {
+        PooledMachine {
+            k: Kctx::new(bugs),
+            workers: CpuWorkers::new(2),
+        }
+    }
+
+    /// The machine itself.
+    pub fn kctx(&self) -> &Arc<Kctx> {
+        &self.k
+    }
+
+    /// Runs two syscalls concurrently on the persistent workers — the
+    /// pooled equivalent of [`crate::run_concurrent`].
+    pub fn run_pair(&self, plan: SchedulePlan, a: Syscall, b: Syscall) -> RunOutcome {
+        run_concurrent_on(&self.k, &self.workers, plan, a, b)
+    }
+}
+
+/// A shelf of reset machines keyed by their bug-switch set.
+///
+/// `checkout` pops a previously reset machine (or boots one on a miss);
+/// `checkin` resets the machine back to boot state and shelves it. One
+/// pool per fuzzer keeps shards contention-free in parallel campaigns.
+#[derive(Default)]
+pub struct MachinePool {
+    shelves: Mutex<HashMap<BugSwitches, Vec<PooledMachine>>>,
+    boots: Mutex<u64>,
+}
+
+impl MachinePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks out a machine booted with `bugs`, reusing a shelved one when
+    /// available. The returned machine is always in exact boot state.
+    pub fn checkout(&self, bugs: &BugSwitches) -> PooledMachine {
+        if let Some(m) = self
+            .shelves
+            .lock()
+            .get_mut(bugs)
+            .and_then(|shelf| shelf.pop())
+        {
+            return m;
+        }
+        *self.boots.lock() += 1;
+        PooledMachine::boot(bugs.clone())
+    }
+
+    /// Resets `machine` to boot state and shelves it for the next checkout.
+    pub fn checkin(&self, machine: PooledMachine) {
+        machine.k.reset();
+        self.shelves
+            .lock()
+            .entry(machine.k.switches().clone())
+            .or_default()
+            .push(machine);
+    }
+
+    /// Machines currently shelved (idle), across all switch sets.
+    pub fn idle(&self) -> usize {
+        self.shelves.lock().values().map(Vec::len).sum()
+    }
+
+    /// Machines booted by this pool over its lifetime — the number a
+    /// fresh-boot executor would have multiplied by its test count.
+    pub fn boots(&self) -> u64 {
+        *self.boots.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_concurrent;
+    use crate::kctx::ECRASH;
+    use ksched::{BreakWhen, Breakpoint};
+    use oemu::{AccessKind, Tid};
+
+    #[test]
+    fn checkout_checkin_reuses_the_same_machine() {
+        let pool = MachinePool::new();
+        let bugs = BugSwitches::all();
+        let m = pool.checkout(&bugs);
+        let first = Arc::as_ptr(m.kctx());
+        pool.checkin(m);
+        assert_eq!(pool.idle(), 1);
+        let m = pool.checkout(&bugs);
+        assert_eq!(Arc::as_ptr(m.kctx()), first, "shelved machine reused");
+        assert_eq!(pool.boots(), 1, "one boot serves both checkouts");
+        // A different switch set gets its own machine.
+        let other = pool.checkout(&BugSwitches::none());
+        assert_ne!(Arc::as_ptr(other.kctx()), first);
+        assert_eq!(pool.boots(), 2);
+    }
+
+    #[test]
+    fn pooled_run_matches_spawned_run() {
+        // The Figure 5a store-barrier forcing of the exec tests, executed
+        // once on spawned threads and once on persistent workers: same
+        // crash title, same return values.
+        let profile = {
+            let k = Kctx::new(BugSwitches::all());
+            k.engine.set_profiling(true);
+            crate::exec::run_one(&k, Tid(0), crate::Syscall::WqPost);
+            let p = k.engine.take_profile(Tid(0));
+            k.engine.set_profiling(false);
+            p
+        };
+        let stores: Vec<_> = profile
+            .accesses()
+            .filter(|a| a.kind == AccessKind::Store)
+            .collect();
+        let (last, rest) = stores.split_last().expect("writer has stores");
+        let plan = || SchedulePlan {
+            first: Tid(0),
+            breakpoint: Some(Breakpoint {
+                iid: last.iid,
+                when: BreakWhen::After,
+                hit: 1,
+            }),
+        };
+
+        let k = Kctx::new(BugSwitches::all());
+        for a in rest {
+            k.engine.delay_store_at(Tid(0), a.iid);
+        }
+        let spawned = run_concurrent(&k, plan(), crate::Syscall::WqPost, crate::Syscall::PipeRead);
+
+        let pool = MachinePool::new();
+        let m = pool.checkout(&BugSwitches::all());
+        for a in rest {
+            m.kctx().engine.delay_store_at(Tid(0), a.iid);
+        }
+        let pooled = m.run_pair(plan(), crate::Syscall::WqPost, crate::Syscall::PipeRead);
+
+        assert_eq!(spawned.title(), pooled.title());
+        assert_eq!(spawned.title().unwrap(), pooled.title().unwrap());
+        assert_eq!((spawned.ret_a, spawned.ret_b), (pooled.ret_a, pooled.ret_b));
+        assert_eq!(pooled.ret_b, ECRASH);
+    }
+
+    #[test]
+    fn workers_survive_an_oops_and_run_again() {
+        let pool = MachinePool::new();
+        let bugs = BugSwitches::all();
+        let mut m = pool.checkout(&bugs);
+        for _ in 0..3 {
+            let out = m.run_pair(
+                SchedulePlan::sequential(Tid(0)),
+                crate::Syscall::WqPost,
+                crate::Syscall::PipeRead,
+            );
+            assert!(!out.crashed(), "in-order run is benign: {out:?}");
+            pool.checkin(m);
+            m = pool.checkout(&bugs);
+        }
+        assert_eq!(pool.boots(), 1);
+    }
+}

@@ -63,6 +63,31 @@ struct Inner {
     stats: KmemStats,
 }
 
+/// A full copy of the allocator's state: bump pointer, every object's
+/// lifecycle (including the quarantine), and counters. Restoring the bump
+/// pointer matters for determinism — profiles key on simulated addresses,
+/// so a reset machine must hand out exactly the addresses a fresh boot
+/// would.
+#[derive(Clone)]
+pub struct KmemSnapshot {
+    next: u64,
+    objects: BTreeMap<u64, Object>,
+    stats: KmemStats,
+}
+
+impl KmemSnapshot {
+    /// Appends a deterministic rendering of the captured heap to `out`
+    /// (BTreeMap iteration is already address-ordered). Stats counters are
+    /// excluded — diagnostics only.
+    pub fn digest(&self, out: &mut String) {
+        use std::fmt::Write;
+        writeln!(out, "kmem next={:#x}", self.next).unwrap();
+        for o in self.objects.values() {
+            writeln!(out, "obj {o:?}").unwrap();
+        }
+    }
+}
+
 /// The simulated slab allocator and KASAN access checker.
 pub struct Kmem {
     inner: Mutex<Inner>,
@@ -242,6 +267,25 @@ impl Kmem {
             .next_back()
             .map(|(_, o)| o.clone())
             .filter(|o| addr < o.base + o.size + REDZONE)
+    }
+
+    /// Captures the allocator's full state.
+    pub fn snapshot(&self) -> KmemSnapshot {
+        let inner = self.inner.lock();
+        KmemSnapshot {
+            next: inner.next,
+            objects: inner.objects.clone(),
+            stats: inner.stats,
+        }
+    }
+
+    /// Restores a previously captured state, reusing allocations where the
+    /// containers support it.
+    pub fn restore(&self, snap: &KmemSnapshot) {
+        let mut inner = self.inner.lock();
+        inner.next = snap.next;
+        inner.objects.clone_from(&snap.objects);
+        inner.stats = snap.stats;
     }
 
     /// Allocator counters.

@@ -34,7 +34,49 @@ struct FnRegistryInner {
     next: u64,
 }
 
+/// A full copy of the registry's name↔address tables. Registration order
+/// decides addresses, so a reset machine must replay the boot-time table
+/// exactly for simulated function pointers to stay stable.
+#[derive(Clone)]
+pub struct FnRegistrySnapshot {
+    by_addr: HashMap<u64, &'static str>,
+    by_name: HashMap<&'static str, u64>,
+    next: u64,
+}
+
+impl FnRegistrySnapshot {
+    /// Appends a deterministic rendering of the captured table to `out`
+    /// (sorted by address).
+    pub fn digest(&self, out: &mut String) {
+        use std::fmt::Write;
+        writeln!(out, "fnreg next={}", self.next).unwrap();
+        let mut fns: Vec<_> = self.by_addr.iter().collect();
+        fns.sort_unstable();
+        for (addr, name) in fns {
+            writeln!(out, "fn {addr:#x}={name}").unwrap();
+        }
+    }
+}
+
 impl FnRegistry {
+    /// Captures the registry's full state.
+    pub fn snapshot(&self) -> FnRegistrySnapshot {
+        let inner = self.inner.lock();
+        FnRegistrySnapshot {
+            by_addr: inner.by_addr.clone(),
+            by_name: inner.by_name.clone(),
+            next: inner.next,
+        }
+    }
+
+    /// Restores a previously captured state.
+    pub fn restore(&self, snap: &FnRegistrySnapshot) {
+        let mut inner = self.inner.lock();
+        inner.by_addr.clone_from(&snap.by_addr);
+        inner.by_name.clone_from(&snap.by_name);
+        inner.next = snap.next;
+    }
+
     /// Creates an empty registry.
     pub fn new() -> Self {
         Self::default()

@@ -22,7 +22,9 @@ mod fnreg;
 mod lockdep;
 mod report;
 
-pub use alloc::{AllocState, Kmem, KmemStats, Object, HEAP_BASE, NULL_GUARD, REDZONE};
-pub use fnreg::{FnRegistry, FN_BASE, FN_LIMIT};
-pub use lockdep::{LockId, Lockdep};
+pub use alloc::{
+    AllocState, Kmem, KmemSnapshot, KmemStats, Object, HEAP_BASE, NULL_GUARD, REDZONE,
+};
+pub use fnreg::{FnRegistry, FnRegistrySnapshot, FN_BASE, FN_LIMIT};
+pub use lockdep::{LockId, Lockdep, LockdepSnapshot};
 pub use report::{CrashReport, Fault, FaultKind, OracleSink};

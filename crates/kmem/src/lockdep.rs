@@ -31,7 +31,49 @@ pub struct Lockdep {
     inner: Mutex<Inner>,
 }
 
+/// A full copy of the oracle's state: held locks and learned ordering
+/// edges. Restoring the boot snapshot forgets every edge a test run
+/// taught the oracle, so a reset machine rediscovers inversions exactly
+/// as a fresh boot would.
+#[derive(Clone)]
+pub struct LockdepSnapshot {
+    held: HashMap<Tid, Vec<LockId>>,
+    edges: HashSet<(LockId, LockId)>,
+}
+
+impl LockdepSnapshot {
+    /// Appends a deterministic rendering of the captured state to `out`
+    /// (hash containers are sorted first).
+    pub fn digest(&self, out: &mut String) {
+        use std::fmt::Write;
+        let mut held: Vec<_> = self.held.iter().map(|(t, l)| (t.0, l)).collect();
+        held.sort_unstable();
+        for (tid, locks) in held {
+            writeln!(out, "lockdep held tid={tid} {locks:?}").unwrap();
+        }
+        let mut edges: Vec<_> = self.edges.iter().collect();
+        edges.sort_unstable();
+        writeln!(out, "lockdep edges {edges:?}").unwrap();
+    }
+}
+
 impl Lockdep {
+    /// Captures the oracle's full state.
+    pub fn snapshot(&self) -> LockdepSnapshot {
+        let inner = self.inner.lock();
+        LockdepSnapshot {
+            held: inner.held.clone(),
+            edges: inner.edges.clone(),
+        }
+    }
+
+    /// Restores a previously captured state.
+    pub fn restore(&self, snap: &LockdepSnapshot) {
+        let mut inner = self.inner.lock();
+        inner.held.clone_from(&snap.held);
+        inner.edges.clone_from(&snap.edges);
+    }
+
     /// Creates an empty oracle.
     pub fn new() -> Self {
         Self::default()

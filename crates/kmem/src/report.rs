@@ -157,6 +157,20 @@ impl OracleSink {
         std::mem::take(&mut self.reports.lock())
     }
 
+    /// Copies the reports recorded so far without draining them (machine
+    /// snapshot support).
+    pub fn snapshot(&self) -> Vec<CrashReport> {
+        self.reports.lock().clone()
+    }
+
+    /// Replaces the recorded reports with a previously captured copy,
+    /// reusing the sink's allocation.
+    pub fn restore(&self, reports: &[CrashReport]) {
+        let mut held = self.reports.lock();
+        held.clear();
+        held.extend_from_slice(reports);
+    }
+
     /// Whether any fault was recorded.
     pub fn has_reports(&self) -> bool {
         !self.reports.lock().is_empty()

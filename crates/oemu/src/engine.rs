@@ -53,9 +53,15 @@ pub struct EngineStats {
     pub versioned_reads: u64,
     /// Barriers executed.
     pub barriers: u64,
+    /// Profile event buffers handed back out by
+    /// [`Engine::take_profile`] without a fresh allocation — each one is a
+    /// `Vec<TraceEvent>` recycled through the machine-reset path instead of
+    /// dropped. Cumulative across resets (a machine-lifetime counter, not
+    /// per-run state).
+    pub profile_bufs_recycled: u64,
 }
 
-#[derive(Default)]
+#[derive(Default, Clone)]
 struct ThreadState {
     buffer: StoreBuffer,
     /// Start of the versioning window `(window_start, now]` — the commit
@@ -82,6 +88,74 @@ struct Inner {
     profiling: bool,
     threads: Vec<ThreadState>,
     stats: EngineStats,
+    /// Retired profile event buffers awaiting reuse by `take_profile`.
+    /// Deliberately *not* part of [`EngineSnapshot`]: the spare pool is an
+    /// allocation cache with no semantic content, and it must survive
+    /// machine resets for the recycling to pay off.
+    spare_events: Vec<Vec<TraceEvent>>,
+}
+
+/// A full copy of one engine's semantic state — memory words, store
+/// history, commit clock, profiling sequence, and every per-thread buffer,
+/// window, coherence floor, control set, and in-progress profile.
+///
+/// Captured by [`Engine::snapshot`] and written back by
+/// [`Engine::restore`]; restoring into a live engine reuses its existing
+/// allocations, which is what makes a machine reset cheaper than a boot.
+#[derive(Clone)]
+pub struct EngineSnapshot {
+    mem: Memory,
+    history: StoreHistory,
+    clock: u64,
+    seq: u64,
+    profiling: bool,
+    threads: Vec<ThreadState>,
+    stats: EngineStats,
+}
+
+impl EngineSnapshot {
+    /// Appends a deterministic rendering of the captured state to `out`.
+    ///
+    /// Hash-map iteration order never leaks: memory words, coherence
+    /// floors, and control sets are sorted first. The [`EngineStats`]
+    /// counters are deliberately excluded — they are diagnostics that never
+    /// influence execution, and the recycle counter is defined to survive
+    /// resets.
+    pub fn digest(&self, out: &mut String) {
+        use std::fmt::Write;
+        writeln!(
+            out,
+            "engine clock={} seq={} profiling={}",
+            self.clock, self.seq, self.profiling
+        )
+        .unwrap();
+        for (addr, value) in self.mem.sorted_words() {
+            writeln!(out, "mem {addr:#x}={value:#x}").unwrap();
+        }
+        for r in self.history.records() {
+            writeln!(out, "hist {r:?}").unwrap();
+        }
+        for (i, t) in self.threads.iter().enumerate() {
+            writeln!(out, "thread {i} window_start={}", t.window_start).unwrap();
+            for e in t.buffer.entries() {
+                writeln!(out, "  buffered {e:?}").unwrap();
+            }
+            let mut floors: Vec<_> = t.obs_floor.iter().collect();
+            floors.sort_unstable();
+            for (addr, ts) in floors {
+                writeln!(out, "  floor {addr:#x}@{ts}").unwrap();
+            }
+            let mut delays: Vec<_> = t.delay_set.iter().collect();
+            delays.sort_unstable();
+            writeln!(out, "  delay_set {delays:?}").unwrap();
+            let mut read_olds: Vec<_> = t.read_old_set.iter().collect();
+            read_olds.sort_unstable();
+            writeln!(out, "  read_old_set {read_olds:?}").unwrap();
+            for ev in &t.profile.events {
+                writeln!(out, "  profiled {ev:?}").unwrap();
+            }
+        }
+    }
 }
 
 /// The OEMU engine for one simulated machine.
@@ -112,8 +186,60 @@ impl Engine {
                 profiling: false,
                 threads,
                 stats: EngineStats::default(),
+                spare_events: Vec::new(),
             }),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore (machine reset support).
+    // ------------------------------------------------------------------
+
+    /// Captures the engine's full semantic state.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let inner = self.inner.lock();
+        EngineSnapshot {
+            mem: inner.mem.clone(),
+            history: inner.history.clone(),
+            clock: inner.clock,
+            seq: inner.seq,
+            profiling: inner.profiling,
+            threads: inner.threads.clone(),
+            stats: inner.stats,
+        }
+    }
+
+    /// Restores a previously captured state, reusing the engine's existing
+    /// allocations (memory table, history log, per-thread sets and event
+    /// buffers keep their capacity). The spare-buffer pool and the
+    /// cumulative `profile_bufs_recycled` counter survive the restore.
+    pub fn restore(&self, snap: &EngineSnapshot) {
+        let mut inner = self.inner.lock();
+        inner.mem.clone_from(&snap.mem);
+        inner.history.clone_from(&snap.history);
+        inner.clock = snap.clock;
+        inner.seq = snap.seq;
+        inner.profiling = snap.profiling;
+        debug_assert_eq!(inner.threads.len(), snap.threads.len());
+        for (t, s) in inner.threads.iter_mut().zip(&snap.threads) {
+            t.buffer.clone_from(&s.buffer);
+            t.window_start = s.window_start;
+            t.obs_floor.clone_from(&s.obs_floor);
+            t.delay_set.clone_from(&s.delay_set);
+            t.read_old_set.clone_from(&s.read_old_set);
+            t.profile.tid = s.profile.tid;
+            t.profile.events.clone_from(&s.profile.events);
+        }
+        let recycled = inner.stats.profile_bufs_recycled;
+        inner.stats = snap.stats;
+        inner.stats.profile_bufs_recycled = recycled;
+    }
+
+    /// Hands a used profile event buffer back for reuse by a later
+    /// [`take_profile`](Engine::take_profile), avoiding its reallocation.
+    pub fn recycle_profile_events(&self, mut events: Vec<TraceEvent>) {
+        events.clear();
+        self.inner.lock().spare_events.push(events);
     }
 
     // ------------------------------------------------------------------
@@ -344,9 +470,19 @@ impl Engine {
     }
 
     /// Takes (and clears) the recorded profile of `tid`.
+    ///
+    /// The replacement profile reuses a buffer previously handed back via
+    /// [`recycle_profile_events`](Engine::recycle_profile_events) when one
+    /// is available, so steady-state profiling allocates nothing.
     pub fn take_profile(&self, tid: Tid) -> Profile {
         let mut inner = self.inner.lock();
-        std::mem::replace(&mut inner.threads[tid.0].profile, Profile::new(tid))
+        let mut replacement = Profile::new(tid);
+        if let Some(buf) = inner.spare_events.pop() {
+            debug_assert!(buf.is_empty());
+            replacement.events = buf;
+            inner.stats.profile_bufs_recycled += 1;
+        }
+        std::mem::replace(&mut inner.threads[tid.0].profile, replacement)
     }
 
     // ------------------------------------------------------------------

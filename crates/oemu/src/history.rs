@@ -40,10 +40,26 @@ pub struct StoreRecord {
 #[derive(Default, Debug)]
 pub struct StoreHistory {
     records: Vec<StoreRecord>,
+    // NOTE: `Clone` below overrides `clone_from` so machine resets restore
+    // the boot history into the existing allocations.
     /// Positions into `records` per address. Within one address the
     /// positions — and therefore the timestamps — are strictly ascending,
     /// which is what makes `partition_point` valid in `old_version_at`.
     by_addr: BTreeMap<u64, Vec<usize>>,
+}
+
+impl Clone for StoreHistory {
+    fn clone(&self) -> Self {
+        StoreHistory {
+            records: self.records.clone(),
+            by_addr: self.by_addr.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.records.clone_from(&source.records);
+        self.by_addr.clone_from(&source.by_addr);
+    }
 }
 
 impl StoreHistory {

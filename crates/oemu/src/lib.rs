@@ -60,7 +60,7 @@ mod profile;
 mod store_buffer;
 mod types;
 
-pub use engine::{Engine, EngineStats};
+pub use engine::{Engine, EngineSnapshot, EngineStats};
 pub use history::{StoreHistory, StoreRecord};
 pub use iid::{Iid, Location};
 pub use memory::Memory;

@@ -15,6 +15,20 @@ pub struct Memory {
     words: HashMap<u64, u64>,
 }
 
+impl Clone for Memory {
+    fn clone(&self) -> Self {
+        Memory {
+            words: self.words.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        // Keep the existing table allocation: machine resets restore boot
+        // memory thousands of times per campaign.
+        self.words.clone_from(&source.words);
+    }
+}
+
 impl Memory {
     /// Creates an empty (all-zero) memory.
     pub fn new() -> Self {
@@ -44,6 +58,14 @@ impl Memory {
     /// Number of distinct words ever written (diagnostics only).
     pub fn footprint(&self) -> usize {
         self.words.len()
+    }
+
+    /// Every written word as `(addr, value)` sorted by address — a
+    /// deterministic rendering of memory contents for state digests.
+    pub fn sorted_words(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.words.iter().map(|(&a, &w)| (a, w)).collect();
+        v.sort_unstable();
+        v
     }
 }
 

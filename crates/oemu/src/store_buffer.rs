@@ -30,6 +30,18 @@ pub struct StoreBuffer {
     entries: Vec<BufferedStore>,
 }
 
+impl Clone for StoreBuffer {
+    fn clone(&self) -> Self {
+        StoreBuffer {
+            entries: self.entries.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.entries.clone_from(&source.entries);
+    }
+}
+
 impl StoreBuffer {
     /// Creates an empty buffer.
     pub fn new() -> Self {

@@ -1,0 +1,70 @@
+//! Reset fidelity: pooled machines are indistinguishable from fresh boots.
+//!
+//! The machine pool's contract is that [`Kctx::reset`] rolls a machine back
+//! to *exact* boot state, so a campaign run on pooled, reset machines with
+//! persistent CPU workers must produce byte-identical results to one that
+//! boots a fresh machine and spawns fresh threads for every test. This is
+//! the reproduction's analog of the paper's in-vivo guarantee: reusing a
+//! long-lived VM across tests must not change what the tests observe.
+//!
+//! These tests run whole campaigns both ways and compare everything the
+//! fuzzer reports: the full `FoundBug` map rendering (titles, diagnoses,
+//! tests-to-find, hint ranks, pairs), the campaign statistics, and the
+//! covered instrumentation sites.
+
+use kernelsim::BugSwitches;
+use ozz::fuzzer::{FuzzConfig, Fuzzer};
+
+/// Runs a campaign to `budget` MTIs with or without machine reuse and
+/// renders every observable output.
+fn campaign_outputs(seed: u64, budget: u64, reuse_machines: bool) -> (String, String, String) {
+    let mut fuzzer = Fuzzer::new(FuzzConfig {
+        seed,
+        bugs: BugSwitches::all(),
+        reuse_machines,
+        ..FuzzConfig::default()
+    });
+    while fuzzer.stats().mtis_run < budget {
+        fuzzer.step();
+    }
+    (
+        format!("{:#?}", fuzzer.found()),
+        format!("{:?}", fuzzer.stats()),
+        format!("{:?}", fuzzer.coverage_iids()),
+    )
+}
+
+#[test]
+fn reset_equals_fresh_boot() {
+    for seed in [2024, 7] {
+        let pooled = campaign_outputs(seed, 400, true);
+        let fresh = campaign_outputs(seed, 400, false);
+        assert!(!pooled.0.is_empty());
+        assert_eq!(
+            pooled.0, fresh.0,
+            "seed {seed}: pooled campaign found different bugs than fresh boots"
+        );
+        assert_eq!(
+            pooled.1, fresh.1,
+            "seed {seed}: campaign statistics diverged"
+        );
+        assert_eq!(pooled.2, fresh.2, "seed {seed}: coverage diverged");
+    }
+}
+
+#[test]
+fn pooled_campaign_boots_once_per_switch_set() {
+    let mut fuzzer = Fuzzer::new(FuzzConfig {
+        seed: 2024,
+        bugs: BugSwitches::all(),
+        ..FuzzConfig::default()
+    });
+    while fuzzer.stats().mtis_run < 200 {
+        fuzzer.step();
+    }
+    assert_eq!(
+        fuzzer.machine_boots(),
+        1,
+        "one switch set, sequential steps: a single machine serves the campaign"
+    );
+}
