@@ -28,6 +28,17 @@ cargo build --release --offline -p bench --bin mti_throughput
 ./target/release/mti_throughput 200 1
 cat BENCH_mti_throughput.json
 
+echo "== record/replay fidelity + oracle matrix + golden traces =="
+cargo test -q --offline --test trace_replay --test oracle_matrix --test golden_trace
+
+echo "== bounded exhaustive explorer smoke (hint-generator differential) =="
+cargo run -q --release --offline -p modelcheck --bin explore -- watch_queue
+
+echo "== trace replay bench (search vs replay) =="
+cargo build --release --offline -p bench --bin trace_replay
+./target/release/trace_replay 30000 3
+cat BENCH_trace_replay.json
+
 echo "== formatting =="
 cargo fmt --check
 

@@ -1,0 +1,102 @@
+//! Search vs replay: finding a concurrency bug with the full hint
+//! pipeline versus reproducing it from a recorded schedule trace.
+//!
+//! The fuzzer serializes a [`ScheduleTrace`] into every `FoundBug`; a
+//! reproduction then replays that schedule directly — no profiling, no
+//! hint enumeration, no search — and must land on the identical verdict
+//! and state digest. This bench quantifies the payoff: median
+//! time-to-first-crash for a seeded campaign against median time for a
+//! single trace replay of the same bug.
+//!
+//! Usage: `trace_replay [search_budget] [reps]` (defaults 30000, 5).
+//! Writes `BENCH_trace_replay.json` into the working directory.
+//!
+//! [`ScheduleTrace`]: oemu::ScheduleTrace
+
+use std::time::Instant;
+
+use kernelsim::{BugId, BugSwitches};
+use ozz::fuzzer::{FoundBug, FuzzConfig, Fuzzer};
+use ozz::repro::reproduce_from_trace;
+
+const BUG: BugId = BugId::KnownWatchQueuePost;
+
+/// One seeded campaign until the bug is found; returns the FoundBug (with
+/// its recorded trace) and the wall time in milliseconds.
+fn search(budget: u64, seed: u64) -> (FoundBug, f64) {
+    let mut fuzzer = Fuzzer::new(FuzzConfig {
+        seed,
+        bugs: BugSwitches::only([BUG]),
+        ..FuzzConfig::default()
+    });
+    let start = Instant::now();
+    fuzzer.run_until(budget, 1);
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    let bug = fuzzer
+        .found()
+        .get(BUG.expected_title())
+        .expect("the campaign must find the bug within the budget")
+        .clone();
+    (bug, ms)
+}
+
+/// One trace replay of `bug`; returns wall time in milliseconds. Panics
+/// if the replay is not faithful — a slow reproduction that does not
+/// reproduce is not worth benchmarking.
+fn replay(bug: &FoundBug) -> f64 {
+    let start = Instant::now();
+    let ok = reproduce_from_trace(bug, BugSwitches::only([BUG]));
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(ok, "recorded trace failed to reproduce the crash");
+    ms
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let budget: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000);
+    let reps: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    println!("Search vs replay for '{BUG}' (budget {budget}, {reps} reps)\n");
+
+    let mut search_ms = Vec::with_capacity(reps);
+    let mut replay_ms = Vec::with_capacity(reps);
+    let mut tests_to_find = 0;
+    for rep in 0..reps {
+        // Vary the seed so "search" is a distribution, not one cached path;
+        // every seed must still find the bug for the numbers to compare.
+        let (bug, s) = search(budget, 2024 + rep as u64);
+        let r = replay(&bug);
+        println!(
+            "rep {rep}: search {s:>9.2} ms ({} tests) | replay {r:>7.3} ms",
+            bug.tests_to_find
+        );
+        tests_to_find = bug.tests_to_find;
+        search_ms.push(s);
+        replay_ms.push(r);
+    }
+
+    let search = median(search_ms);
+    let replay = median(replay_ms);
+    let speedup = search / replay;
+    println!("\nmedian search: {search:>9.2} ms (profile + hints + schedule search)");
+    println!("median replay: {replay:>9.3} ms (single slaved execution)");
+    println!("speedup:       {speedup:.0}x");
+
+    let json = format!(
+        "{{\n  \"bug\": \"{BUG}\",\n  \"search_budget\": {budget},\n  \"reps\": {reps},\n  \
+         \"tests_to_find\": {tests_to_find},\n  \
+         \"search_ms\": {search:.2},\n  \"replay_ms\": {replay:.3},\n  \
+         \"speedup\": {speedup:.1}\n}}\n"
+    );
+    std::fs::write("BENCH_trace_replay.json", json).expect("write BENCH_trace_replay.json");
+    println!("\nwrote BENCH_trace_replay.json");
+}

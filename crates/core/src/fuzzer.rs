@@ -9,10 +9,11 @@
 //! title like Syzkaller's dashboard.
 
 use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
 
 use kernelsim::{BugSwitches, Kctx, MachinePool, MachineSnapshot, ReorderType, Syscall};
-use kutil::splitmix64;
-use oemu::Iid;
+use kutil::{fnv1a64, splitmix64};
+use oemu::{Iid, ScheduleTrace};
 
 use crate::hints::{calc_hints, HintKind};
 use crate::mti::build_mtis;
@@ -82,6 +83,18 @@ pub struct FoundBug {
     pub hint_rank: usize,
     /// The concurrent syscall pair.
     pub pair: (Syscall, Syscall),
+    /// The full STI the pair was drawn from (setup prefix included), so a
+    /// replay can rebuild the exact pre-pair machine state.
+    pub sti: Arc<Sti>,
+    /// Indices of the pair within [`FoundBug::sti`] (`i < j`).
+    pub pair_indices: (usize, usize),
+    /// Schedule trace of the crashing execution, recorded by re-running
+    /// the triggering MTI in record mode (byte-identical to the original
+    /// run — executions are deterministic given the controls).
+    pub trace: ScheduleTrace,
+    /// FNV-1a of the crashing run's [`Kctx::state_digest`]: the fidelity
+    /// target a replay must hit ([`crate::repro::reproduce_from_trace`]).
+    pub digest_fnv: u64,
 }
 
 /// Campaign statistics.
@@ -266,8 +279,30 @@ impl Fuzzer {
             };
             if out.crashed() {
                 self.stats.crashes_total += out.crashes.len() as u64;
+                // A first sighting gets its schedule recorded: the MTI is
+                // re-executed once in record mode (same controls, same
+                // plan — deterministic, so the same crash) and the trace
+                // travels with the report. The re-run consumes no RNG and
+                // no test budget, so campaign schedules are unchanged.
+                let any_new = out
+                    .crashes
+                    .iter()
+                    .any(|c| !self.found.contains_key(&c.title));
+                let recorded = if any_new {
+                    Some(match &machine {
+                        Some(m) => {
+                            m.kctx()
+                                .restore(post_setup.as_ref().expect("snapshot set with cur_pair"));
+                            mti.run_pair_pooled_recorded(m)
+                        }
+                        None => mti.run_recorded(self.cfg.bugs.clone()),
+                    })
+                } else {
+                    None
+                };
                 for crash in &out.crashes {
                     if !self.found.contains_key(&crash.title) {
+                        let rec = recorded.as_ref().expect("recorded on first sighting");
                         new_uniques += 1;
                         self.found.insert(
                             crash.title.clone(),
@@ -281,6 +316,10 @@ impl Fuzzer {
                                 tests_to_find: self.stats.mtis_run,
                                 hint_rank: this_rank,
                                 pair: mti.pair(),
+                                sti: Arc::clone(&mti.sti),
+                                pair_indices: (mti.i, mti.j),
+                                trace: rec.trace.clone(),
+                                digest_fnv: fnv1a64(rec.digest.as_bytes()),
                             },
                         );
                     }

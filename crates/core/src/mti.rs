@@ -16,9 +16,12 @@
 
 use std::sync::Arc;
 
-use kernelsim::{run_concurrent, run_one, BugSwitches, Kctx, PooledMachine, RunOutcome, Syscall};
+use kernelsim::{
+    run_concurrent, run_concurrent_recorded, run_concurrent_replay, run_one, BugSwitches, Kctx,
+    PooledMachine, ReplayReport, RunOutcome, Syscall,
+};
 use ksched::{BreakWhen, Breakpoint, SchedulePlan};
-use oemu::Tid;
+use oemu::{ScheduleTrace, Tid};
 
 use crate::hints::{HintKind, PairSide, SchedHint};
 use crate::sti::Sti;
@@ -79,7 +82,9 @@ impl Mti {
     }
 
     /// Installs the Table 2 reordering instructions for the reorderer.
-    fn install_controls(&self, k: &Kctx) {
+    /// Public so the model checker can reuse exactly the fuzzer's control
+    /// installation for its enumerated schedules.
+    pub fn install_controls(&self, k: &Kctx) {
         let reorder_tid = self.reorder_tid();
         for acc in &self.hint.reorder {
             match self.hint.kind {
@@ -98,7 +103,9 @@ impl Mti {
 
     /// The schedule enforcing the hint: the reorderer always starts first;
     /// the breakpoint semantics depend on the test type (Figure 5a vs 5b).
-    fn plan(&self) -> SchedulePlan {
+    /// Public so record-mode executors can hand the same plan to
+    /// [`kernelsim::run_concurrent_recorded`].
+    pub fn plan(&self) -> SchedulePlan {
         SchedulePlan {
             first: self.reorder_tid(),
             breakpoint: Some(Breakpoint {
@@ -121,6 +128,75 @@ impl Mti {
         let (a, b) = self.pair();
         m.run_pair(self.plan(), a, b)
     }
+
+    /// [`Mti::run`] in record mode: a freshly booted machine executes the
+    /// MTI while the engine and scheduler log every ordering decision; the
+    /// returned [`RecordedRun`] carries the trace and the machine's
+    /// post-run state digest so a later replay can be checked against both.
+    pub fn run_recorded(&self, bugs: BugSwitches) -> RecordedRun {
+        let k = Kctx::new(bugs);
+        self.run_setup(&k);
+        self.install_controls(&k);
+        let (a, b) = self.pair();
+        let (outcome, trace) = run_concurrent_recorded(&k, self.plan(), a, b);
+        RecordedRun {
+            digest: k.state_digest(),
+            outcome,
+            trace,
+        }
+    }
+
+    /// [`Mti::run_pair_pooled`] in record mode. As with the plain variant,
+    /// the caller has already established the setup state.
+    pub fn run_pair_pooled_recorded(&self, m: &PooledMachine) -> RecordedRun {
+        self.install_controls(m.kctx());
+        let (a, b) = self.pair();
+        let (outcome, trace) = m.run_pair_recorded(self.plan(), a, b);
+        RecordedRun {
+            digest: m.kctx().state_digest(),
+            outcome,
+            trace,
+        }
+    }
+
+    /// Replays a recorded trace of this MTI on a freshly booted machine —
+    /// no Table 2 controls, no breakpoint plan; the trace alone dictates
+    /// delays, versioned reads, and the interleaving. Returns the outcome,
+    /// the post-run digest, and the replay fidelity report.
+    pub fn run_replayed(&self, bugs: BugSwitches, trace: &ScheduleTrace) -> ReplayedRun {
+        let k = Kctx::new(bugs);
+        self.run_setup(&k);
+        let (a, b) = self.pair();
+        let (outcome, report) = run_concurrent_replay(&k, trace, a, b);
+        ReplayedRun {
+            digest: k.state_digest(),
+            outcome,
+            report,
+        }
+    }
+}
+
+/// Outcome of a record-mode MTI execution ([`Mti::run_recorded`]).
+#[derive(Clone, Debug)]
+pub struct RecordedRun {
+    /// The run outcome — identical to what the un-recorded run returns.
+    pub outcome: RunOutcome,
+    /// The schedule trace: enough to reproduce the run without controls.
+    pub trace: ScheduleTrace,
+    /// [`Kctx::state_digest`] after the run (controls cleared, buffers
+    /// drained): the replay fidelity target.
+    pub digest: String,
+}
+
+/// Outcome of a replay-mode MTI execution ([`Mti::run_replayed`]).
+#[derive(Clone, Debug)]
+pub struct ReplayedRun {
+    /// The replayed run's outcome.
+    pub outcome: RunOutcome,
+    /// Post-run state digest, to compare against the recording's.
+    pub digest: String,
+    /// Whether the replay followed the trace to the end without divergence.
+    pub report: ReplayReport,
 }
 
 /// Builds the MTIs for one STI: every ordered pair `(i, j)` annotated with

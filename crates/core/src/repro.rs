@@ -14,13 +14,25 @@
 //!   (forcing both threads onto one CPU's slot) makes it reproducible.
 //! - **tls (#8)** has no crash symptom; reproduction is detected by the
 //!   wrong syscall return value (`✓*`).
+//!
+//! Besides the hint-driven search above, this module offers *trace-based*
+//! reproduction: a [`crate::fuzzer::FoundBug`] carries the recorded
+//! schedule of its crashing execution, and [`reproduce_from_trace`] replays
+//! that schedule directly — no hints, no search, one run — checking the
+//! crash title and the machine-state digest byte-for-byte.
 
-use kernelsim::{BugId, BugSwitches, Kctx, MachinePool, ReorderType, Syscall};
+use kernelsim::{
+    run_concurrent_replay, run_one, BugId, BugSwitches, Kctx, MachinePool, ReorderType, RunOutcome,
+    Syscall,
+};
+use kutil::fnv1a64;
+use oemu::{ScheduleTrace, Tid};
 
+use crate::fuzzer::FoundBug;
 use crate::hints::calc_hints;
 use crate::mti::build_mtis;
 use crate::profile_sti_on;
-use crate::sti::known_bug_sti;
+use crate::sti::{known_bug_sti, Sti};
 
 /// Outcome of one Table 4 reproduction attempt.
 #[derive(Clone, Debug)]
@@ -105,6 +117,57 @@ pub fn reproduce(bug: BugId, migration_override: bool) -> ReproResult {
 /// Runs the full Table 4 experiment: every known bug, pinned CPUs.
 pub fn table4() -> Vec<ReproResult> {
     BugId::KNOWN.iter().map(|&b| reproduce(b, false)).collect()
+}
+
+/// Result of replaying a recorded schedule ([`replay_trace`]).
+#[derive(Clone, Debug)]
+pub struct TraceReplay {
+    /// The replayed run's outcome (crash reports, return values).
+    pub outcome: RunOutcome,
+    /// Post-run [`Kctx::state_digest`].
+    pub digest: String,
+    /// The replay departed from the trace (different event stream, or
+    /// leftover script) — its outcome then says nothing about the recording.
+    pub diverged: bool,
+}
+
+/// Replays a recorded schedule on a freshly booted `bugs` kernel: runs the
+/// STI's setup prefix (everything before `j` except `i`) single-threaded,
+/// then the pair `(calls[i], calls[j])` slaved to `trace`. No Table 2
+/// controls and no breakpoint are installed — the trace alone dictates
+/// which stores sit in the buffer, which loads read old versions, and
+/// where the token changes hands.
+pub fn replay_trace(
+    bugs: BugSwitches,
+    sti: &Sti,
+    i: usize,
+    j: usize,
+    trace: &ScheduleTrace,
+) -> TraceReplay {
+    let k = Kctx::new(bugs);
+    for (idx, &call) in sti.calls.iter().enumerate().take(j) {
+        if idx != i {
+            run_one(&k, Tid(0), call);
+        }
+    }
+    let (outcome, report) = run_concurrent_replay(&k, trace, sti.calls[i], sti.calls[j]);
+    TraceReplay {
+        outcome,
+        digest: k.state_digest(),
+        diverged: report.diverged,
+    }
+}
+
+/// Replays a fuzzer-found bug from its embedded trace and checks full
+/// fidelity: the replay must follow the trace to the end, re-raise the
+/// recorded crash title, and land on the byte-identical machine state
+/// (digest fingerprint match).
+pub fn reproduce_from_trace(bug: &FoundBug, bugs: BugSwitches) -> bool {
+    let (i, j) = bug.pair_indices;
+    let replay = replay_trace(bugs, &bug.sti, i, j, &bug.trace);
+    !replay.diverged
+        && replay.outcome.crashes.iter().any(|c| c.title == bug.title)
+        && fnv1a64(replay.digest.as_bytes()) == bug.digest_fnv
 }
 
 #[cfg(test)]

@@ -12,14 +12,14 @@ use std::sync::Arc;
 
 use kmem::CrashReport;
 use ksched::{SchedulePlan, Scheduler};
-use oemu::Tid;
+use oemu::{ScheduleTrace, Tid};
 
 use crate::kctx::{CrashSignal, Kctx, ECRASH};
 use crate::pool::CpuWorkers;
 use crate::syscalls::{dispatch, Syscall};
 
 /// Result of one concurrent test run.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct RunOutcome {
     /// Crash reports harvested from the oracles.
     pub crashes: Vec<CrashReport>,
@@ -39,6 +39,17 @@ impl RunOutcome {
     pub fn title(&self) -> Option<&str> {
         self.crashes.first().map(|c| c.title.as_str())
     }
+}
+
+/// Fidelity report of a trace-replay run (see [`run_concurrent_replay`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// The execution departed from the trace at some point.
+    pub diverged: bool,
+    /// Engine steps consumed.
+    pub steps_consumed: usize,
+    /// Engine steps in the trace.
+    pub steps_total: usize,
 }
 
 /// Runs one syscall on CPU `t` with oops isolation and the syscall-exit
@@ -79,7 +90,17 @@ pub fn run_concurrent_closures(
     a: impl FnOnce(&Kctx) -> i64 + Send,
     b: impl FnOnce(&Kctx) -> i64 + Send,
 ) -> RunOutcome {
-    let sched = Arc::new(Scheduler::new(2, plan));
+    run_closures_with(k, Arc::new(Scheduler::new(2, plan)), a, b)
+}
+
+/// [`run_concurrent_closures`] with a caller-supplied scheduler (the
+/// record/replay entry points construct theirs in a non-default mode).
+fn run_closures_with(
+    k: &Arc<Kctx>,
+    sched: Arc<Scheduler>,
+    a: impl FnOnce(&Kctx) -> i64 + Send,
+    b: impl FnOnce(&Kctx) -> i64 + Send,
+) -> RunOutcome {
     k.set_scheduler(Some(Arc::clone(&sched)));
     let (ret_a, ret_b) = std::thread::scope(|s| {
         let (kk, sc) = (Arc::clone(k), Arc::clone(&sched));
@@ -109,6 +130,62 @@ pub fn run_concurrent(k: &Arc<Kctx>, plan: SchedulePlan, a: Syscall, b: Syscall)
     )
 }
 
+/// [`run_concurrent`] in record mode: also returns the [`ScheduleTrace`]
+/// that fully determines the outcome — scheduler switch points plus every
+/// engine delay/versioning decision. Replaying it via
+/// [`run_concurrent_replay`] against the same pre-run kernel state
+/// reproduces the identical outcome and `state_digest`.
+pub fn run_concurrent_recorded(
+    k: &Arc<Kctx>,
+    plan: SchedulePlan,
+    a: Syscall,
+    b: Syscall,
+) -> (RunOutcome, ScheduleTrace) {
+    let first = plan.first;
+    let sched = Arc::new(Scheduler::recording(2, plan));
+    k.engine.start_trace_recording();
+    let out = run_closures_with(
+        k,
+        Arc::clone(&sched),
+        move |k| dispatch(k, Tid(0), a),
+        move |k| dispatch(k, Tid(1), b),
+    );
+    let trace = ScheduleTrace {
+        first,
+        switches: sched.take_switch_log(),
+        steps: k.engine.take_recorded_trace(),
+    };
+    (out, trace)
+}
+
+/// Re-runs a pair slaved to a recorded trace instead of a live plan: the
+/// scheduler follows the recorded switch points and the engine imposes
+/// the recorded delay/versioning decisions (no control sets needed).
+pub fn run_concurrent_replay(
+    k: &Arc<Kctx>,
+    trace: &ScheduleTrace,
+    a: Syscall,
+    b: Syscall,
+) -> (RunOutcome, ReplayReport) {
+    let sched = Arc::new(Scheduler::replaying(2, trace.first, trace.switches.clone()));
+    k.engine.start_trace_replay(trace.steps.clone());
+    let out = run_closures_with(
+        k,
+        sched,
+        move |k| dispatch(k, Tid(0), a),
+        move |k| dispatch(k, Tid(1), b),
+    );
+    let status = k.engine.finish_trace_replay();
+    (
+        out,
+        ReplayReport {
+            diverged: status.diverged,
+            steps_consumed: status.consumed,
+            steps_total: status.total,
+        },
+    )
+}
+
 /// Runs two syscalls concurrently on persistent CPU workers instead of
 /// spawning threads — the pooled equivalent of [`run_concurrent`], used by
 /// [`crate::PooledMachine::run_pair`].
@@ -124,7 +201,58 @@ pub(crate) fn run_concurrent_on(
     a: Syscall,
     b: Syscall,
 ) -> RunOutcome {
-    let sched = Arc::new(Scheduler::new(2, plan));
+    run_on_workers_with(k, workers, Arc::new(Scheduler::new(2, plan)), a, b)
+}
+
+/// [`run_concurrent_recorded`] on persistent CPU workers.
+pub(crate) fn run_concurrent_on_recorded(
+    k: &Arc<Kctx>,
+    workers: &CpuWorkers,
+    plan: SchedulePlan,
+    a: Syscall,
+    b: Syscall,
+) -> (RunOutcome, ScheduleTrace) {
+    let first = plan.first;
+    let sched = Arc::new(Scheduler::recording(2, plan));
+    k.engine.start_trace_recording();
+    let out = run_on_workers_with(k, workers, Arc::clone(&sched), a, b);
+    let trace = ScheduleTrace {
+        first,
+        switches: sched.take_switch_log(),
+        steps: k.engine.take_recorded_trace(),
+    };
+    (out, trace)
+}
+
+/// [`run_concurrent_replay`] on persistent CPU workers.
+pub(crate) fn run_concurrent_on_replay(
+    k: &Arc<Kctx>,
+    workers: &CpuWorkers,
+    trace: &ScheduleTrace,
+    a: Syscall,
+    b: Syscall,
+) -> (RunOutcome, ReplayReport) {
+    let sched = Arc::new(Scheduler::replaying(2, trace.first, trace.switches.clone()));
+    k.engine.start_trace_replay(trace.steps.clone());
+    let out = run_on_workers_with(k, workers, sched, a, b);
+    let status = k.engine.finish_trace_replay();
+    (
+        out,
+        ReplayReport {
+            diverged: status.diverged,
+            steps_consumed: status.consumed,
+            steps_total: status.total,
+        },
+    )
+}
+
+fn run_on_workers_with(
+    k: &Arc<Kctx>,
+    workers: &CpuWorkers,
+    sched: Arc<Scheduler>,
+    a: Syscall,
+    b: Syscall,
+) -> RunOutcome {
     k.set_scheduler(Some(Arc::clone(&sched)));
     let (tx_a, rx_a) = kutil::chan::channel();
     let (kk, sc) = (Arc::clone(k), Arc::clone(&sched));

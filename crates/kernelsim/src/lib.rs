@@ -36,7 +36,10 @@ pub use bitops::{
     test_bit,
 };
 pub use bugs::{BugId, BugSwitches, ReorderType};
-pub use exec::{run_concurrent, run_concurrent_closures, run_one, run_sti, RunOutcome};
+pub use exec::{
+    run_concurrent, run_concurrent_closures, run_concurrent_recorded, run_concurrent_replay,
+    run_one, run_sti, ReplayReport, RunOutcome,
+};
 pub use kctx::{
     CrashSignal, FnFrame, Globals, Kctx, MachineSnapshot, EAGAIN, EBADF, EBUSY, ECRASH, EINVAL,
     MAX_CPUS,

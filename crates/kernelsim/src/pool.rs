@@ -26,9 +26,13 @@ use kutil::chan::{channel, Sender};
 use kutil::sync::Mutex;
 
 use crate::bugs::BugSwitches;
-use crate::exec::{run_concurrent_on, RunOutcome};
+use crate::exec::{
+    run_concurrent_on, run_concurrent_on_recorded, run_concurrent_on_replay, ReplayReport,
+    RunOutcome,
+};
 use crate::kctx::Kctx;
 use crate::syscalls::Syscall;
+use oemu::ScheduleTrace;
 
 /// A unit of work shipped to a parked CPU worker.
 pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -129,6 +133,28 @@ impl PooledMachine {
     /// pooled equivalent of [`crate::run_concurrent`].
     pub fn run_pair(&self, plan: SchedulePlan, a: Syscall, b: Syscall) -> RunOutcome {
         run_concurrent_on(&self.k, &self.workers, plan, a, b)
+    }
+
+    /// [`run_pair`](PooledMachine::run_pair) in record mode — the pooled
+    /// equivalent of [`crate::run_concurrent_recorded`].
+    pub fn run_pair_recorded(
+        &self,
+        plan: SchedulePlan,
+        a: Syscall,
+        b: Syscall,
+    ) -> (RunOutcome, ScheduleTrace) {
+        run_concurrent_on_recorded(&self.k, &self.workers, plan, a, b)
+    }
+
+    /// Replays a recorded trace on the persistent workers — the pooled
+    /// equivalent of [`crate::run_concurrent_replay`].
+    pub fn run_pair_replay(
+        &self,
+        trace: &ScheduleTrace,
+        a: Syscall,
+        b: Syscall,
+    ) -> (RunOutcome, ReplayReport) {
+        run_concurrent_on_replay(&self.k, &self.workers, trace, a, b)
     }
 }
 

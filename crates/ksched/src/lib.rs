@@ -50,7 +50,7 @@
 //! ```
 
 use kutil::sync::{Condvar, Mutex};
-use oemu::{Iid, Tid};
+use oemu::{Iid, SwitchPoint, Tid};
 
 /// Whether the context switch fires before or after the matched access.
 ///
@@ -100,6 +100,18 @@ impl SchedulePlan {
     }
 }
 
+/// How the scheduler decides context switches for one run.
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum SchedMode {
+    /// Live plan-driven execution (the default).
+    Plan,
+    /// Live plan-driven execution, logging each breakpoint handoff as a
+    /// [`SwitchPoint`] for later replay.
+    Record,
+    /// Slaved to a recorded switch log instead of a breakpoint.
+    Replay,
+}
+
 struct State {
     active: Tid,
     finished: Vec<bool>,
@@ -107,6 +119,15 @@ struct State {
     armed: Option<Breakpoint>,
     hits: u32,
     switches: u32,
+    /// Per-thread count of gate calls (record/replay modes only): the
+    /// stable coordinate system switch points are keyed by. Counts every
+    /// gate call — both phases, matching or not — so it is independent of
+    /// which breakpoint was armed.
+    gate_counts: Vec<u32>,
+    /// Recorded handoffs (record mode output / replay mode script).
+    switch_log: Vec<SwitchPoint>,
+    /// Cursor into `switch_log` (replay mode).
+    cursor: usize,
 }
 
 /// Token-passing scheduler for one test run.
@@ -114,27 +135,75 @@ pub struct Scheduler {
     state: Mutex<State>,
     cv: Condvar,
     nthreads: usize,
+    mode: SchedMode,
 }
 
 impl Scheduler {
+    fn with_mode(
+        nthreads: usize,
+        first: Tid,
+        breakpoint: Option<Breakpoint>,
+        mode: SchedMode,
+        switch_log: Vec<SwitchPoint>,
+    ) -> Self {
+        assert!(first.0 < nthreads, "first thread out of range");
+        Scheduler {
+            state: Mutex::new(State {
+                active: first,
+                finished: vec![false; nthreads],
+                armed: breakpoint,
+                hits: 0,
+                switches: 0,
+                gate_counts: vec![0; nthreads],
+                switch_log,
+                cursor: 0,
+            }),
+            cv: Condvar::new(),
+            nthreads,
+            mode,
+        }
+    }
+
     /// Creates a scheduler for `nthreads` simulated CPUs following `plan`.
     ///
     /// # Panics
     ///
     /// Panics if `plan.first` is out of range.
     pub fn new(nthreads: usize, plan: SchedulePlan) -> Self {
-        assert!(plan.first.0 < nthreads, "plan.first out of range");
-        Scheduler {
-            state: Mutex::new(State {
-                active: plan.first,
-                finished: vec![false; nthreads],
-                armed: plan.breakpoint,
-                hits: 0,
-                switches: 0,
-            }),
-            cv: Condvar::new(),
+        Self::with_mode(
             nthreads,
-        }
+            plan.first,
+            plan.breakpoint,
+            SchedMode::Plan,
+            Vec::new(),
+        )
+    }
+
+    /// Like [`Scheduler::new`], but every breakpoint-driven handoff is
+    /// logged as a [`SwitchPoint`]; collect the log with
+    /// [`take_switch_log`](Scheduler::take_switch_log) after the run.
+    pub fn recording(nthreads: usize, plan: SchedulePlan) -> Self {
+        Self::with_mode(
+            nthreads,
+            plan.first,
+            plan.breakpoint,
+            SchedMode::Record,
+            Vec::new(),
+        )
+    }
+
+    /// Creates a scheduler slaved to a recorded switch log: no breakpoint,
+    /// the token moves exactly where (and when, in per-thread gate counts)
+    /// the log says it moved. Implicit handoffs at thread exit follow the
+    /// normal finish path, exactly as they did at record time.
+    pub fn replaying(nthreads: usize, first: Tid, switches: Vec<SwitchPoint>) -> Self {
+        Self::with_mode(nthreads, first, None, SchedMode::Replay, switches)
+    }
+
+    /// Takes the switch log recorded by a [`recording`](Scheduler::recording)
+    /// scheduler.
+    pub fn take_switch_log(&self) -> Vec<SwitchPoint> {
+        std::mem::take(&mut self.state.lock().switch_log)
     }
 
     /// Blocks until `tid` holds the execution token. Must be the first call
@@ -159,6 +228,29 @@ impl Scheduler {
     fn gate(&self, tid: Tid, iid: Iid, phase: BreakWhen) {
         let mut st = self.state.lock();
         debug_assert_eq!(st.active, tid, "only the token holder may execute");
+        if self.mode != SchedMode::Plan {
+            st.gate_counts[tid.0] += 1;
+        }
+        if self.mode == SchedMode::Replay {
+            // Replay: fire exactly at the recorded per-thread gate count.
+            // A target that already finished cannot be resumed; skipping
+            // the entry keeps the run alive and the engine-side step
+            // cursor reports the divergence.
+            if let Some(&sp) = st.switch_log.get(st.cursor) {
+                if sp.tid == tid && sp.nth_gate == st.gate_counts[tid.0] {
+                    st.cursor += 1;
+                    if sp.to.0 < self.nthreads && !st.finished[sp.to.0] {
+                        st.active = sp.to;
+                        st.switches += 1;
+                        self.cv.notify_all();
+                        while st.active != tid {
+                            self.cv.wait(&mut st);
+                        }
+                    }
+                }
+            }
+            return;
+        }
         let Some(bp) = st.armed else { return };
         if bp.iid != iid || bp.when != phase {
             return;
@@ -174,6 +266,14 @@ impl Scheduler {
         // to be resumed (the Figure 9 suspend/resume pair).
         st.armed = None;
         if let Some(next) = self.next_runnable(&st, tid) {
+            if self.mode == SchedMode::Record {
+                let nth_gate = st.gate_counts[tid.0];
+                st.switch_log.push(SwitchPoint {
+                    tid,
+                    nth_gate,
+                    to: next,
+                });
+            }
             st.active = next;
             st.switches += 1;
             self.cv.notify_all();
@@ -378,6 +478,96 @@ mod tests {
             move |_| o1.lock().push("t1"),
         );
         assert_eq!(*order.lock(), vec!["t0", "t1", "t0-post"]);
+    }
+
+    fn run_two_on(
+        sched: &Arc<Scheduler>,
+        body0: impl FnOnce(&Scheduler) + Send,
+        body1: impl FnOnce(&Scheduler) + Send,
+    ) {
+        std::thread::scope(|s| {
+            let sc = Arc::clone(sched);
+            s.spawn(move || {
+                sc.thread_start(Tid(0));
+                body0(&sc);
+                sc.thread_finish(Tid(0));
+            });
+            let sc = Arc::clone(sched);
+            s.spawn(move || {
+                sc.thread_start(Tid(1));
+                body1(&sc);
+                sc.thread_finish(Tid(1));
+            });
+        });
+    }
+
+    #[test]
+    fn recorded_switch_log_replays_the_same_interleaving() {
+        let point = iid!();
+        let body0 = |sc: &Scheduler, ord: &Arc<Mutex<Vec<&'static str>>>| {
+            ord.lock().push("t0-a");
+            sc.gate_before(Tid(0), point); // counts but does not match
+            sc.gate_after(Tid(0), point); // fires on the record side
+            ord.lock().push("t0-b");
+            sc.gate_after(Tid(0), iid!());
+        };
+        let body1 = |sc: &Scheduler, ord: &Arc<Mutex<Vec<&'static str>>>| {
+            ord.lock().push("t1");
+            sc.gate_after(Tid(1), iid!());
+        };
+
+        let rec = Arc::new(Scheduler::recording(
+            2,
+            SchedulePlan {
+                first: Tid(0),
+                breakpoint: Some(Breakpoint {
+                    iid: point,
+                    when: BreakWhen::After,
+                    hit: 1,
+                }),
+            },
+        ));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (o0, o1) = (Arc::clone(&order), Arc::clone(&order));
+        run_two_on(&rec, move |sc| body0(sc, &o0), move |sc| body1(sc, &o1));
+        assert_eq!(*order.lock(), vec!["t0-a", "t1", "t0-b"]);
+        let log = rec.take_switch_log();
+        assert_eq!(
+            log,
+            vec![SwitchPoint {
+                tid: Tid(0),
+                nth_gate: 2,
+                to: Tid(1),
+            }]
+        );
+
+        // Replay with no breakpoint at all: the log alone must reproduce
+        // the interleaving.
+        let rep = Arc::new(Scheduler::replaying(2, Tid(0), log));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (o0, o1) = (Arc::clone(&order), Arc::clone(&order));
+        run_two_on(&rep, move |sc| body0(sc, &o0), move |sc| body1(sc, &o1));
+        assert_eq!(*order.lock(), vec!["t0-a", "t1", "t0-b"]);
+        assert_eq!(rep.switches(), 1);
+    }
+
+    #[test]
+    fn empty_switch_log_replays_sequentially() {
+        let rep = Arc::new(Scheduler::replaying(2, Tid(1), Vec::new()));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (o0, o1) = (Arc::clone(&order), Arc::clone(&order));
+        run_two_on(
+            &rep,
+            move |sc| {
+                o0.lock().push(0);
+                sc.gate_after(Tid(0), iid!());
+            },
+            move |sc| {
+                o1.lock().push(1);
+                sc.gate_after(Tid(1), iid!());
+            },
+        );
+        assert_eq!(*order.lock(), vec![1, 0], "first=1 runs to completion");
     }
 
     #[test]

@@ -26,3 +26,38 @@ pub mod rng;
 pub mod sync;
 
 pub use rng::{splitmix64, DetRng};
+
+/// FNV-1a over a byte slice: the workspace's stable content fingerprint.
+///
+/// Used to pin machine-state digests inside serialized artifacts (golden
+/// traces, `FoundBug` records) without embedding the full `state_digest`
+/// text. The constants are the standard 64-bit FNV offset basis and prime,
+/// so the value for a given byte string never changes across platforms or
+/// releases.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod fnv_tests {
+    use super::fnv1a64;
+
+    /// Golden values from the FNV reference vectors: a transcription slip
+    /// in the constants would silently unpin every stored digest.
+    #[test]
+    fn matches_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_hashes() {
+        assert_ne!(fnv1a64(b"state A"), fnv1a64(b"state B"));
+    }
+}

@@ -1,0 +1,60 @@
+//! `explore` — run the bounded exhaustive schedule explorer on a litmus
+//! case (or all of them) and cross-check the hint generator.
+//!
+//! Usage: `explore [case|all] [max_reorder] [max_sched_points]`
+//!
+//! Exit status is non-zero if any differential fails: an explorer-found
+//! crash the hint pipeline cannot reach, or a crashing schedule whose
+//! recorded trace does not replay to the identical verdict and digest.
+
+use modelcheck::{differential_pair, litmus_case, litmus_names, Bound};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    let mut bound = Bound::default();
+    if let Some(v) = args.get(2).and_then(|s| s.parse().ok()) {
+        bound.max_reorder = v;
+    }
+    if let Some(v) = args.get(3).and_then(|s| s.parse().ok()) {
+        bound.max_sched_points = v;
+    }
+
+    let names: Vec<&str> = if which == "all" {
+        litmus_names()
+    } else {
+        vec![which]
+    };
+
+    let mut failed = false;
+    for name in names {
+        let Some(case) = litmus_case(name) else {
+            eprintln!("unknown litmus case '{name}'; known: {:?}", litmus_names());
+            std::process::exit(2);
+        };
+        let d = differential_pair(&case.bugs, &case.sti, case.pair.0, case.pair.1, &bound);
+        let verdict = if d.ok() { "ok" } else { "FAIL" };
+        println!(
+            "{name}: {verdict} — {} schedules, {} explorer crash title(s), \
+             {} hint title(s), {} replay failure(s){}",
+            d.schedules_run,
+            d.explorer_titles.len(),
+            d.hint_titles.len(),
+            d.replay_failures,
+            if d.truncated { ", truncated" } else { "" },
+        );
+        if !d.explorer_titles.contains(case.expected_title) {
+            println!("  MISSING expected crash: {}", case.expected_title);
+            failed = true;
+        }
+        for t in &d.explorer_only {
+            println!("  explorer-only crash (hint generator missed it): {t}");
+        }
+        if !d.ok() {
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -38,6 +38,7 @@ use crate::iid::Iid;
 use crate::memory::Memory;
 use crate::profile::{AccessRecord, BarrierRecord, Profile, TraceEvent};
 use crate::store_buffer::{BufferedStore, StoreBuffer};
+use crate::trace::{LoadSrc, ReplayStatus, TraceStep};
 use crate::types::{AccessKind, BarrierKind, LoadAnn, RmwOrder, StoreAnn, Tid};
 
 /// Counters exposed for diagnostics and the ablation benchmarks.
@@ -59,6 +60,29 @@ pub struct EngineStats {
     /// dropped. Cumulative across resets (a machine-lifetime counter, not
     /// per-run state).
     pub profile_bufs_recycled: u64,
+}
+
+/// Whether the engine is recording or replaying a schedule trace.
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+enum TraceMode {
+    #[default]
+    Off,
+    Record,
+    Replay,
+}
+
+/// Record/replay state. Deliberately *not* part of [`EngineSnapshot`]
+/// (like `spare_events`): a recording or replay spans exactly one pair
+/// run, and machine snapshot/restore never happens inside one.
+#[derive(Default)]
+struct TraceState {
+    mode: TraceMode,
+    /// Recorded steps (record mode) or the script to impose (replay mode).
+    steps: Vec<TraceStep>,
+    /// Replay cursor into `steps`.
+    pos: usize,
+    /// Replay departed from the script; decisions fell back to in-order.
+    diverged: bool,
 }
 
 #[derive(Default, Clone)]
@@ -93,6 +117,8 @@ struct Inner {
     /// allocation cache with no semantic content, and it must survive
     /// machine resets for the recycling to pay off.
     spare_events: Vec<Vec<TraceEvent>>,
+    /// Schedule-trace record/replay state (see [`TraceState`]).
+    trace: TraceState,
 }
 
 /// A full copy of one engine's semantic state — memory words, store
@@ -187,6 +213,7 @@ impl Engine {
                 threads,
                 stats: EngineStats::default(),
                 spare_events: Vec::new(),
+                trace: TraceState::default(),
             }),
         }
     }
@@ -243,6 +270,54 @@ impl Engine {
     }
 
     // ------------------------------------------------------------------
+    // Schedule-trace record / replay.
+    // ------------------------------------------------------------------
+
+    /// Starts recording every instrumented engine event (store delay
+    /// decisions, load sources, RMWs, barriers, non-empty flushes) into a
+    /// step trace. Any previous recording is discarded.
+    pub fn start_trace_recording(&self) {
+        let mut inner = self.inner.lock();
+        inner.trace = TraceState {
+            mode: TraceMode::Record,
+            ..TraceState::default()
+        };
+    }
+
+    /// Stops recording and returns the recorded steps.
+    pub fn take_recorded_trace(&self) -> Vec<TraceStep> {
+        let mut inner = self.inner.lock();
+        std::mem::take(&mut inner.trace).steps
+    }
+
+    /// Arms replay: subsequent instrumented events are checked against
+    /// `steps` in order, and the recorded delay/versioning decisions are
+    /// imposed in place of the live control sets. On any mismatch the
+    /// engine marks the replay diverged, stops consuming steps, and
+    /// reverts to default in-order behavior.
+    pub fn start_trace_replay(&self, steps: Vec<TraceStep>) {
+        let mut inner = self.inner.lock();
+        inner.trace = TraceState {
+            mode: TraceMode::Replay,
+            steps,
+            pos: 0,
+            diverged: false,
+        };
+    }
+
+    /// Disarms replay and reports how faithfully the execution followed
+    /// the script. An under-consumed script counts as divergence.
+    pub fn finish_trace_replay(&self) -> ReplayStatus {
+        let mut inner = self.inner.lock();
+        let t = std::mem::take(&mut inner.trace);
+        ReplayStatus {
+            diverged: t.diverged || t.pos != t.steps.len(),
+            consumed: t.pos,
+            total: t.steps.len(),
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Table 2 control interfaces.
     // ------------------------------------------------------------------
 
@@ -287,27 +362,79 @@ impl Engine {
         let mut inner = self.inner.lock();
         inner.record_access(tid, iid, addr, size, AccessKind::Load);
 
-        let t = &inner.threads[tid.0];
+        // In replay mode the recorded source decides whether to attempt a
+        // versioned read; store-to-load forwarding stays mandatory (it is
+        // per-location coherence, not a choice).
+        let replaying = inner.trace.mode == TraceMode::Replay;
+        let replay_src = if replaying {
+            match inner.replay_next() {
+                Some(TraceStep::Load {
+                    tid: t,
+                    iid: i,
+                    src,
+                }) if t == tid && i == iid => Some(src),
+                _ => {
+                    inner.trace.diverged = true;
+                    None
+                }
+            }
+        } else {
+            None
+        };
+
+        let (fwd, wants_old) = {
+            let t = &inner.threads[tid.0];
+            (t.buffer.forward(addr), t.read_old_set.contains(&iid))
+        };
         enum Source {
             Forwarded(u64),
             Versioned(u64, u64),
             Memory,
         }
-        let source = if let Some(v) = t.buffer.forward(addr) {
+        let source = if let Some(v) = fwd {
             Source::Forwarded(v)
-        } else if t.read_old_set.contains(&iid) {
-            // Read coherence: the effective window start is also bounded by
-            // this thread's last observation of the location, so two loads
-            // of the same address never appear to travel backwards (CoRR).
-            let floor = t.obs_floor.get(&addr).copied().unwrap_or(0);
-            let window = t.window_start.max(floor);
-            match inner.history.old_version_at(tid, addr, window) {
-                Some((old, ts)) => Source::Versioned(old, ts),
-                None => Source::Memory,
-            }
         } else {
-            Source::Memory
+            let try_versioned = if replaying {
+                replay_src == Some(LoadSrc::Versioned)
+            } else {
+                wants_old
+            };
+            if try_versioned {
+                // Read coherence: the effective window start is also bounded
+                // by this thread's last observation of the location, so two
+                // loads of the same address never appear to travel backwards
+                // (CoRR).
+                let (floor, window_start) = {
+                    let t = &inner.threads[tid.0];
+                    (t.obs_floor.get(&addr).copied().unwrap_or(0), t.window_start)
+                };
+                let window = window_start.max(floor);
+                match inner.history.old_version_at(tid, addr, window) {
+                    Some((old, ts)) => Source::Versioned(old, ts),
+                    None => Source::Memory,
+                }
+            } else {
+                Source::Memory
+            }
         };
+        let actual = match source {
+            Source::Forwarded(_) => LoadSrc::Forwarded,
+            Source::Versioned(..) => LoadSrc::Versioned,
+            Source::Memory => LoadSrc::Memory,
+        };
+        match inner.trace.mode {
+            TraceMode::Off => {}
+            TraceMode::Record => inner.trace.steps.push(TraceStep::Load {
+                tid,
+                iid,
+                src: actual,
+            }),
+            TraceMode::Replay => {
+                if replay_src != Some(actual) {
+                    inner.trace.diverged = true;
+                }
+            }
+        }
         let value = match source {
             Source::Forwarded(v) => {
                 inner.stats.forwards += 1;
@@ -363,9 +490,33 @@ impl Engine {
         // reordered (the LKMM's per-location ordering), so a store whose
         // address already has an in-flight buffered entry must join the
         // buffer behind it even when not explicitly delayed.
-        let delayed = ann != StoreAnn::Release
-            && (inner.threads[tid.0].delay_set.contains(&iid)
-                || inner.threads[tid.0].buffer.forward(addr).is_some());
+        let must_join = inner.threads[tid.0].buffer.forward(addr).is_some();
+        let live = ann != StoreAnn::Release
+            && (inner.threads[tid.0].delay_set.contains(&iid) || must_join);
+        // In replay mode the recorded decision replaces the live one; the
+        // release rule and coherence join stay mandatory either way.
+        let delayed = match inner.trace.mode {
+            TraceMode::Off => live,
+            TraceMode::Record => {
+                inner.trace.steps.push(TraceStep::Store {
+                    tid,
+                    iid,
+                    delayed: live,
+                });
+                live
+            }
+            TraceMode::Replay => match inner.replay_next() {
+                Some(TraceStep::Store {
+                    tid: t,
+                    iid: i,
+                    delayed,
+                }) if t == tid && i == iid => ann != StoreAnn::Release && (delayed || must_join),
+                _ => {
+                    inner.trace.diverged = true;
+                    live
+                }
+            },
+        };
         if delayed {
             inner.stats.delayed += 1;
             inner.threads[tid.0].buffer.push(BufferedStore {
@@ -414,6 +565,7 @@ impl Engine {
                 }
             }
         }
+        inner.trace_rmw(tid, iid);
         inner.record_access(tid, iid, addr, 8, AccessKind::Rmw);
         let old = inner.mem.read(addr);
         let new = f(old);
@@ -580,12 +732,50 @@ impl Inner {
     fn barrier_effect(&mut self, tid: Tid, iid: Iid, kind: BarrierKind) {
         self.stats.barriers += 1;
         self.record_barrier(tid, iid, kind);
+        match self.trace.mode {
+            TraceMode::Off => {}
+            TraceMode::Record => self.trace.steps.push(TraceStep::Barrier { tid, iid, kind }),
+            TraceMode::Replay => match self.replay_next() {
+                Some(TraceStep::Barrier {
+                    tid: t,
+                    iid: i,
+                    kind: k,
+                }) if t == tid && i == iid && k == kind => {}
+                _ => self.trace.diverged = true,
+            },
+        }
         if kind.orders_stores() {
             self.flush_buffer(tid);
         }
         if kind.orders_loads() {
             self.window_reset(tid);
         }
+    }
+
+    /// Record/replay hook for an RMW (always in-order; verification only).
+    fn trace_rmw(&mut self, tid: Tid, iid: Iid) {
+        match self.trace.mode {
+            TraceMode::Off => {}
+            TraceMode::Record => self.trace.steps.push(TraceStep::Rmw { tid, iid }),
+            TraceMode::Replay => match self.replay_next() {
+                Some(TraceStep::Rmw { tid: t, iid: i }) if t == tid && i == iid => {}
+                _ => self.trace.diverged = true,
+            },
+        }
+    }
+
+    /// Next replay step, or `None` once diverged or exhausted. Running past
+    /// the script's end is itself a divergence (extra events occurred that
+    /// the recording never saw), and after any divergence the cursor
+    /// freezes so later events don't consume misaligned steps.
+    fn replay_next(&mut self) -> Option<TraceStep> {
+        if self.trace.diverged || self.trace.pos >= self.trace.steps.len() {
+            self.trace.diverged = true;
+            return None;
+        }
+        let step = self.trace.steps[self.trace.pos].clone();
+        self.trace.pos += 1;
+        Some(step)
     }
 
     fn window_reset(&mut self, tid: Tid) {
@@ -595,8 +785,24 @@ impl Inner {
 
     fn flush_buffer(&mut self, tid: Tid) {
         let drained = self.threads[tid.0].buffer.drain();
+        let committed = drained.len() as u32;
         for e in drained {
             self.commit(tid, e.iid, e.addr, e.value);
+        }
+        // Empty flushes (e.g. every in-order syscall exit) stay silent so
+        // traces record decisions, not no-ops.
+        if committed > 0 {
+            match self.trace.mode {
+                TraceMode::Off => {}
+                TraceMode::Record => self.trace.steps.push(TraceStep::Flush { tid, committed }),
+                TraceMode::Replay => match self.replay_next() {
+                    Some(TraceStep::Flush {
+                        tid: t,
+                        committed: c,
+                    }) if t == tid && c == committed => {}
+                    _ => self.trace.diverged = true,
+                },
+            }
         }
     }
 
@@ -953,6 +1159,78 @@ mod tests {
         e.smp_rmb(Tid(1), iid!());
         e.gc_history();
         assert!(e.history_records().is_empty());
+    }
+
+    #[test]
+    fn replay_imposes_recorded_decisions_without_controls() {
+        // Record a Figure-3-style delayed-store run, then replay it on a
+        // fresh engine with *empty* control sets: the recorded decisions
+        // alone must reproduce the same observations.
+        let (i1, i2, i3, i4) = (iid!(), iid!(), iid!(), iid!());
+        let run = |e: &Engine| {
+            e.store(Tid(0), i1, X, 1, StoreAnn::Plain);
+            e.store(Tid(0), i2, Y, 2, StoreAnn::Plain);
+            let rx = e.load(Tid(1), i3, X, LoadAnn::Plain);
+            let ry = e.load(Tid(1), i4, Y, LoadAnn::Plain);
+            e.flush_thread(Tid(0));
+            (rx, ry)
+        };
+
+        let rec = Engine::new(2);
+        rec.delay_store_at(Tid(0), i1);
+        rec.start_trace_recording();
+        assert_eq!(run(&rec), (0, 2), "store-store reordering observed");
+        let steps = rec.take_recorded_trace();
+        assert!(steps
+            .iter()
+            .any(|s| matches!(s, TraceStep::Store { delayed: true, .. })));
+
+        let rep = Engine::new(2);
+        rep.start_trace_replay(steps);
+        assert_eq!(run(&rep), (0, 2), "replay reproduces the reordering");
+        let status = rep.finish_trace_replay();
+        assert!(!status.diverged, "replay followed the script");
+        assert_eq!(status.consumed, status.total);
+    }
+
+    #[test]
+    fn replay_divergence_is_detected_and_degrades_to_in_order() {
+        let (i1, i2) = (iid!(), iid!());
+        let rec = Engine::new(1);
+        rec.delay_store_at(Tid(0), i1);
+        rec.start_trace_recording();
+        rec.store(Tid(0), i1, X, 1, StoreAnn::Plain);
+        rec.flush_thread(Tid(0));
+        let steps = rec.take_recorded_trace();
+
+        // A different program (different iid) cannot follow the script.
+        let rep = Engine::new(1);
+        rep.start_trace_replay(steps);
+        rep.store(Tid(0), i2, X, 7, StoreAnn::Plain);
+        assert_eq!(rep.raw_load(X), 7, "diverged replay falls back in-order");
+        assert!(rep.finish_trace_replay().diverged);
+    }
+
+    #[test]
+    fn replay_forces_versioned_loads() {
+        let (ld, st1, st2) = (iid!(), iid!(), iid!());
+        let run = |e: &Engine| {
+            e.smp_rmb(Tid(0), iid!());
+            e.store(Tid(1), st1, Z, 1, StoreAnn::Plain);
+            e.store(Tid(1), st2, Z, 2, StoreAnn::Plain);
+            e.load(Tid(0), ld, Z, LoadAnn::Plain)
+        };
+        let rec = Engine::new(2);
+        rec.read_old_value_at(Tid(0), ld);
+        rec.start_trace_recording();
+        let old = run(&rec);
+        assert_ne!(old, 2, "versioned load reads an in-window pre-image");
+        let steps = rec.take_recorded_trace();
+
+        let rep = Engine::new(2);
+        rep.start_trace_replay(steps);
+        assert_eq!(run(&rep), old, "replay re-reads the same old version");
+        assert!(!rep.finish_trace_replay().diverged);
     }
 
     #[test]

@@ -58,6 +58,7 @@ mod iid;
 mod memory;
 mod profile;
 mod store_buffer;
+mod trace;
 mod types;
 
 pub use engine::{Engine, EngineSnapshot, EngineStats};
@@ -66,4 +67,5 @@ pub use iid::{Iid, Location};
 pub use memory::Memory;
 pub use profile::{AccessRecord, BarrierRecord, Profile, TraceEvent};
 pub use store_buffer::{BufferedStore, StoreBuffer};
+pub use trace::{LoadSrc, ReplayStatus, ScheduleTrace, SwitchPoint, TraceStep};
 pub use types::{AccessKind, BarrierKind, LoadAnn, RmwOrder, StoreAnn, Tid};
