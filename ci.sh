@@ -11,11 +11,20 @@ cd "$(dirname "$0")"
 echo "== tier-1: release build (offline) =="
 cargo build --release --offline
 
-echo "== tier-1: test suite (offline) =="
+echo "== tier-1: test suite (offline, stepped executor — the default) =="
 cargo test -q --offline
 
-echo "== workspace tests (all crates, offline) =="
+echo "== workspace tests (all crates, offline, stepped executor) =="
 cargo test --workspace -q --offline
+
+echo "== workspace tests again under the threaded executor =="
+OZZ_EXEC=threaded cargo test --workspace -q --offline
+
+echo "== executor equivalence (stepped == threaded, byte-for-byte) =="
+cargo test -q --offline --test exec_equivalence
+
+echo "== rustdoc (all crates, no warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace -q
 
 echo "== sharded-campaign determinism =="
 cargo test -q --offline --test parallel_determinism
@@ -23,7 +32,7 @@ cargo test -q --offline --test parallel_determinism
 echo "== scaling bench builds (release) =="
 cargo build --release --offline -p bench --bin parallel_scaling
 
-echo "== mti throughput smoke (pool vs fresh boots) =="
+echo "== mti throughput smoke (fresh vs pooled vs stepped) =="
 cargo build --release --offline -p bench --bin mti_throughput
 ./target/release/mti_throughput 200 1
 cat BENCH_mti_throughput.json

@@ -1,28 +1,37 @@
-//! Zero-boot MTI execution: pooled machines vs fresh boots.
+//! MTI execution throughput: fresh boots vs machine pool vs threadless.
 //!
 //! The paper runs tests in-vivo inside long-lived VMs; this reproduction's
 //! analog is the machine pool — reset-to-boot-snapshot machines with
-//! persistent CPU workers and per-pair setup reuse. This bench runs the
-//! same seeded campaign twice, once booting a machine (and spawning
-//! threads) per test and once on the pool, and reports MTIs/second for
-//! each. The two arms produce byte-identical campaign results (pinned by
-//! `tests/pool_fidelity.rs`); only the throughput differs.
+//! persistent CPU workers. The threadless stepped executor goes one step
+//! further: both legs of a pair run as resumable step functions on the
+//! calling thread, so a campaign spawns no threads and pays no handshake
+//! cost at all. This bench runs the same seeded campaign three ways:
+//!
+//! - **fresh**: boot a machine and spawn two threads per test;
+//! - **pooled**: reset pooled machines, persistent CPU workers
+//!   (threaded executor);
+//! - **stepped**: reset pooled machines, threadless stepped executor.
+//!
+//! All arms produce byte-identical campaign results (pinned by
+//! `tests/pool_fidelity.rs` and `tests/exec_equivalence.rs`); only the
+//! throughput differs.
 //!
 //! Usage: `mti_throughput [mti_budget] [reps]` (defaults 600, 3). Writes
-//! `BENCH_mti_throughput.json` with the median rates into the working
-//! directory.
+//! `BENCH_mti_throughput.json` with the median-of-reps rates into the
+//! working directory.
 
 use std::time::Instant;
 
-use kernelsim::BugSwitches;
+use kernelsim::{BugSwitches, ExecMode};
 use ozz::fuzzer::{FuzzConfig, Fuzzer};
 
 /// One campaign to `budget` MTIs; returns MTIs/second.
-fn run_arm(reuse_machines: bool, budget: u64) -> f64 {
+fn run_arm(reuse_machines: bool, exec_mode: ExecMode, budget: u64) -> f64 {
     let mut fuzzer = Fuzzer::new(FuzzConfig {
         seed: 2024,
         bugs: BugSwitches::all(),
         reuse_machines,
+        exec_mode,
         ..FuzzConfig::default()
     });
     let start = Instant::now();
@@ -46,29 +55,42 @@ fn main() {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(3);
-    println!("MTI throughput: fresh boots vs machine pool ({budget} MTIs x {reps} reps)\n");
+    println!("MTI throughput: fresh vs pooled vs stepped ({budget} MTIs x {reps} reps)\n");
 
     let mut fresh_rates = Vec::with_capacity(reps);
     let mut pooled_rates = Vec::with_capacity(reps);
+    let mut stepped_rates = Vec::with_capacity(reps);
     for rep in 0..reps {
-        let fresh = run_arm(false, budget);
-        let pooled = run_arm(true, budget);
-        println!("rep {rep}: fresh {fresh:>9.1} MTIs/s | pooled {pooled:>9.1} MTIs/s");
+        let fresh = run_arm(false, ExecMode::Threaded, budget);
+        let pooled = run_arm(true, ExecMode::Threaded, budget);
+        let stepped = run_arm(true, ExecMode::Stepped, budget);
+        println!(
+            "rep {rep}: fresh {fresh:>9.1} MTIs/s | pooled {pooled:>9.1} MTIs/s | \
+             stepped {stepped:>9.1} MTIs/s"
+        );
         fresh_rates.push(fresh);
         pooled_rates.push(pooled);
+        stepped_rates.push(stepped);
     }
 
     let fresh = median(fresh_rates);
     let pooled = median(pooled_rates);
+    let stepped = median(stepped_rates);
     let speedup = pooled / fresh;
-    println!("\nmedian fresh:  {fresh:>9.1} MTIs/s (boot + thread spawn per test)");
-    println!("median pooled: {pooled:>9.1} MTIs/s (reset + persistent workers)");
-    println!("speedup:       {speedup:.2}x");
+    let stepped_speedup = stepped / pooled;
+    println!("\nmedian fresh:   {fresh:>9.1} MTIs/s (boot + thread spawn per test)");
+    println!("median pooled:  {pooled:>9.1} MTIs/s (reset + persistent workers)");
+    println!("median stepped: {stepped:>9.1} MTIs/s (reset + threadless executor)");
+    println!("pooled/fresh:   {speedup:.2}x");
+    println!("stepped/pooled: {stepped_speedup:.2}x");
 
     let json = format!(
         "{{\n  \"budget\": {budget},\n  \"reps\": {reps},\n  \
          \"fresh_mtis_per_sec\": {fresh:.1},\n  \
-         \"pooled_mtis_per_sec\": {pooled:.1},\n  \"speedup\": {speedup:.2}\n}}\n"
+         \"pooled_mtis_per_sec\": {pooled:.1},\n  \
+         \"stepped_mtis_per_sec\": {stepped:.1},\n  \
+         \"speedup\": {speedup:.2},\n  \
+         \"stepped_speedup\": {stepped_speedup:.2}\n}}\n"
     );
     std::fs::write("BENCH_mti_throughput.json", json).expect("write BENCH_mti_throughput.json");
     println!("\nwrote BENCH_mti_throughput.json");

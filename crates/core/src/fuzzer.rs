@@ -11,7 +11,7 @@
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
-use kernelsim::{BugSwitches, Kctx, MachinePool, MachineSnapshot, ReorderType, Syscall};
+use kernelsim::{BugSwitches, ExecMode, Kctx, MachinePool, MachineSnapshot, ReorderType, Syscall};
 use kutil::{fnv1a64, splitmix64};
 use oemu::{Iid, ScheduleTrace};
 
@@ -50,6 +50,13 @@ pub struct FuzzConfig {
     /// threads per test. Campaign output is byte-identical either way —
     /// pinned by `tests/pool_fidelity.rs` — only throughput differs.
     pub reuse_machines: bool,
+    /// Which executor runs each MTI's concurrent pair: threadless stepped
+    /// execution (the default) or two scheduler-serialised OS threads.
+    /// Campaign output is byte-identical either way — pinned by
+    /// `tests/exec_equivalence.rs` — only throughput differs. Defaults to
+    /// [`ExecMode::from_env`] (`OZZ_EXEC=threaded` selects the threaded
+    /// executor).
+    pub exec_mode: ExecMode,
 }
 
 impl Default for FuzzConfig {
@@ -61,6 +68,7 @@ impl Default for FuzzConfig {
             mutate_ratio: 0.5,
             hint_order: HintOrder::MaxReorderFirst,
             reuse_machines: true,
+            exec_mode: ExecMode::from_env(),
         }
     }
 }
@@ -201,6 +209,11 @@ impl Fuzzer {
             .cfg
             .reuse_machines
             .then(|| self.pool.checkout(&self.cfg.bugs));
+        if let Some(m) = &machine {
+            // The executor choice is per-config, not per-machine: stamp it
+            // on every checkout (reset() deliberately leaves it alone).
+            m.kctx().set_exec_mode(self.cfg.exec_mode);
+        }
         let traces = match &machine {
             Some(m) => profile_sti_on(m.kctx(), &sti),
             None => profile_sti(&sti, self.cfg.bugs.clone()),
@@ -275,7 +288,11 @@ impl Fuzzer {
                     }
                     mti.run_pair_pooled(m)
                 }
-                None => mti.run(self.cfg.bugs.clone()),
+                None => {
+                    let k = Kctx::new(self.cfg.bugs.clone());
+                    k.set_exec_mode(self.cfg.exec_mode);
+                    mti.run_on(&k)
+                }
             };
             if out.crashed() {
                 self.stats.crashes_total += out.crashes.len() as u64;
@@ -295,7 +312,11 @@ impl Fuzzer {
                                 .restore(post_setup.as_ref().expect("snapshot set with cur_pair"));
                             mti.run_pair_pooled_recorded(m)
                         }
-                        None => mti.run_recorded(self.cfg.bugs.clone()),
+                        None => {
+                            let k = Kctx::new(self.cfg.bugs.clone());
+                            k.set_exec_mode(self.cfg.exec_mode);
+                            mti.run_recorded_on(&k)
+                        }
                     })
                 } else {
                     None

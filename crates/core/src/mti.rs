@@ -135,10 +135,16 @@ impl Mti {
     /// post-run state digest so a later replay can be checked against both.
     pub fn run_recorded(&self, bugs: BugSwitches) -> RecordedRun {
         let k = Kctx::new(bugs);
-        self.run_setup(&k);
-        self.install_controls(&k);
+        self.run_recorded_on(&k)
+    }
+
+    /// [`Mti::run_recorded`] on an existing machine (the fuzzer's
+    /// fresh-boot path boots its own so it can select the executor first).
+    pub fn run_recorded_on(&self, k: &Arc<Kctx>) -> RecordedRun {
+        self.run_setup(k);
+        self.install_controls(k);
         let (a, b) = self.pair();
-        let (outcome, trace) = run_concurrent_recorded(&k, self.plan(), a, b);
+        let (outcome, trace) = run_concurrent_recorded(k, self.plan(), a, b);
         RecordedRun {
             digest: k.state_digest(),
             outcome,

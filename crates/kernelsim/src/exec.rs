@@ -6,17 +6,50 @@
 //! the engine. A simulated oops ([`CrashSignal`]) terminates the faulting
 //! CPU — its syscall returns [`ECRASH`] — while the other CPU keeps running,
 //! and the harvested crash reports come back in the [`RunOutcome`].
+//!
+//! Every `run_concurrent*` entry point dispatches on the machine's
+//! [`ExecMode`]: the *stepped* executor (default) runs both legs interleaved
+//! on the calling thread via [`ksched::StepScheduler`], while the *threaded*
+//! executor serialises two OS threads (spawned, or the machine pool's
+//! persistent workers) through [`ksched::Scheduler`]. The two produce
+//! byte-identical outcomes, traces, and state digests — pinned by
+//! `tests/exec_equivalence.rs` — and differ only in throughput.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use kmem::CrashReport;
-use ksched::{SchedulePlan, Scheduler};
+use ksched::{SchedulePlan, Scheduler, StepScheduler};
+use kutil::sync::Mutex;
 use oemu::{ScheduleTrace, Tid};
 
 use crate::kctx::{CrashSignal, Kctx, ECRASH};
 use crate::pool::CpuWorkers;
 use crate::syscalls::{dispatch, Syscall};
+
+/// Which executor runs the two legs of a concurrent pair.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum ExecMode {
+    /// One OS thread per simulated CPU, serialised by the token-passing
+    /// [`Scheduler`] (spawned threads, or the pool's persistent workers).
+    Threaded = 0,
+    /// Both simulated CPUs interleaved on the calling thread by the
+    /// [`StepScheduler`]; a context switch is a nested function call.
+    #[default]
+    Stepped = 1,
+}
+
+impl ExecMode {
+    /// The process-wide default, from the `OZZ_EXEC` environment variable:
+    /// `threaded` selects the threaded executor, anything else (including
+    /// unset) the stepped one.
+    pub fn from_env() -> Self {
+        match std::env::var("OZZ_EXEC") {
+            Ok(v) if v == "threaded" => ExecMode::Threaded,
+            _ => ExecMode::Stepped,
+        }
+    }
+}
 
 /// Result of one concurrent test run.
 #[derive(Clone, Debug)]
@@ -84,6 +117,10 @@ pub fn run_sti(k: &Kctx, calls: &[Syscall]) -> Vec<i64> {
 /// The closures receive the [`Kctx`] and must perform their accesses as the
 /// thread they were placed on (`a` as `Tid(0)`, `b` as `Tid(1)`). Crash
 /// reports are drained into the outcome.
+///
+/// Always uses the threaded executor: borrowing closures cannot be boxed
+/// into the step scheduler's `'static` legs. The syscall-based entry points
+/// ([`run_concurrent`] and friends) honour the machine's [`ExecMode`].
 pub fn run_concurrent_closures(
     k: &Arc<Kctx>,
     plan: SchedulePlan,
@@ -120,14 +157,17 @@ fn run_closures_with(
 }
 
 /// Runs two syscalls concurrently on CPUs 0 and 1 under `plan` — the core
-/// of an MTI run.
+/// of an MTI run. Dispatches on the machine's [`ExecMode`].
 pub fn run_concurrent(k: &Arc<Kctx>, plan: SchedulePlan, a: Syscall, b: Syscall) -> RunOutcome {
-    run_concurrent_closures(
-        k,
-        plan,
-        move |k| dispatch(k, Tid(0), a),
-        move |k| dispatch(k, Tid(1), b),
-    )
+    match k.exec_mode() {
+        ExecMode::Stepped => run_stepped_with(k, Arc::new(StepScheduler::new(2, plan)), a, b),
+        ExecMode::Threaded => run_concurrent_closures(
+            k,
+            plan,
+            move |k| dispatch(k, Tid(0), a),
+            move |k| dispatch(k, Tid(1), b),
+        ),
+    }
 }
 
 /// [`run_concurrent`] in record mode: also returns the [`ScheduleTrace`]
@@ -142,17 +182,27 @@ pub fn run_concurrent_recorded(
     b: Syscall,
 ) -> (RunOutcome, ScheduleTrace) {
     let first = plan.first;
-    let sched = Arc::new(Scheduler::recording(2, plan));
     k.engine.start_trace_recording();
-    let out = run_closures_with(
-        k,
-        Arc::clone(&sched),
-        move |k| dispatch(k, Tid(0), a),
-        move |k| dispatch(k, Tid(1), b),
-    );
+    let (out, switches) = match k.exec_mode() {
+        ExecMode::Stepped => {
+            let sched = Arc::new(StepScheduler::recording(2, plan));
+            let out = run_stepped_with(k, Arc::clone(&sched), a, b);
+            (out, sched.take_switch_log())
+        }
+        ExecMode::Threaded => {
+            let sched = Arc::new(Scheduler::recording(2, plan));
+            let out = run_closures_with(
+                k,
+                Arc::clone(&sched),
+                move |k| dispatch(k, Tid(0), a),
+                move |k| dispatch(k, Tid(1), b),
+            );
+            (out, sched.take_switch_log())
+        }
+    };
     let trace = ScheduleTrace {
         first,
-        switches: sched.take_switch_log(),
+        switches,
         steps: k.engine.take_recorded_trace(),
     };
     (out, trace)
@@ -161,20 +211,35 @@ pub fn run_concurrent_recorded(
 /// Re-runs a pair slaved to a recorded trace instead of a live plan: the
 /// scheduler follows the recorded switch points and the engine imposes
 /// the recorded delay/versioning decisions (no control sets needed).
+///
+/// A stepped-mode machine replays trace logs with more than one switch
+/// point on the threaded executor: non-LIFO resumption cannot be expressed
+/// as nested calls. Recorded logs never exceed one switch (the plan's
+/// single breakpoint disarms on firing), so this fallback only triggers on
+/// hand-written traces.
 pub fn run_concurrent_replay(
     k: &Arc<Kctx>,
     trace: &ScheduleTrace,
     a: Syscall,
     b: Syscall,
 ) -> (RunOutcome, ReplayReport) {
-    let sched = Arc::new(Scheduler::replaying(2, trace.first, trace.switches.clone()));
     k.engine.start_trace_replay(trace.steps.clone());
-    let out = run_closures_with(
-        k,
-        sched,
-        move |k| dispatch(k, Tid(0), a),
-        move |k| dispatch(k, Tid(1), b),
-    );
+    let out = if k.exec_mode() == ExecMode::Stepped && trace.switches.len() <= 1 {
+        let sched = Arc::new(StepScheduler::replaying(
+            2,
+            trace.first,
+            trace.switches.clone(),
+        ));
+        run_stepped_with(k, sched, a, b)
+    } else {
+        let sched = Arc::new(Scheduler::replaying(2, trace.first, trace.switches.clone()));
+        run_closures_with(
+            k,
+            sched,
+            move |k| dispatch(k, Tid(0), a),
+            move |k| dispatch(k, Tid(1), b),
+        )
+    };
     let status = k.engine.finish_trace_replay();
     (
         out,
@@ -184,6 +249,84 @@ pub fn run_concurrent_replay(
             steps_total: status.total,
         },
     )
+}
+
+/// A leg's result slot: filled by the leg closure, settled by the driver.
+type LegResult = Result<i64, Box<dyn std::any::Any + Send>>;
+
+/// The stepped executor's core: installs both syscalls as legs on the step
+/// scheduler and runs them to completion on the calling thread. The
+/// choreography per leg (scheduler start, oops isolation, syscall-exit
+/// flush, finish) mirrors [`run_leg`] exactly, and results settle in the
+/// same a-then-b order as the threaded joins.
+fn run_stepped_with(
+    k: &Arc<Kctx>,
+    sched: Arc<StepScheduler>,
+    a: Syscall,
+    b: Syscall,
+) -> RunOutcome {
+    k.set_step_scheduler(Some(Arc::clone(&sched)));
+    let cell_a = install_stepped_leg(k, &sched, Tid(0), a);
+    let cell_b = install_stepped_leg(k, &sched, Tid(1), b);
+    sched.run();
+    k.set_step_scheduler(None);
+    k.engine.clear_controls(Tid(0));
+    k.engine.clear_controls(Tid(1));
+    let ret_a = settle(cell_a.lock().take().expect("leg 0 ran to completion"));
+    let ret_b = settle(cell_b.lock().take().expect("leg 1 ran to completion"));
+    RunOutcome {
+        crashes: k.sink.take(),
+        ret_a,
+        ret_b,
+    }
+}
+
+/// Boxes one syscall into a `'static` leg writing its result into the
+/// returned cell.
+fn install_stepped_leg(
+    k: &Arc<Kctx>,
+    sched: &Arc<StepScheduler>,
+    t: Tid,
+    sc: Syscall,
+) -> Arc<Mutex<Option<LegResult>>> {
+    let cell = Arc::new(Mutex::new(None));
+    let (kk, sch, out) = (Arc::clone(k), Arc::clone(sched), Arc::clone(&cell));
+    sched.set_leg(
+        t,
+        Box::new(move || {
+            let r = run_leg_stepped(&kk, &sch, t, move |k| dispatch(k, t, sc));
+            *out.lock() = Some(r);
+        }),
+    );
+    cell
+}
+
+/// [`run_leg`] for the step scheduler: identical oops isolation and
+/// syscall-exit flush, with `leg_start`/`leg_finish` in place of the
+/// threaded `thread_start`/`thread_finish` handshake.
+fn run_leg_stepped(
+    k: &Kctx,
+    sched: &StepScheduler,
+    t: Tid,
+    body: impl FnOnce(&Kctx) -> i64,
+) -> LegResult {
+    sched.leg_start(t);
+    let result = catch_unwind(AssertUnwindSafe(|| body(k)));
+    let out = match result {
+        Ok(ret) => {
+            k.syscall_exit(t);
+            Ok(ret)
+        }
+        Err(payload) => {
+            if payload.downcast_ref::<CrashSignal>().is_some() {
+                Ok(ECRASH)
+            } else {
+                Err(payload)
+            }
+        }
+    };
+    sched.leg_finish(t);
+    out
 }
 
 /// Runs two syscalls concurrently on persistent CPU workers instead of

@@ -15,18 +15,19 @@
 //! kills the offending task. The executor catches it at the syscall
 //! boundary.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use kmem::{
     CrashReport, Fault, FnRegistry, FnRegistrySnapshot, Kmem, KmemSnapshot, LockId, Lockdep,
     LockdepSnapshot, OracleSink,
 };
-use ksched::Scheduler;
+use ksched::{Scheduler, StepScheduler};
 use kutil::sync::Mutex;
 use oemu::{Engine, EngineSnapshot, Iid, LoadAnn, RmwOrder, StoreAnn, Tid};
 
 use crate::bugs::{BugId, BugSwitches};
+use crate::exec::ExecMode;
 use crate::subsys;
 
 /// Number of simulated CPUs per machine (the paper's VMs have four vCPUs).
@@ -139,6 +140,16 @@ impl MachineSnapshot {
     }
 }
 
+/// The scheduler installed for a concurrent phase: one of the two executor
+/// variants. The instrumented-access gates dispatch on it.
+#[derive(Clone)]
+enum SchedSlot {
+    /// Token-passing condvar scheduler (one OS thread per simulated CPU).
+    Threaded(Arc<Scheduler>),
+    /// Threadless step scheduler (both CPUs interleaved on one thread).
+    Stepped(Arc<StepScheduler>),
+}
+
 /// One booted simulated machine.
 pub struct Kctx {
     /// The OEMU emulation engine.
@@ -151,7 +162,12 @@ pub struct Kctx {
     pub lockdep: Lockdep,
     /// Crash-report collector.
     pub sink: OracleSink,
-    sched: Mutex<Option<Arc<Scheduler>>>,
+    sched: Mutex<Option<SchedSlot>>,
+    /// Which executor the `run_concurrent*` entry points use on this
+    /// machine. Deliberately *not* part of [`MachineSnapshot`] (or its
+    /// digest): the two executors take byte-identical scheduling decisions,
+    /// so the mode is an execution-strategy knob, not machine state.
+    exec_mode: AtomicU8,
     bugs: BugSwitches,
     /// Instrumentation bypass for the Table 5 overhead baseline.
     raw: AtomicBool,
@@ -175,6 +191,7 @@ impl Kctx {
             lockdep: Lockdep::new(),
             sink: OracleSink::new(),
             sched: Mutex::new(None),
+            exec_mode: AtomicU8::new(ExecMode::from_env() as u8),
             bugs,
             raw: AtomicBool::new(false),
             migration_override: AtomicBool::new(false),
@@ -276,7 +293,30 @@ impl Kctx {
     /// Installs (or removes) the custom scheduler for the concurrent phase
     /// of a test.
     pub fn set_scheduler(&self, sched: Option<Arc<Scheduler>>) {
-        *self.sched.lock() = sched;
+        *self.sched.lock() = sched.map(SchedSlot::Threaded);
+    }
+
+    /// Installs (or removes) the threadless step scheduler for the
+    /// concurrent phase of a test — the stepped executor's counterpart of
+    /// [`Kctx::set_scheduler`].
+    pub fn set_step_scheduler(&self, sched: Option<Arc<StepScheduler>>) {
+        *self.sched.lock() = sched.map(SchedSlot::Stepped);
+    }
+
+    /// Which executor this machine's `run_concurrent*` entry points use.
+    /// Defaults to [`ExecMode::from_env`] at boot.
+    pub fn exec_mode(&self) -> ExecMode {
+        match self.exec_mode.load(Ordering::Relaxed) {
+            x if x == ExecMode::Threaded as u8 => ExecMode::Threaded,
+            _ => ExecMode::Stepped,
+        }
+    }
+
+    /// Selects the executor for this machine. Campaign output is pinned
+    /// byte-identical across modes (`tests/exec_equivalence.rs`); only
+    /// throughput differs.
+    pub fn set_exec_mode(&self, mode: ExecMode) {
+        self.exec_mode.store(mode as u8, Ordering::Relaxed);
     }
 
     /// Enables raw mode: accesses bypass gates, oracles, and the emulation
@@ -369,18 +409,23 @@ impl Kctx {
 
     fn gate_before(&self, t: Tid, iid: Iid) {
         // Clone out of the lock before gating: the gate may block on the
-        // scheduler's condvar, and holding the sched slot's mutex across
-        // that wait would deadlock the peer CPU's own gate call.
+        // threaded scheduler's condvar (or run the peer leg inline, in the
+        // stepped executor), and holding the sched slot's mutex across that
+        // would deadlock the peer CPU's own gate call.
         let sched = self.sched.lock().clone();
-        if let Some(s) = sched {
-            s.gate_before(t, iid);
+        match sched {
+            Some(SchedSlot::Threaded(s)) => s.gate_before(t, iid),
+            Some(SchedSlot::Stepped(s)) => s.gate_before(t, iid),
+            None => {}
         }
     }
 
     fn gate_after(&self, t: Tid, iid: Iid) {
         let sched = self.sched.lock().clone();
-        if let Some(s) = sched {
-            s.gate_after(t, iid);
+        match sched {
+            Some(SchedSlot::Threaded(s)) => s.gate_after(t, iid),
+            Some(SchedSlot::Stepped(s)) => s.gate_after(t, iid),
+            None => {}
         }
     }
 

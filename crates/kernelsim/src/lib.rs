@@ -38,7 +38,7 @@ pub use bitops::{
 pub use bugs::{BugId, BugSwitches, ReorderType};
 pub use exec::{
     run_concurrent, run_concurrent_closures, run_concurrent_recorded, run_concurrent_replay,
-    run_one, run_sti, ReplayReport, RunOutcome,
+    run_one, run_sti, ExecMode, ReplayReport, RunOutcome,
 };
 pub use kctx::{
     CrashSignal, FnFrame, Globals, Kctx, MachineSnapshot, EAGAIN, EBADF, EBUSY, ECRASH, EINVAL,

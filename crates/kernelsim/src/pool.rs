@@ -18,7 +18,7 @@
 //!   cost.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
 use ksched::SchedulePlan;
@@ -27,8 +27,8 @@ use kutil::sync::Mutex;
 
 use crate::bugs::BugSwitches;
 use crate::exec::{
-    run_concurrent_on, run_concurrent_on_recorded, run_concurrent_on_replay, ReplayReport,
-    RunOutcome,
+    run_concurrent, run_concurrent_on, run_concurrent_on_recorded, run_concurrent_on_replay,
+    run_concurrent_recorded, run_concurrent_replay, ExecMode, ReplayReport, RunOutcome,
 };
 use crate::kctx::Kctx;
 use crate::syscalls::Syscall;
@@ -108,19 +108,25 @@ impl Drop for CpuWorkers {
     }
 }
 
-/// A booted machine plus its persistent CPU workers, ready to run MTIs
-/// without booting or spawning anything.
+/// A booted machine plus its (lazily spawned) persistent CPU workers,
+/// ready to run MTIs without booting or spawning anything.
+///
+/// The `run_pair*` methods dispatch on the machine's [`ExecMode`]: in
+/// stepped mode (the default) both legs run on the calling thread and the
+/// worker lanes are never spawned; in threaded mode the first run spawns
+/// the two persistent workers and every later run reuses them.
 pub struct PooledMachine {
     k: Arc<Kctx>,
-    workers: CpuWorkers,
+    workers: OnceLock<CpuWorkers>,
 }
 
 impl PooledMachine {
-    /// Boots a fresh machine with two worker lanes (an MTI's two CPUs).
+    /// Boots a fresh machine. Worker lanes are spawned on first threaded
+    /// use, so a stepped-mode campaign pays no thread cost at all.
     pub fn boot(bugs: BugSwitches) -> Self {
         PooledMachine {
             k: Kctx::new(bugs),
-            workers: CpuWorkers::new(2),
+            workers: OnceLock::new(),
         }
     }
 
@@ -129,10 +135,17 @@ impl PooledMachine {
         &self.k
     }
 
-    /// Runs two syscalls concurrently on the persistent workers — the
-    /// pooled equivalent of [`crate::run_concurrent`].
+    fn workers(&self) -> &CpuWorkers {
+        self.workers.get_or_init(|| CpuWorkers::new(2))
+    }
+
+    /// Runs two syscalls concurrently — the pooled equivalent of
+    /// [`crate::run_concurrent`].
     pub fn run_pair(&self, plan: SchedulePlan, a: Syscall, b: Syscall) -> RunOutcome {
-        run_concurrent_on(&self.k, &self.workers, plan, a, b)
+        match self.k.exec_mode() {
+            ExecMode::Stepped => run_concurrent(&self.k, plan, a, b),
+            ExecMode::Threaded => run_concurrent_on(&self.k, self.workers(), plan, a, b),
+        }
     }
 
     /// [`run_pair`](PooledMachine::run_pair) in record mode — the pooled
@@ -143,18 +156,24 @@ impl PooledMachine {
         a: Syscall,
         b: Syscall,
     ) -> (RunOutcome, ScheduleTrace) {
-        run_concurrent_on_recorded(&self.k, &self.workers, plan, a, b)
+        match self.k.exec_mode() {
+            ExecMode::Stepped => run_concurrent_recorded(&self.k, plan, a, b),
+            ExecMode::Threaded => run_concurrent_on_recorded(&self.k, self.workers(), plan, a, b),
+        }
     }
 
-    /// Replays a recorded trace on the persistent workers — the pooled
-    /// equivalent of [`crate::run_concurrent_replay`].
+    /// Replays a recorded trace — the pooled equivalent of
+    /// [`crate::run_concurrent_replay`].
     pub fn run_pair_replay(
         &self,
         trace: &ScheduleTrace,
         a: Syscall,
         b: Syscall,
     ) -> (RunOutcome, ReplayReport) {
-        run_concurrent_on_replay(&self.k, &self.workers, trace, a, b)
+        match self.k.exec_mode() {
+            ExecMode::Stepped => run_concurrent_replay(&self.k, trace, a, b),
+            ExecMode::Threaded => run_concurrent_on_replay(&self.k, self.workers(), trace, a, b),
+        }
     }
 }
 

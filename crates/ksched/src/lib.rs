@@ -7,14 +7,26 @@
 //! one virtual CPU running at a time, and switches vCPUs when the breakpoint
 //! is hit (Figure 9).
 //!
-//! This crate provides the same contract over OS threads: every simulated
-//! CPU is a real thread, but a token serialises them so exactly one executes
-//! at a time; context switches happen only at instrumented access *gates*,
-//! where the scheduler checks the installed [`Breakpoint`]. Crucially — and
-//! this is the property §2.3 says breakpoint-based tools destroy and OEMU
-//! restores — suspending a thread here does **not** flush its virtual store
-//! buffer, so delayed stores stay invisible across the switch, exactly like
-//! a suspended vCPU whose in-flight stores the paper's OEMU keeps buffered.
+//! This crate provides that contract twice, over the same plan/record/replay
+//! vocabulary:
+//!
+//! - [`Scheduler`] — the threaded executor. Every simulated CPU is a real
+//!   thread, but a token serialises them so exactly one executes at a time;
+//!   context switches happen only at instrumented access *gates*, where the
+//!   scheduler checks the installed [`Breakpoint`] and parks the thread on a
+//!   condvar while the other runs.
+//! - [`StepScheduler`] — the threadless executor. Both CPUs are *legs*
+//!   (boxed closures) run on one OS thread; a gate that fires simply calls
+//!   the peer leg as a nested function and resumes when it returns. This is
+//!   sound because a pair run performs at most one deliberate handoff (the
+//!   single optional breakpoint disarms when it fires), so the suspended
+//!   side always sits below the running side on the call stack.
+//!
+//! Crucially — and this is the property §2.3 says breakpoint-based tools
+//! destroy and OEMU restores — suspending a CPU in either executor does
+//! **not** flush its virtual store buffer, so delayed stores stay invisible
+//! across the switch, exactly like a suspended vCPU whose in-flight stores
+//! the paper's OEMU keeps buffered.
 //!
 //! # Examples
 //!
@@ -48,6 +60,8 @@
 //! });
 //! assert_eq!(*order.lock(), vec!["t0-a", "t1", "t0-b"]);
 //! ```
+
+#![deny(missing_docs)]
 
 use kutil::sync::{Condvar, Mutex};
 use oemu::{Iid, SwitchPoint, Tid};
@@ -300,6 +314,295 @@ impl Scheduler {
     }
 
     /// Whether every registered thread has finished.
+    pub fn all_finished(&self) -> bool {
+        self.state.lock().finished.iter().all(|&f| f)
+    }
+
+    fn next_runnable(&self, st: &State, current: Tid) -> Option<Tid> {
+        (1..=self.nthreads)
+            .map(|off| Tid((current.0 + off) % self.nthreads))
+            .find(|t| !st.finished[t.0])
+    }
+}
+
+/// One simulated CPU's execution as a value: the closure the step scheduler
+/// invokes when that CPU is scheduled.
+pub type Leg = Box<dyn FnOnce() + Send>;
+
+/// Threadless scheduler: both simulated CPUs run interleaved on the calling
+/// OS thread, and a context switch is a nested function call instead of a
+/// condvar handshake.
+///
+/// The state machine — active thread, armed [`Breakpoint`], hit counting,
+/// per-thread gate counts, switch logging — is the [`Scheduler`]'s, line for
+/// line, so a run under either executor takes byte-identical scheduling
+/// decisions. What differs is only the suspend/resume mechanism: where the
+/// threaded gate parks the firing thread and wakes the peer, the stepped
+/// gate *calls* the peer's [`Leg`] and continues when it returns.
+///
+/// The nested-call model is complete for everything the planner can
+/// express: a [`SchedulePlan`] carries at most one breakpoint, which disarms
+/// when it fires, so a run performs at most one deliberate handoff and the
+/// suspended leg always resumes in stack (LIFO) order. Replaying a recorded
+/// switch log with more than one [`SwitchPoint`] would need non-LIFO
+/// resumption; callers route such traces to the threaded executor (the
+/// recorded logs this workspace produces never contain more than one).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use oemu::{iid, Tid};
+/// use ksched::{BreakWhen, Breakpoint, SchedulePlan, StepScheduler};
+///
+/// let point = iid!();
+/// let plan = SchedulePlan {
+///     first: Tid(0),
+///     breakpoint: Some(Breakpoint { iid: point, when: BreakWhen::After, hit: 1 }),
+/// };
+/// let sched = Arc::new(StepScheduler::new(2, plan));
+/// let order = Arc::new(kutil::sync::Mutex::new(Vec::new()));
+/// let (sc, ord) = (Arc::clone(&sched), Arc::clone(&order));
+/// sched.set_leg(Tid(0), Box::new(move || {
+///     sc.leg_start(Tid(0));
+///     ord.lock().push("t0-a");
+///     sc.gate_after(Tid(0), point); // breakpoint: runs leg 1 inline
+///     ord.lock().push("t0-b");
+///     sc.leg_finish(Tid(0));
+/// }));
+/// let (sc, ord) = (Arc::clone(&sched), Arc::clone(&order));
+/// sched.set_leg(Tid(1), Box::new(move || {
+///     sc.leg_start(Tid(1));
+///     ord.lock().push("t1");
+///     sc.leg_finish(Tid(1));
+/// }));
+/// sched.run();
+/// assert_eq!(*order.lock(), vec!["t0-a", "t1", "t0-b"]);
+/// ```
+pub struct StepScheduler {
+    state: Mutex<State>,
+    legs: Mutex<Vec<Option<Leg>>>,
+    nthreads: usize,
+    mode: SchedMode,
+}
+
+impl StepScheduler {
+    fn with_mode(
+        nthreads: usize,
+        first: Tid,
+        breakpoint: Option<Breakpoint>,
+        mode: SchedMode,
+        switch_log: Vec<SwitchPoint>,
+    ) -> Self {
+        assert!(first.0 < nthreads, "first thread out of range");
+        StepScheduler {
+            state: Mutex::new(State {
+                active: first,
+                finished: vec![false; nthreads],
+                armed: breakpoint,
+                hits: 0,
+                switches: 0,
+                gate_counts: vec![0; nthreads],
+                switch_log,
+                cursor: 0,
+            }),
+            legs: Mutex::new((0..nthreads).map(|_| None).collect()),
+            nthreads,
+            mode,
+        }
+    }
+
+    /// Creates a step scheduler for `nthreads` simulated CPUs following
+    /// `plan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan.first` is out of range.
+    pub fn new(nthreads: usize, plan: SchedulePlan) -> Self {
+        Self::with_mode(
+            nthreads,
+            plan.first,
+            plan.breakpoint,
+            SchedMode::Plan,
+            Vec::new(),
+        )
+    }
+
+    /// Like [`StepScheduler::new`], but every breakpoint-driven handoff is
+    /// logged as a [`SwitchPoint`]; collect the log with
+    /// [`take_switch_log`](StepScheduler::take_switch_log) after the run.
+    pub fn recording(nthreads: usize, plan: SchedulePlan) -> Self {
+        Self::with_mode(
+            nthreads,
+            plan.first,
+            plan.breakpoint,
+            SchedMode::Record,
+            Vec::new(),
+        )
+    }
+
+    /// Creates a step scheduler slaved to a recorded switch log with at most
+    /// one entry. Logs with more switches need non-LIFO resumption and must
+    /// go to the threaded [`Scheduler`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `switches` holds more than one entry.
+    pub fn replaying(nthreads: usize, first: Tid, switches: Vec<SwitchPoint>) -> Self {
+        assert!(
+            switches.len() <= 1,
+            "multi-switch logs need the threaded scheduler"
+        );
+        Self::with_mode(nthreads, first, None, SchedMode::Replay, switches)
+    }
+
+    /// Takes the switch log recorded by a
+    /// [`recording`](StepScheduler::recording) scheduler.
+    pub fn take_switch_log(&self) -> Vec<SwitchPoint> {
+        std::mem::take(&mut self.state.lock().switch_log)
+    }
+
+    /// Installs the closure that *is* thread `tid`'s execution. Must be set
+    /// for every thread before [`run`](StepScheduler::run).
+    pub fn set_leg(&self, tid: Tid, leg: Leg) {
+        self.legs.lock()[tid.0] = Some(leg);
+    }
+
+    /// The stepped analog of [`Scheduler::thread_start`]: a leg's first
+    /// call. Where the threaded version blocks until the token arrives, a
+    /// leg is only ever *invoked* while it holds the token, so this merely
+    /// asserts the invariant.
+    pub fn leg_start(&self, tid: Tid) {
+        debug_assert_eq!(
+            self.state.lock().active,
+            tid,
+            "a leg runs only while it holds the token"
+        );
+    }
+
+    /// The stepped analog of [`Scheduler::thread_finish`]: marks `tid`
+    /// finished and hands the token to the next runnable thread — which, if
+    /// this leg ran nested inside a peer's gate, is the suspended peer the
+    /// gate returns into.
+    pub fn leg_finish(&self, tid: Tid) {
+        let mut st = self.state.lock();
+        st.finished[tid.0] = true;
+        if let Some(next) = self.next_runnable(&st, tid) {
+            st.active = next;
+        }
+    }
+
+    /// Gate checked *before* an instrumented access executes.
+    pub fn gate_before(&self, tid: Tid, iid: Iid) {
+        self.gate(tid, iid, BreakWhen::Before);
+    }
+
+    /// Gate checked *after* an instrumented access executes.
+    pub fn gate_after(&self, tid: Tid, iid: Iid) {
+        self.gate(tid, iid, BreakWhen::After);
+    }
+
+    fn gate(&self, tid: Tid, iid: Iid, phase: BreakWhen) {
+        let next = {
+            let mut st = self.state.lock();
+            debug_assert_eq!(st.active, tid, "only the token holder may execute");
+            if self.mode != SchedMode::Plan {
+                st.gate_counts[tid.0] += 1;
+            }
+            if self.mode == SchedMode::Replay {
+                // Replay: fire exactly at the recorded per-thread gate
+                // count, with the threaded executor's skip rule for targets
+                // that already finished.
+                let mut next = None;
+                if let Some(&sp) = st.switch_log.get(st.cursor) {
+                    if sp.tid == tid && sp.nth_gate == st.gate_counts[tid.0] {
+                        st.cursor += 1;
+                        if sp.to.0 < self.nthreads && !st.finished[sp.to.0] {
+                            st.active = sp.to;
+                            st.switches += 1;
+                            next = Some(sp.to);
+                        }
+                    }
+                }
+                next
+            } else {
+                let Some(bp) = st.armed else { return };
+                if bp.iid != iid || bp.when != phase {
+                    return;
+                }
+                st.hits += 1;
+                if st.hits < bp.hit {
+                    return;
+                }
+                // Fire: disarm and hand the token over — the decision logic
+                // (including the self-handoff when the peer already
+                // finished) is the threaded gate's verbatim.
+                st.armed = None;
+                match self.next_runnable(&st, tid) {
+                    Some(next) => {
+                        if self.mode == SchedMode::Record {
+                            let nth_gate = st.gate_counts[tid.0];
+                            st.switch_log.push(SwitchPoint {
+                                tid,
+                                nth_gate,
+                                to: next,
+                            });
+                        }
+                        st.active = next;
+                        st.switches += 1;
+                        Some(next)
+                    }
+                    None => None,
+                }
+            }
+        };
+        // Suspend/resume, threadless: run the peer's leg as a nested call
+        // (with no locks held). A handoff to self — the peer already
+        // finished — is counted above but needs no call, exactly like the
+        // threaded gate's wait loop falling straight through.
+        if let Some(next) = next {
+            if next != tid {
+                let leg = self.legs.lock()[next.0]
+                    .take()
+                    .expect("handoff target leg is pending");
+                leg();
+            }
+        }
+    }
+
+    /// Runs all legs to completion on the calling thread, honouring the
+    /// plan (or recorded log): the active leg runs until it fires a gate —
+    /// which runs the peer leg nested — or finishes, after which the token
+    /// moves to the next unfinished leg.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a leg was not installed via
+    /// [`set_leg`](StepScheduler::set_leg).
+    pub fn run(&self) {
+        loop {
+            let next = {
+                let st = self.state.lock();
+                if st.finished.iter().all(|&f| f) {
+                    None
+                } else {
+                    Some(st.active)
+                }
+            };
+            let Some(tid) = next else { break };
+            let leg = self.legs.lock()[tid.0]
+                .take()
+                .expect("every leg is installed before run()");
+            leg();
+        }
+    }
+
+    /// Number of deliberate context switches that occurred.
+    pub fn switches(&self) -> u32 {
+        self.state.lock().switches
+    }
+
+    /// Whether every leg has finished.
     pub fn all_finished(&self) -> bool {
         self.state.lock().finished.iter().all(|&f| f)
     }
@@ -586,5 +889,268 @@ mod tests {
             }
         });
         assert_eq!(*order.lock(), vec![0, 1, 2]);
+    }
+}
+
+#[cfg(test)]
+mod step_tests {
+    use super::*;
+    use oemu::iid;
+    use std::sync::Arc;
+
+    /// Runs two bodies on a step scheduler the way `kernelsim::exec` does:
+    /// wrap each in leg_start/leg_finish, install, run.
+    fn run_two_stepped(
+        sched: &Arc<StepScheduler>,
+        body0: impl FnOnce(&StepScheduler) + Send + 'static,
+        body1: impl FnOnce(&StepScheduler) + Send + 'static,
+    ) {
+        let sc = Arc::clone(sched);
+        sched.set_leg(
+            Tid(0),
+            Box::new(move || {
+                sc.leg_start(Tid(0));
+                body0(&sc);
+                sc.leg_finish(Tid(0));
+            }),
+        );
+        let sc = Arc::clone(sched);
+        sched.set_leg(
+            Tid(1),
+            Box::new(move || {
+                sc.leg_start(Tid(1));
+                body1(&sc);
+                sc.leg_finish(Tid(1));
+            }),
+        );
+        sched.run();
+    }
+
+    fn run_two(
+        plan: SchedulePlan,
+        body0: impl FnOnce(&StepScheduler) + Send + 'static,
+        body1: impl FnOnce(&StepScheduler) + Send + 'static,
+    ) -> Arc<StepScheduler> {
+        let sched = Arc::new(StepScheduler::new(2, plan));
+        run_two_stepped(&sched, body0, body1);
+        sched
+    }
+
+    #[test]
+    fn sequential_plan_runs_first_to_completion() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (o0, o1) = (Arc::clone(&order), Arc::clone(&order));
+        run_two(
+            SchedulePlan::sequential(Tid(1)),
+            move |_| o0.lock().push(0),
+            move |_| o1.lock().push(1),
+        );
+        assert_eq!(*order.lock(), vec![1, 0]);
+    }
+
+    #[test]
+    fn after_breakpoint_runs_peer_nested() {
+        let point = iid!();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (o0, o1) = (Arc::clone(&order), Arc::clone(&order));
+        let sched = run_two(
+            SchedulePlan {
+                first: Tid(0),
+                breakpoint: Some(Breakpoint {
+                    iid: point,
+                    when: BreakWhen::After,
+                    hit: 1,
+                }),
+            },
+            move |sc| {
+                o0.lock().push("t0-pre");
+                sc.gate_after(Tid(0), point);
+                o0.lock().push("t0-post");
+            },
+            move |sc| {
+                o1.lock().push("t1");
+                sc.gate_after(Tid(1), iid!());
+            },
+        );
+        assert_eq!(*order.lock(), vec!["t0-pre", "t1", "t0-post"]);
+        assert_eq!(sched.switches(), 1);
+        assert!(sched.all_finished());
+    }
+
+    #[test]
+    fn hit_count_targets_nth_occurrence() {
+        let point = iid!();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (o0, o1) = (Arc::clone(&order), Arc::clone(&order));
+        run_two(
+            SchedulePlan {
+                first: Tid(0),
+                breakpoint: Some(Breakpoint {
+                    iid: point,
+                    when: BreakWhen::After,
+                    hit: 3,
+                }),
+            },
+            move |sc| {
+                for i in 0..5 {
+                    o0.lock().push(format!("t0-{i}"));
+                    sc.gate_after(Tid(0), point);
+                }
+            },
+            move |_| o1.lock().push("t1".to_string()),
+        );
+        assert_eq!(
+            *order.lock(),
+            vec!["t0-0", "t0-1", "t0-2", "t1", "t0-3", "t0-4"]
+        );
+    }
+
+    #[test]
+    fn unhit_breakpoint_degrades_to_sequential() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (o0, o1) = (Arc::clone(&order), Arc::clone(&order));
+        let sched = run_two(
+            SchedulePlan {
+                first: Tid(0),
+                breakpoint: Some(Breakpoint {
+                    iid: iid!(), // never gated on
+                    when: BreakWhen::After,
+                    hit: 1,
+                }),
+            },
+            move |_| o0.lock().push(0),
+            move |_| o1.lock().push(1),
+        );
+        assert_eq!(*order.lock(), vec![0, 1]);
+        assert_eq!(sched.switches(), 0);
+    }
+
+    #[test]
+    fn recorded_log_matches_threaded_and_replays() {
+        let point = iid!();
+        // Bodies with a non-matching gate before the firing one, so the
+        // nth_gate coordinate is exercised.
+        let mk_bodies = |ord: &Arc<Mutex<Vec<&'static str>>>| {
+            let (o0, o1) = (Arc::clone(ord), Arc::clone(ord));
+            (
+                move |sc: &StepScheduler| {
+                    o0.lock().push("t0-a");
+                    sc.gate_before(Tid(0), point);
+                    sc.gate_after(Tid(0), point); // fires
+                    o0.lock().push("t0-b");
+                    sc.gate_after(Tid(0), iid!());
+                },
+                move |sc: &StepScheduler| {
+                    o1.lock().push("t1");
+                    sc.gate_after(Tid(1), iid!());
+                },
+            )
+        };
+
+        let rec = Arc::new(StepScheduler::recording(
+            2,
+            SchedulePlan {
+                first: Tid(0),
+                breakpoint: Some(Breakpoint {
+                    iid: point,
+                    when: BreakWhen::After,
+                    hit: 1,
+                }),
+            },
+        ));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (b0, b1) = mk_bodies(&order);
+        run_two_stepped(&rec, b0, b1);
+        assert_eq!(*order.lock(), vec!["t0-a", "t1", "t0-b"]);
+        let log = rec.take_switch_log();
+        // Byte-identical coordinates to what the threaded recorder logs for
+        // the same bodies (see `recorded_switch_log_replays_the_same_
+        // interleaving` above).
+        assert_eq!(
+            log,
+            vec![SwitchPoint {
+                tid: Tid(0),
+                nth_gate: 2,
+                to: Tid(1),
+            }]
+        );
+
+        let rep = Arc::new(StepScheduler::replaying(2, Tid(0), log));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (b0, b1) = mk_bodies(&order);
+        run_two_stepped(&rep, b0, b1);
+        assert_eq!(*order.lock(), vec!["t0-a", "t1", "t0-b"]);
+        assert_eq!(rep.switches(), 1);
+    }
+
+    #[test]
+    fn empty_switch_log_replays_sequentially() {
+        let rep = Arc::new(StepScheduler::replaying(2, Tid(1), Vec::new()));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (o0, o1) = (Arc::clone(&order), Arc::clone(&order));
+        run_two_stepped(
+            &rep,
+            move |sc| {
+                o0.lock().push(0);
+                sc.gate_after(Tid(0), iid!());
+            },
+            move |sc| {
+                o1.lock().push(1);
+                sc.gate_after(Tid(1), iid!());
+            },
+        );
+        assert_eq!(*order.lock(), vec![1, 0], "first=1 runs to completion");
+    }
+
+    #[test]
+    #[should_panic(expected = "multi-switch logs")]
+    fn multi_switch_replay_is_rejected() {
+        let sp = |tid, nth_gate, to| SwitchPoint {
+            tid: Tid(tid),
+            nth_gate,
+            to: Tid(to),
+        };
+        StepScheduler::replaying(2, Tid(0), vec![sp(0, 1, 1), sp(1, 1, 0)]);
+    }
+
+    #[test]
+    fn self_handoff_when_peer_finished_is_counted() {
+        // The breakpoint fires on the *second* thread after the first
+        // already finished: next_runnable wraps around to self, the switch
+        // is counted and (in record mode) logged — mirroring the threaded
+        // scheduler exactly.
+        let point = iid!();
+        let rec = Arc::new(StepScheduler::recording(
+            2,
+            SchedulePlan {
+                first: Tid(0),
+                breakpoint: Some(Breakpoint {
+                    iid: point,
+                    when: BreakWhen::After,
+                    hit: 1,
+                }),
+            },
+        ));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (o0, o1) = (Arc::clone(&order), Arc::clone(&order));
+        run_two_stepped(
+            &rec,
+            move |_| o0.lock().push("t0"),
+            move |sc| {
+                o1.lock().push("t1-pre");
+                sc.gate_after(Tid(1), point); // fires; only self is runnable
+                o1.lock().push("t1-post");
+            },
+        );
+        assert_eq!(*order.lock(), vec!["t0", "t1-pre", "t1-post"]);
+        assert_eq!(rec.switches(), 1);
+        assert_eq!(
+            rec.take_switch_log(),
+            vec![SwitchPoint {
+                tid: Tid(1),
+                nth_gate: 1,
+                to: Tid(1),
+            }]
+        );
     }
 }

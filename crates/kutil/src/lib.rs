@@ -14,11 +14,13 @@
 //!   `parking_lot` calling convention (`lock()` returns the guard directly,
 //!   poisoning is ignored). A panicking oracle thread must not poison the
 //!   crash-report sink it was about to write into.
-//! - [`bench`] — a minimal warmup + median-of-N timing harness replacing
+//! - [`mod@bench`] — a minimal warmup + median-of-N timing harness replacing
 //!   `criterion`, emitting one JSON line per measurement.
 //! - [`chan`] — a poison-tolerant MPSC channel replacing `std::sync::mpsc`
 //!   for the sharded campaign runner (epoch reports worker→coordinator,
 //!   corpus broadcasts coordinator→worker).
+
+#![deny(missing_docs)]
 
 pub mod bench;
 pub mod chan;

@@ -30,7 +30,7 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use kernelsim::{run_one, BugId, BugSwitches, MachinePool};
+use kernelsim::{run_one, BugId, BugSwitches, ExecMode, MachinePool};
 use oemu::{AccessKind, AccessRecord, BarrierKind, Iid, ScheduleTrace, Tid, TraceEvent};
 use ozz::hints::{calc_hints, filter_out, HintKind, PairSide, SchedHint};
 use ozz::mti::Mti;
@@ -106,7 +106,9 @@ impl Exploration {
 /// Explores every admissible schedule (within `bound`) of the pair
 /// `(sti.calls[i], sti.calls[j])` on a `bugs` kernel, executing each in
 /// record mode on a pooled machine with per-pair setup snapshot reuse —
-/// exactly the fuzzer's execution discipline.
+/// exactly the fuzzer's execution discipline. Uses the process-default
+/// executor ([`ExecMode::from_env`], stepped unless overridden — the cheap
+/// one for enumeration); [`explore_pair_with_mode`] pins it explicitly.
 pub fn explore_pair(
     bugs: &BugSwitches,
     sti: &Sti,
@@ -114,8 +116,22 @@ pub fn explore_pair(
     j: usize,
     bound: &Bound,
 ) -> Exploration {
+    explore_pair_with_mode(bugs, sti, i, j, bound, ExecMode::from_env())
+}
+
+/// [`explore_pair`] with the executor pinned, so an exploration can be
+/// compared across executors in one process regardless of `OZZ_EXEC`.
+pub fn explore_pair_with_mode(
+    bugs: &BugSwitches,
+    sti: &Sti,
+    i: usize,
+    j: usize,
+    bound: &Bound,
+    mode: ExecMode,
+) -> Exploration {
     let pool = MachinePool::new();
     let m = pool.checkout(bugs);
+    m.kctx().set_exec_mode(mode);
     let traces = profile_sti_on(m.kctx(), sti);
     let (hints, truncated) = enumerate_schedules(&traces[i].events, &traces[j].events, bound);
 

@@ -1,0 +1,253 @@
+//! Executor equivalence: the threadless stepped executor is observably
+//! byte-identical to the two-thread scheduler-serialised executor.
+//!
+//! PR 4 established that a recorded schedule is a *script* — a pure
+//! function of the plan and the instrumented event stream, independent of
+//! wall-clock timing. The stepped executor leans on exactly that
+//! invariant: because a pair run contains at most one deliberate handoff,
+//! the condvar handshake between two OS threads can be replaced by a
+//! nested function call on a single thread without changing which access
+//! runs when. These tests pin the consequence end to end: whole campaigns,
+//! recorded traces, replay verdicts, oracle verdicts, and bounded
+//! exhaustive explorations must match byte for byte across
+//! [`ExecMode::Stepped`] and [`ExecMode::Threaded`].
+//!
+//! Each side constructs its mode explicitly (never via `OZZ_EXEC`), so the
+//! comparison is valid regardless of the environment the suite runs under.
+
+use std::collections::BTreeSet;
+
+use kernelsim::{BugId, BugSwitches, ExecMode, Kctx, MachinePool, Syscall};
+use modelcheck::{explore_pair_with_mode, Bound};
+use ozz::fuzzer::{FuzzConfig, Fuzzer};
+use ozz::hints::calc_hints;
+use ozz::mti::{build_mtis, Mti};
+use ozz::sti::{known_bug_sti, Sti};
+use ozz::{profile_sti, profile_sti_on};
+
+/// The directed corpus used for trace/oracle comparisons: one bug per
+/// reorder flavour, with the STI that provokes it (the golden-trace trio).
+fn corpus() -> Vec<(BugId, Sti)> {
+    use Syscall::*;
+    vec![
+        (
+            BugId::TlsSkProt,
+            Sti {
+                calls: vec![
+                    TlsInit { fd: 0 },
+                    SetSockOpt { fd: 0 },
+                    GetSockOpt { fd: 0 },
+                ],
+            },
+        ),
+        (
+            BugId::RdsClearBit,
+            Sti {
+                calls: vec![RdsLoopXmit, RdsSendXmit, RdsLoopXmit],
+            },
+        ),
+        (
+            BugId::KnownWatchQueuePost,
+            known_bug_sti(BugId::KnownWatchQueuePost).expect("table-4 sti"),
+        ),
+    ]
+}
+
+fn directed_mtis(bugs: BugSwitches, sti: &Sti) -> Vec<Mti> {
+    let traces = profile_sti(sti, bugs);
+    build_mtis(
+        sti,
+        |i, j| calc_hints(&traces[i].events, &traces[j].events),
+        32,
+    )
+}
+
+/// Runs a campaign to `budget` MTIs on the given executor and renders
+/// every observable output.
+fn campaign_outputs(seed: u64, budget: u64, mode: ExecMode) -> (String, String, String) {
+    let mut fuzzer = Fuzzer::new(FuzzConfig {
+        seed,
+        bugs: BugSwitches::all(),
+        exec_mode: mode,
+        ..FuzzConfig::default()
+    });
+    while fuzzer.stats().mtis_run < budget {
+        fuzzer.step();
+    }
+    (
+        format!("{:#?}", fuzzer.found()),
+        format!("{:?}", fuzzer.stats()),
+        format!("{:?}", fuzzer.coverage_iids()),
+    )
+}
+
+#[test]
+fn stepped_campaign_equals_threaded_campaign() {
+    for seed in [2024, 7] {
+        let stepped = campaign_outputs(seed, 400, ExecMode::Stepped);
+        let threaded = campaign_outputs(seed, 400, ExecMode::Threaded);
+        assert!(!stepped.0.is_empty());
+        assert_eq!(
+            stepped.0, threaded.0,
+            "seed {seed}: executors found different bugs"
+        );
+        assert_eq!(
+            stepped.1, threaded.1,
+            "seed {seed}: campaign statistics diverged"
+        );
+        assert_eq!(stepped.2, threaded.2, "seed {seed}: coverage diverged");
+    }
+}
+
+#[test]
+fn recorded_traces_and_digests_match_across_executors() {
+    for (bug, sti) in corpus() {
+        let bugs = BugSwitches::only([bug]);
+        let mut crashed = false;
+        for mti in &directed_mtis(bugs.clone(), &sti) {
+            let run = |mode: ExecMode| {
+                let k = Kctx::new(bugs.clone());
+                k.set_exec_mode(mode);
+                mti.run_recorded_on(&k)
+            };
+            let stepped = run(ExecMode::Stepped);
+            let threaded = run(ExecMode::Threaded);
+            assert_eq!(
+                stepped.trace.to_text(),
+                threaded.trace.to_text(),
+                "{bug}: pair ({},{}) recorded different schedules",
+                mti.i,
+                mti.j
+            );
+            assert_eq!(
+                format!("{:?}", stepped.outcome),
+                format!("{:?}", threaded.outcome),
+                "{bug}: pair ({},{}) outcomes diverged",
+                mti.i,
+                mti.j
+            );
+            assert_eq!(
+                stepped.digest, threaded.digest,
+                "{bug}: pair ({},{}) reached different kernel states",
+                mti.i, mti.j
+            );
+            crashed |= stepped
+                .outcome
+                .crashes
+                .iter()
+                .any(|c| c.title == bug.expected_title());
+        }
+        assert!(crashed, "{bug}: directed sweep never crashed — vacuous");
+    }
+}
+
+#[test]
+fn replays_match_across_executors() {
+    // Record each bug's crashing schedule once (stepped), then replay it
+    // under both executors: same divergence verdict, same crashes, same
+    // post-run digest. The stepped replayer handles every recorded log
+    // (at most one switch); this also covers its dispatch path.
+    for (bug, sti) in corpus() {
+        let bugs = BugSwitches::only([bug]);
+        let mtis = directed_mtis(bugs.clone(), &sti);
+        let (mti, rec) = mtis
+            .iter()
+            .find_map(|mti| {
+                let k = Kctx::new(bugs.clone());
+                k.set_exec_mode(ExecMode::Stepped);
+                let rec = mti.run_recorded_on(&k);
+                rec.outcome
+                    .crashes
+                    .iter()
+                    .any(|c| c.title == bug.expected_title())
+                    .then_some((mti, rec))
+            })
+            .expect("directed sweep finds a crashing schedule");
+
+        let replay = |mode: ExecMode| {
+            let pool = MachinePool::new();
+            let m = pool.checkout(&bugs);
+            m.kctx().set_exec_mode(mode);
+            mti.run_setup(m.kctx());
+            let (a, b) = mti.pair();
+            let (outcome, report) = m.run_pair_replay(&rec.trace, a, b);
+            (
+                format!("{outcome:?}"),
+                format!("{report:?}"),
+                m.kctx().state_digest(),
+            )
+        };
+        let stepped = replay(ExecMode::Stepped);
+        let threaded = replay(ExecMode::Threaded);
+        assert_eq!(stepped, threaded, "{bug}: replay diverged across executors");
+        assert_eq!(
+            stepped.2, rec.digest,
+            "{bug}: replay reached a different state than the recording"
+        );
+    }
+}
+
+#[test]
+fn oracle_verdicts_match_across_executors() {
+    // The oracle-matrix discipline on the directed corpus: on the buggy
+    // kernel both executors surface the expected title; on the fixed
+    // kernel neither does; and the full title sets agree exactly.
+    fn sweep_titles(bugs: &BugSwitches, sti: &Sti, mode: ExecMode) -> BTreeSet<String> {
+        let pool = MachinePool::new();
+        let m = pool.checkout(bugs);
+        m.kctx().set_exec_mode(mode);
+        let traces = profile_sti_on(m.kctx(), sti);
+        let mtis = build_mtis(
+            sti,
+            |i, j| calc_hints(&traces[i].events, &traces[j].events),
+            32,
+        );
+        let mut titles = BTreeSet::new();
+        for mti in &mtis {
+            m.kctx().reset();
+            mti.run_setup(m.kctx());
+            let out = mti.run_pair_pooled(&m);
+            titles.extend(out.crashes.iter().map(|c| c.title.clone()));
+        }
+        titles
+    }
+
+    for (bug, sti) in corpus() {
+        for switches in [BugSwitches::only([bug]), BugSwitches::none()] {
+            let stepped = sweep_titles(&switches, &sti, ExecMode::Stepped);
+            let threaded = sweep_titles(&switches, &sti, ExecMode::Threaded);
+            assert_eq!(stepped, threaded, "{bug}: verdicts diverged ({switches:?})");
+            let buggy = switches.has(bug);
+            assert_eq!(
+                stepped.iter().any(|t| t == bug.expected_title()),
+                buggy,
+                "{bug}: wrong verdict on the {} kernel",
+                if buggy { "buggy" } else { "fixed" }
+            );
+        }
+    }
+}
+
+#[test]
+fn modelcheck_explorations_match_across_executors() {
+    let bugs = BugSwitches::only([BugId::KnownWatchQueuePost]);
+    let sti = known_bug_sti(BugId::KnownWatchQueuePost).expect("table-4 sti");
+    let bound = Bound {
+        max_schedules: 64,
+        ..Bound::default()
+    };
+    let mut any_crash = false;
+    for j in 1..sti.calls.len() {
+        for i in 0..j {
+            let stepped = explore_pair_with_mode(&bugs, &sti, i, j, &bound, ExecMode::Stepped);
+            let threaded = explore_pair_with_mode(&bugs, &sti, i, j, &bound, ExecMode::Threaded);
+            assert_eq!(
+                format!("{stepped:#?}"),
+                format!("{threaded:#?}"),
+                "pair ({i},{j}): explorations diverged"
+            );
+            any_crash |= !stepped.crash_titles().is_empty();
+        }
+    }
+    assert!(any_crash, "bounded exploration never crashed — vacuous");
+}
