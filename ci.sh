@@ -23,6 +23,17 @@ OZZ_EXEC=threaded cargo test --workspace -q --offline
 echo "== executor equivalence (stepped == threaded, byte-for-byte) =="
 cargo test -q --offline --test exec_equivalence
 
+echo "== memory models: litmus + LKMM properties under tso/pso/arm =="
+# The TSO run repeats the default-env run on purpose: it pins that an
+# explicit OZZ_MEMMODEL=tso is byte-identical to leaving it unset. The
+# golden-trace / exec-equivalence gates above stay on the default (TSO)
+# model — goldens are a TSO contract.
+for m in tso pso arm; do
+    echo "--  OZZ_MEMMODEL=$m"
+    OZZ_MEMMODEL=$m cargo test -q --offline -p litmus
+    OZZ_MEMMODEL=$m cargo test -q --offline --test lkmm_properties
+done
+
 echo "== rustdoc (all crates, no warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace -q
 

@@ -14,7 +14,9 @@
 //!
 //! All arms produce byte-identical campaign results (pinned by
 //! `tests/pool_fidelity.rs` and `tests/exec_equivalence.rs`); only the
-//! throughput differs.
+//! throughput differs. A fourth dimension reruns the stepped arm under the
+//! PSO and Arm-like memory models: the model is a per-access branch in the
+//! engine, so those rates must stay in the same band as TSO.
 //!
 //! Usage: `mti_throughput [mti_budget] [reps]` (defaults 600, 3). Writes
 //! `BENCH_mti_throughput.json` with the median-of-reps rates into the
@@ -22,16 +24,17 @@
 
 use std::time::Instant;
 
-use kernelsim::{BugSwitches, ExecMode};
+use kernelsim::{BugSwitches, ExecMode, MemoryModel};
 use ozz::fuzzer::{FuzzConfig, Fuzzer};
 
 /// One campaign to `budget` MTIs; returns MTIs/second.
-fn run_arm(reuse_machines: bool, exec_mode: ExecMode, budget: u64) -> f64 {
+fn run_arm(reuse_machines: bool, exec_mode: ExecMode, model: MemoryModel, budget: u64) -> f64 {
     let mut fuzzer = Fuzzer::new(FuzzConfig {
         seed: 2024,
         bugs: BugSwitches::all(),
         reuse_machines,
         exec_mode,
+        memory_model: model,
         ..FuzzConfig::default()
     });
     let start = Instant::now();
@@ -60,27 +63,38 @@ fn main() {
     let mut fresh_rates = Vec::with_capacity(reps);
     let mut pooled_rates = Vec::with_capacity(reps);
     let mut stepped_rates = Vec::with_capacity(reps);
+    let mut pso_rates = Vec::with_capacity(reps);
+    let mut arm_rates = Vec::with_capacity(reps);
     for rep in 0..reps {
-        let fresh = run_arm(false, ExecMode::Threaded, budget);
-        let pooled = run_arm(true, ExecMode::Threaded, budget);
-        let stepped = run_arm(true, ExecMode::Stepped, budget);
+        let tso = MemoryModel::Tso;
+        let fresh = run_arm(false, ExecMode::Threaded, tso, budget);
+        let pooled = run_arm(true, ExecMode::Threaded, tso, budget);
+        let stepped = run_arm(true, ExecMode::Stepped, tso, budget);
+        let pso = run_arm(true, ExecMode::Stepped, MemoryModel::Pso, budget);
+        let arm = run_arm(true, ExecMode::Stepped, MemoryModel::Arm, budget);
         println!(
             "rep {rep}: fresh {fresh:>9.1} MTIs/s | pooled {pooled:>9.1} MTIs/s | \
-             stepped {stepped:>9.1} MTIs/s"
+             stepped {stepped:>9.1} MTIs/s | pso {pso:>9.1} MTIs/s | arm {arm:>9.1} MTIs/s"
         );
         fresh_rates.push(fresh);
         pooled_rates.push(pooled);
         stepped_rates.push(stepped);
+        pso_rates.push(pso);
+        arm_rates.push(arm);
     }
 
     let fresh = median(fresh_rates);
     let pooled = median(pooled_rates);
     let stepped = median(stepped_rates);
+    let pso = median(pso_rates);
+    let arm = median(arm_rates);
     let speedup = pooled / fresh;
     let stepped_speedup = stepped / pooled;
     println!("\nmedian fresh:   {fresh:>9.1} MTIs/s (boot + thread spawn per test)");
     println!("median pooled:  {pooled:>9.1} MTIs/s (reset + persistent workers)");
     println!("median stepped: {stepped:>9.1} MTIs/s (reset + threadless executor)");
+    println!("median pso:     {pso:>9.1} MTIs/s (stepped, PSO model)");
+    println!("median arm:     {arm:>9.1} MTIs/s (stepped, Arm-like model)");
     println!("pooled/fresh:   {speedup:.2}x");
     println!("stepped/pooled: {stepped_speedup:.2}x");
 
@@ -89,6 +103,8 @@ fn main() {
          \"fresh_mtis_per_sec\": {fresh:.1},\n  \
          \"pooled_mtis_per_sec\": {pooled:.1},\n  \
          \"stepped_mtis_per_sec\": {stepped:.1},\n  \
+         \"stepped_pso_mtis_per_sec\": {pso:.1},\n  \
+         \"stepped_arm_mtis_per_sec\": {arm:.1},\n  \
          \"speedup\": {speedup:.2},\n  \
          \"stepped_speedup\": {stepped_speedup:.2}\n}}\n"
     );

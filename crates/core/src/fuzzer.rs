@@ -11,14 +11,16 @@
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
-use kernelsim::{BugSwitches, ExecMode, Kctx, MachinePool, MachineSnapshot, ReorderType, Syscall};
+use kernelsim::{
+    BugSwitches, ExecMode, Kctx, MachinePool, MachineSnapshot, MemoryModel, ReorderType, Syscall,
+};
 use kutil::{fnv1a64, splitmix64};
 use oemu::{Iid, ScheduleTrace};
 
-use crate::hints::{calc_hints, HintKind};
+use crate::hints::{calc_hints_for, HintKind};
 use crate::mti::build_mtis;
+use crate::profile_sti_on;
 use crate::sti::{Sti, StiGen};
-use crate::{profile_sti, profile_sti_on};
 
 /// Ordering strategy for scheduling hints within a pair — the §4.3 search
 /// heuristic and its ablations (DESIGN.md §7).
@@ -57,6 +59,12 @@ pub struct FuzzConfig {
     /// [`ExecMode::from_env`] (`OZZ_EXEC=threaded` selects the threaded
     /// executor).
     pub exec_mode: ExecMode,
+    /// Memory model the campaign's machines emulate. Part of machine
+    /// identity (pool shelves key on it) and fed to the hint calculator,
+    /// whose barrier grouping asks the model what bounds reordering.
+    /// Defaults to [`MemoryModel::from_env`] (`OZZ_MEMMODEL=pso`/`arm`
+    /// selects a weaker model; unset means TSO).
+    pub memory_model: MemoryModel,
 }
 
 impl Default for FuzzConfig {
@@ -69,6 +77,7 @@ impl Default for FuzzConfig {
             hint_order: HintOrder::MaxReorderFirst,
             reuse_machines: true,
             exec_mode: ExecMode::from_env(),
+            memory_model: MemoryModel::from_env(),
         }
     }
 }
@@ -205,10 +214,10 @@ impl Fuzzer {
         self.stats.stis_run += 1;
         // Step 1 (§4.2): run the STI with profiling — on a pooled machine
         // (checked out in exact boot state) or a freshly booted one.
-        let machine = self
-            .cfg
-            .reuse_machines
-            .then(|| self.pool.checkout(&self.cfg.bugs));
+        let machine = self.cfg.reuse_machines.then(|| {
+            self.pool
+                .checkout_with_model(&self.cfg.bugs, self.cfg.memory_model)
+        });
         if let Some(m) = &machine {
             // The executor choice is per-config, not per-machine: stamp it
             // on every checkout (reset() deliberately leaves it alone).
@@ -216,7 +225,10 @@ impl Fuzzer {
         }
         let traces = match &machine {
             Some(m) => profile_sti_on(m.kctx(), &sti),
-            None => profile_sti(&sti, self.cfg.bugs.clone()),
+            None => {
+                let k = Kctx::new_with_model(self.cfg.bugs.clone(), self.cfg.memory_model);
+                profile_sti_on(&k, &sti)
+            }
         };
         // KCov-style coverage gates corpus growth.
         let before = self.coverage.len();
@@ -236,10 +248,11 @@ impl Fuzzer {
         let mut new_uniques = 0;
         let order = self.cfg.hint_order;
         let seed = self.cfg.seed;
+        let model = self.cfg.memory_model;
         let mtis = build_mtis(
             &sti,
             |i, j| {
-                let mut hints = calc_hints(&traces[i].events, &traces[j].events);
+                let mut hints = calc_hints_for(&traces[i].events, &traces[j].events, model);
                 match order {
                     HintOrder::MaxReorderFirst => {}
                     HintOrder::MinReorderFirst => hints.reverse(),
@@ -289,7 +302,7 @@ impl Fuzzer {
                     mti.run_pair_pooled(m)
                 }
                 None => {
-                    let k = Kctx::new(self.cfg.bugs.clone());
+                    let k = Kctx::new_with_model(self.cfg.bugs.clone(), self.cfg.memory_model);
                     k.set_exec_mode(self.cfg.exec_mode);
                     mti.run_on(&k)
                 }
@@ -313,7 +326,8 @@ impl Fuzzer {
                             mti.run_pair_pooled_recorded(m)
                         }
                         None => {
-                            let k = Kctx::new(self.cfg.bugs.clone());
+                            let k =
+                                Kctx::new_with_model(self.cfg.bugs.clone(), self.cfg.memory_model);
                             k.set_exec_mode(self.cfg.exec_mode);
                             mti.run_recorded_on(&k)
                         }

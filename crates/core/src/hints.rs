@@ -26,7 +26,7 @@
 
 use std::collections::HashSet;
 
-use oemu::{AccessKind, AccessRecord, BarrierKind, TraceEvent};
+use oemu::{AccessKind, AccessRecord, BarrierKind, MemoryModel, TraceEvent};
 
 /// Which of the two paired system calls performs the reordering.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -49,7 +49,7 @@ pub enum HintKind {
 }
 
 /// One scheduling hint (one hypothetical memory barrier test).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SchedHint {
     /// Store or load barrier test.
     pub kind: HintKind,
@@ -140,15 +140,26 @@ fn overlap_words(a: &AccessRecord, b: &AccessRecord) -> impl Iterator<Item = u64
 }
 
 /// Algorithm 1: computes all scheduling hints for the pair `(si, sj)`,
-/// sorted by decreasing reorder-set size (the search heuristic).
+/// sorted by decreasing reorder-set size (the search heuristic). Groups
+/// are bounded by the barriers TSO honors — identical to
+/// [`calc_hints_for`] with [`MemoryModel::Tso`].
 pub fn calc_hints(si: &[TraceEvent], sj: &[TraceEvent]) -> Vec<SchedHint> {
+    calc_hints_for(si, sj, MemoryModel::Tso)
+}
+
+/// [`calc_hints`] against a specific memory model: only the barriers that
+/// actually bound reordering under `model` split the access groups, so a
+/// weaker model yields larger reorder sets. Concretely, on Arm a
+/// `READ_ONCE` no longer closes a load group (it is not a load barrier
+/// there), so load-test hints can reorder across it.
+pub fn calc_hints_for(si: &[TraceEvent], sj: &[TraceEvent], model: MemoryModel) -> Vec<SchedHint> {
     // Step 1: filter out irrelevant memory accesses.
     let (fi, fj) = filter_out(si, sj);
     let mut hints = Vec::new();
     // Step 2 & 3, for each reorderer side and barrier type.
     for (side, events, full) in [(PairSide::First, &fi, si), (PairSide::Second, &fj, sj)] {
         for kind in [HintKind::StoreBarrier, HintKind::LoadBarrier] {
-            for group in group_by_barrier(events, kind) {
+            for group in group_by_barrier(events, kind, model) {
                 build_hints(&group, kind, side, full, &mut hints);
             }
         }
@@ -163,11 +174,17 @@ pub fn calc_hints(si: &[TraceEvent], sj: &[TraceEvent]) -> Vec<SchedHint> {
     hints
 }
 
-/// Algorithm 1, step 2: group accesses between barriers of the same type.
-fn group_by_barrier(events: &[TraceEvent], kind: HintKind) -> Vec<Vec<AccessRecord>> {
+/// Algorithm 1, step 2: group accesses between barriers of the same type,
+/// asking the model which barrier kinds actually bound that reordering.
+fn group_by_barrier(
+    events: &[TraceEvent],
+    kind: HintKind,
+    model: MemoryModel,
+) -> Vec<Vec<AccessRecord>> {
+    let caps = ksched::ModelCaps::of(model);
     let bounds = |b: BarrierKind| match kind {
-        HintKind::StoreBarrier => b.orders_stores(),
-        HintKind::LoadBarrier => b.orders_loads(),
+        HintKind::StoreBarrier => caps.bounds_store_group(b),
+        HintKind::LoadBarrier => caps.bounds_load_group(b),
     };
     let mut groups = Vec::new();
     let mut g: Vec<AccessRecord> = Vec::new();
@@ -572,5 +589,41 @@ mod tests {
             .find(|h| h.kind == HintKind::LoadBarrier)
             .unwrap();
         assert!(load.barrier_location().contains("smp_rmb"));
+    }
+
+    /// Model-aware grouping: a `READ_ONCE` between two loads closes the
+    /// load group under TSO/PSO (no group of two, no load-test hints) but
+    /// not under Arm, where it is not a load barrier — so the Arm hint set
+    /// reorders across it.
+    #[test]
+    fn arm_load_groups_span_read_once() {
+        let si = vec![
+            access(1, 0x10, AccessKind::Load, 1),
+            barrier(BarrierKind::ReadOnce, 2),
+            access(2, 0x18, AccessKind::Load, 3),
+        ];
+        let sj = vec![
+            access(10, 0x10, AccessKind::Store, 10),
+            access(11, 0x18, AccessKind::Store, 11),
+        ];
+        let load_hints = |model: MemoryModel| {
+            calc_hints_for(&si, &sj, model)
+                .into_iter()
+                .filter(|h| h.kind == HintKind::LoadBarrier && h.reorderer == PairSide::First)
+                .count()
+        };
+        assert_eq!(
+            load_hints(MemoryModel::Tso),
+            0,
+            "READ_ONCE splits the group"
+        );
+        assert_eq!(load_hints(MemoryModel::Pso), 0, "PSO keeps TSO's load side");
+        assert!(load_hints(MemoryModel::Arm) > 0, "Arm reorders across it");
+        // TSO output of the model-parameterised entry point is identical
+        // to the legacy one.
+        assert_eq!(
+            calc_hints(&si, &sj),
+            calc_hints_for(&si, &sj, MemoryModel::Tso)
+        );
     }
 }

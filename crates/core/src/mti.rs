@@ -167,10 +167,12 @@ impl Mti {
 
     /// Replays a recorded trace of this MTI on a freshly booted machine —
     /// no Table 2 controls, no breakpoint plan; the trace alone dictates
-    /// delays, versioned reads, and the interleaving. Returns the outcome,
-    /// the post-run digest, and the replay fidelity report.
+    /// delays, versioned reads, and the interleaving. The machine boots
+    /// under the trace's recorded memory model, so a trace captured on a
+    /// PSO or Arm machine replays against the same semantics. Returns the
+    /// outcome, the post-run digest, and the replay fidelity report.
     pub fn run_replayed(&self, bugs: BugSwitches, trace: &ScheduleTrace) -> ReplayedRun {
-        let k = Kctx::new(bugs);
+        let k = Kctx::new_with_model(bugs, trace.model);
         self.run_setup(&k);
         let (a, b) = self.pair();
         let (outcome, report) = run_concurrent_replay(&k, trace, a, b);

@@ -178,15 +178,19 @@ impl ParallelCampaign {
                 std::thread::Builder::new()
                     .name(format!("ozz-shard-{shard}"))
                     .spawn(move || worker.run())
-                    .expect("spawn shard worker"),
+                    .unwrap_or_else(|e| {
+                        panic!("failed to spawn worker thread for shard {shard}: {e}")
+                    }),
             );
         }
         drop(report_tx);
 
         let merged = self.coordinate(&report_rx, &reply_txs);
         drop(reply_txs);
-        for h in handles {
-            h.join().expect("shard worker panicked");
+        for (shard, h) in handles.into_iter().enumerate() {
+            if h.join().is_err() {
+                panic!("shard {shard} worker panicked; its partial results are unusable");
+            }
         }
         debug_assert_eq!(
             mtis_total.load(Ordering::Relaxed),
@@ -214,7 +218,17 @@ impl ParallelCampaign {
             // keying by shard id restores a deterministic order.
             let mut round: BTreeMap<usize, EpochReport> = BTreeMap::new();
             while round.len() < live.len() {
-                let r = report_rx.recv().expect("a live worker hung up early");
+                let r = report_rx.recv().unwrap_or_else(|e| {
+                    let missing: Vec<usize> = live
+                        .iter()
+                        .filter(|s| !round.contains_key(s))
+                        .copied()
+                        .collect();
+                    panic!(
+                        "worker report channel closed ({e:?}) before shards {missing:?} \
+                         reported this epoch"
+                    )
+                });
                 round.insert(r.shard, r);
             }
             for (&shard, r) in &round {
@@ -244,9 +258,9 @@ impl ParallelCampaign {
                         .collect();
                     BarrierReply::Continue(entries)
                 };
-                reply_txs[shard]
-                    .send(reply)
-                    .expect("a live worker dropped its barrier queue");
+                reply_txs[shard].send(reply).unwrap_or_else(|_| {
+                    panic!("shard {shard} dropped its barrier queue while still live (SendError)")
+                });
             }
             if stop {
                 break;

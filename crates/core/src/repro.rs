@@ -136,7 +136,8 @@ pub struct TraceReplay {
 /// then the pair `(calls[i], calls[j])` slaved to `trace`. No Table 2
 /// controls and no breakpoint are installed — the trace alone dictates
 /// which stores sit in the buffer, which loads read old versions, and
-/// where the token changes hands.
+/// where the token changes hands. The machine boots under the trace's
+/// recorded memory model so the replay sees the recording's semantics.
 pub fn replay_trace(
     bugs: BugSwitches,
     sti: &Sti,
@@ -144,7 +145,7 @@ pub fn replay_trace(
     j: usize,
     trace: &ScheduleTrace,
 ) -> TraceReplay {
-    let k = Kctx::new(bugs);
+    let k = Kctx::new_with_model(bugs, trace.model);
     for (idx, &call) in sti.calls.iter().enumerate().take(j) {
         if idx != i {
             run_one(&k, Tid(0), call);

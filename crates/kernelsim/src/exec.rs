@@ -41,12 +41,20 @@ pub enum ExecMode {
 
 impl ExecMode {
     /// The process-wide default, from the `OZZ_EXEC` environment variable:
-    /// `threaded` selects the threaded executor, anything else (including
-    /// unset) the stepped one.
+    /// `stepped` selects the stepped executor, `threaded` the threaded
+    /// one; unset defaults to stepped. Any other value panics: a typo
+    /// like `OZZ_EXEC=threded` must not silently test the wrong executor.
     pub fn from_env() -> Self {
         match std::env::var("OZZ_EXEC") {
-            Ok(v) if v == "threaded" => ExecMode::Threaded,
-            _ => ExecMode::Stepped,
+            Err(_) => ExecMode::Stepped,
+            Ok(v) => match v.as_str() {
+                "stepped" => ExecMode::Stepped,
+                "threaded" => ExecMode::Threaded,
+                _ => panic!(
+                    "unrecognized OZZ_EXEC value {v:?}: valid values are \"stepped\", \
+                     \"threaded\" (unset defaults to stepped)"
+                ),
+            },
         }
     }
 }
@@ -201,6 +209,7 @@ pub fn run_concurrent_recorded(
         }
     };
     let trace = ScheduleTrace {
+        model: k.engine.memory_model(),
         first,
         switches,
         steps: k.engine.take_recorded_trace(),
@@ -223,6 +232,7 @@ pub fn run_concurrent_replay(
     a: Syscall,
     b: Syscall,
 ) -> (RunOutcome, ReplayReport) {
+    check_replay_model(k, trace);
     k.engine.start_trace_replay(trace.steps.clone());
     let out = if k.exec_mode() == ExecMode::Stepped && trace.switches.len() <= 1 {
         let sched = Arc::new(StepScheduler::replaying(
@@ -360,6 +370,7 @@ pub(crate) fn run_concurrent_on_recorded(
     k.engine.start_trace_recording();
     let out = run_on_workers_with(k, workers, Arc::clone(&sched), a, b);
     let trace = ScheduleTrace {
+        model: k.engine.memory_model(),
         first,
         switches: sched.take_switch_log(),
         steps: k.engine.take_recorded_trace(),
@@ -375,6 +386,7 @@ pub(crate) fn run_concurrent_on_replay(
     a: Syscall,
     b: Syscall,
 ) -> (RunOutcome, ReplayReport) {
+    check_replay_model(k, trace);
     let sched = Arc::new(Scheduler::replaying(2, trace.first, trace.switches.clone()));
     k.engine.start_trace_replay(trace.steps.clone());
     let out = run_on_workers_with(k, workers, sched, a, b);
@@ -387,6 +399,19 @@ pub(crate) fn run_concurrent_on_replay(
             steps_total: status.total,
         },
     )
+}
+
+/// A trace's decision stream only makes sense on a machine running the
+/// model that recorded it — a mismatch would replay garbage and report it
+/// as mere divergence, so fail loudly instead.
+fn check_replay_model(k: &Kctx, trace: &ScheduleTrace) {
+    assert_eq!(
+        trace.model,
+        k.engine.memory_model(),
+        "replaying a {} trace on a {} machine",
+        trace.model.name(),
+        k.engine.memory_model().name()
+    );
 }
 
 fn run_on_workers_with(
@@ -417,8 +442,12 @@ fn run_on_workers_with(
     );
     // Collect both legs before settling either, so a harness panic in one
     // leg cannot leave the other lane's worker wedged mid-run.
-    let ra = rx_a.recv().expect("cpu worker 0 must not die");
-    let rb = rx_b.recv().expect("cpu worker 1 must not die");
+    let ra = rx_a
+        .recv()
+        .unwrap_or_else(|e| panic!("cpu worker 0 dropped its result channel mid-run: {e:?}"));
+    let rb = rx_b
+        .recv()
+        .unwrap_or_else(|e| panic!("cpu worker 1 dropped its result channel mid-run: {e:?}"));
     k.set_scheduler(None);
     k.engine.clear_controls(Tid(0));
     k.engine.clear_controls(Tid(1));

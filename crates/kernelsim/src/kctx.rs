@@ -24,7 +24,7 @@ use kmem::{
 };
 use ksched::{Scheduler, StepScheduler};
 use kutil::sync::Mutex;
-use oemu::{Engine, EngineSnapshot, Iid, LoadAnn, RmwOrder, StoreAnn, Tid};
+use oemu::{Engine, EngineSnapshot, Iid, LoadAnn, MemoryModel, RmwOrder, StoreAnn, Tid};
 
 use crate::bugs::{BugId, BugSwitches};
 use crate::exec::ExecMode;
@@ -182,10 +182,18 @@ pub struct Kctx {
 }
 
 impl Kctx {
-    /// Boots a machine with the given seeded-bug switches.
+    /// Boots a machine with the given seeded-bug switches under the
+    /// default TSO memory model.
     pub fn new(bugs: BugSwitches) -> Arc<Kctx> {
+        Self::new_with_model(bugs, MemoryModel::Tso)
+    }
+
+    /// Boots a machine whose engine emulates the given memory model. Like
+    /// the bug switches, the model is machine identity: fixed for the
+    /// machine's lifetime and part of the pool key, never snapshot state.
+    pub fn new_with_model(bugs: BugSwitches, model: MemoryModel) -> Arc<Kctx> {
         let k = Arc::new(Kctx {
-            engine: Arc::new(Engine::new(MAX_CPUS)),
+            engine: Arc::new(Engine::new_with_model(MAX_CPUS, model)),
             kmem: Kmem::new(),
             fns: FnRegistry::new(),
             lockdep: Lockdep::new(),
@@ -317,6 +325,11 @@ impl Kctx {
     /// throughput differs.
     pub fn set_exec_mode(&self, mode: ExecMode) {
         self.exec_mode.store(mode as u8, Ordering::Relaxed);
+    }
+
+    /// The memory model this machine's engine emulates (fixed at boot).
+    pub fn memory_model(&self) -> MemoryModel {
+        self.engine.memory_model()
     }
 
     /// Enables raw mode: accesses bypass gates, oracles, and the emulation

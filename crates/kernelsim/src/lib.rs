@@ -44,5 +44,6 @@ pub use kctx::{
     CrashSignal, FnFrame, Globals, Kctx, MachineSnapshot, EAGAIN, EBADF, EBUSY, ECRASH, EINVAL,
     MAX_CPUS,
 };
+pub use oemu::MemoryModel;
 pub use pool::{CpuWorkers, MachinePool, PooledMachine};
 pub use syscalls::{dispatch, Syscall};

@@ -32,7 +32,7 @@ use crate::exec::{
 };
 use crate::kctx::Kctx;
 use crate::syscalls::Syscall;
-use oemu::ScheduleTrace;
+use oemu::{MemoryModel, ScheduleTrace};
 
 /// A unit of work shipped to a parked CPU worker.
 pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -88,8 +88,9 @@ impl CpuWorkers {
             .as_ref()
             .expect("worker running")
             .send(job)
-            .ok()
-            .expect("cpu worker hung up");
+            .unwrap_or_else(|_| {
+                panic!("cpu worker lane {lane} hung up before its job (SendError)")
+            });
     }
 }
 
@@ -121,11 +122,16 @@ pub struct PooledMachine {
 }
 
 impl PooledMachine {
-    /// Boots a fresh machine. Worker lanes are spawned on first threaded
-    /// use, so a stepped-mode campaign pays no thread cost at all.
+    /// Boots a fresh TSO machine. Worker lanes are spawned on first
+    /// threaded use, so a stepped-mode campaign pays no thread cost at all.
     pub fn boot(bugs: BugSwitches) -> Self {
+        Self::boot_with_model(bugs, MemoryModel::Tso)
+    }
+
+    /// Boots a fresh machine emulating the given memory model.
+    pub fn boot_with_model(bugs: BugSwitches, model: MemoryModel) -> Self {
         PooledMachine {
-            k: Kctx::new(bugs),
+            k: Kctx::new_with_model(bugs, model),
             workers: OnceLock::new(),
         }
     }
@@ -177,14 +183,15 @@ impl PooledMachine {
     }
 }
 
-/// A shelf of reset machines keyed by their bug-switch set.
+/// A shelf of reset machines keyed by their machine identity: the
+/// bug-switch set plus the memory model the engine emulates.
 ///
 /// `checkout` pops a previously reset machine (or boots one on a miss);
 /// `checkin` resets the machine back to boot state and shelves it. One
 /// pool per fuzzer keeps shards contention-free in parallel campaigns.
 #[derive(Default)]
 pub struct MachinePool {
-    shelves: Mutex<HashMap<BugSwitches, Vec<PooledMachine>>>,
+    shelves: Mutex<HashMap<(BugSwitches, MemoryModel), Vec<PooledMachine>>>,
     boots: Mutex<u64>,
 }
 
@@ -194,19 +201,26 @@ impl MachinePool {
         Self::default()
     }
 
-    /// Checks out a machine booted with `bugs`, reusing a shelved one when
-    /// available. The returned machine is always in exact boot state.
+    /// Checks out a TSO machine booted with `bugs`, reusing a shelved one
+    /// when available. The returned machine is always in exact boot state.
     pub fn checkout(&self, bugs: &BugSwitches) -> PooledMachine {
+        self.checkout_with_model(bugs, MemoryModel::Tso)
+    }
+
+    /// Checks out a machine booted with `bugs` under `model`. A machine's
+    /// model is part of its identity, so a PSO checkout never returns a
+    /// shelved TSO machine (and vice versa).
+    pub fn checkout_with_model(&self, bugs: &BugSwitches, model: MemoryModel) -> PooledMachine {
         if let Some(m) = self
             .shelves
             .lock()
-            .get_mut(bugs)
+            .get_mut(&(bugs.clone(), model))
             .and_then(|shelf| shelf.pop())
         {
             return m;
         }
         *self.boots.lock() += 1;
-        PooledMachine::boot(bugs.clone())
+        PooledMachine::boot_with_model(bugs.clone(), model)
     }
 
     /// Resets `machine` to boot state and shelves it for the next checkout.
@@ -214,7 +228,7 @@ impl MachinePool {
         machine.k.reset();
         self.shelves
             .lock()
-            .entry(machine.k.switches().clone())
+            .entry((machine.k.switches().clone(), machine.k.memory_model()))
             .or_default()
             .push(machine);
     }
@@ -254,6 +268,28 @@ mod tests {
         let other = pool.checkout(&BugSwitches::none());
         assert_ne!(Arc::as_ptr(other.kctx()), first);
         assert_eq!(pool.boots(), 2);
+    }
+
+    #[test]
+    fn shelves_are_keyed_by_memory_model_too() {
+        let pool = MachinePool::new();
+        let bugs = BugSwitches::all();
+        let tso = pool.checkout(&bugs);
+        let tso_ptr = Arc::as_ptr(tso.kctx());
+        pool.checkin(tso);
+        // Same switches, different model: the shelved TSO machine must not
+        // be handed out.
+        let pso = pool.checkout_with_model(&bugs, MemoryModel::Pso);
+        assert_ne!(Arc::as_ptr(pso.kctx()), tso_ptr);
+        assert_eq!(pso.kctx().memory_model(), MemoryModel::Pso);
+        assert_eq!(pool.boots(), 2);
+        pool.checkin(pso);
+        assert_eq!(pool.idle(), 2);
+        // Each checkout finds its own shelf again.
+        let tso = pool.checkout(&bugs);
+        assert_eq!(Arc::as_ptr(tso.kctx()), tso_ptr);
+        assert_eq!(tso.kctx().memory_model(), MemoryModel::Tso);
+        assert_eq!(pool.boots(), 2, "both shelves were reused");
     }
 
     #[test]

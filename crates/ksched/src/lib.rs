@@ -64,7 +64,58 @@
 #![deny(missing_docs)]
 
 use kutil::sync::{Condvar, Mutex};
-use oemu::{Iid, SwitchPoint, Tid};
+use oemu::{BarrierKind, Iid, MemoryModel, SwitchPoint, Tid};
+
+/// The scheduler-facing capability view of a memory model.
+///
+/// Planning layers above the scheduler — hint generation, exhaustive
+/// schedule enumeration — must know which barriers bound a reorder group
+/// and whether a release store can itself be overtaken. Those are
+/// properties of the emulated memory model, not of the scheduler, but the
+/// planners consume them in scheduling vocabulary ("does this barrier
+/// close the group my breakpoint targets?"), so `ModelCaps` packages
+/// OEMU's model predicates under that vocabulary and keeps the planners
+/// free of hard-coded TSO assumptions.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ModelCaps {
+    model: MemoryModel,
+}
+
+impl ModelCaps {
+    /// The capability view of `model`.
+    pub fn of(model: MemoryModel) -> Self {
+        ModelCaps { model }
+    }
+
+    /// The wrapped model.
+    pub fn model(self) -> MemoryModel {
+        self.model
+    }
+
+    /// Whether barrier `b` closes a **store** reorder group: a delayed
+    /// store may not be held across it, so store-test hints must draw
+    /// their reorder sets from within one such group (Algorithm 1's
+    /// grouping rule).
+    pub fn bounds_store_group(self, b: BarrierKind) -> bool {
+        self.model.barrier_orders_stores(b)
+    }
+
+    /// Whether barrier `b` closes a **load** reorder group: a versioned
+    /// load may not read past it. On the Arm-like model `READ_ONCE` no
+    /// longer qualifies, so load groups — and with them the admissible
+    /// version sets — grow.
+    pub fn bounds_load_group(self, b: BarrierKind) -> bool {
+        self.model.barrier_orders_loads(b)
+    }
+
+    /// Whether a release store can itself sit in the store buffer while a
+    /// later plain store commits (PSO and Arm-like). Under TSO a release
+    /// store is never delayable, so a store-test hint that delays one is a
+    /// no-op the planner may skip.
+    pub fn release_store_is_delayable(self) -> bool {
+        self.model.release_store_is_delayable()
+    }
+}
 
 /// Whether the context switch fires before or after the matched access.
 ///
@@ -611,6 +662,48 @@ impl StepScheduler {
         (1..=self.nthreads)
             .map(|off| Tid((current.0 + off) % self.nthreads))
             .find(|t| !st.finished[t.0])
+    }
+}
+
+#[cfg(test)]
+mod caps_tests {
+    use super::*;
+
+    #[test]
+    fn caps_mirror_the_model_predicates() {
+        for model in MemoryModel::ALL {
+            let caps = ModelCaps::of(model);
+            assert_eq!(caps.model(), model);
+            for b in [
+                BarrierKind::Full,
+                BarrierKind::Rmb,
+                BarrierKind::Wmb,
+                BarrierKind::Acquire,
+                BarrierKind::Release,
+                BarrierKind::ReadOnce,
+            ] {
+                assert_eq!(caps.bounds_store_group(b), model.barrier_orders_stores(b));
+                assert_eq!(caps.bounds_load_group(b), model.barrier_orders_loads(b));
+            }
+            assert_eq!(
+                caps.release_store_is_delayable(),
+                model.release_store_is_delayable()
+            );
+        }
+    }
+
+    #[test]
+    fn arm_alone_lets_loads_cross_read_once() {
+        assert!(ModelCaps::of(MemoryModel::Tso).bounds_load_group(BarrierKind::ReadOnce));
+        assert!(ModelCaps::of(MemoryModel::Pso).bounds_load_group(BarrierKind::ReadOnce));
+        assert!(!ModelCaps::of(MemoryModel::Arm).bounds_load_group(BarrierKind::ReadOnce));
+    }
+
+    #[test]
+    fn only_tso_pins_release_stores() {
+        assert!(!ModelCaps::of(MemoryModel::Tso).release_store_is_delayable());
+        assert!(ModelCaps::of(MemoryModel::Pso).release_store_is_delayable());
+        assert!(ModelCaps::of(MemoryModel::Arm).release_store_is_delayable());
     }
 }
 

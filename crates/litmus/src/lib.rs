@@ -33,7 +33,7 @@
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU32, Ordering};
 
-use oemu::{Engine, Iid, LoadAnn, StoreAnn, Tid};
+use oemu::{Engine, Iid, LoadAnn, MemoryModel, RmwOrder, StoreAnn, Tid};
 
 pub mod tests;
 
@@ -64,6 +64,13 @@ pub enum Op {
     Rmb,
     /// `smp_mb()`.
     Mb,
+    /// Relaxed atomic increment of `var` (`atomic_inc`). Never delayed or
+    /// versioned; its store-buffer conflict handling is where the TSO and
+    /// PSO/Arm drain policies become litmus-visible.
+    Rmw {
+        /// Variable index.
+        var: usize,
+    },
 }
 
 /// A litmus test: named thread programs over zero-initialised variables.
@@ -92,7 +99,18 @@ impl Litmus {
     /// stores to delay, and all subsets of loads to version (OEMU's Table 2
     /// freedom). Store buffers are flushed at thread exit, as at syscall
     /// exit in the kernel.
+    ///
+    /// Runs under the default TSO model — identical to
+    /// [`explore_under`](Litmus::explore_under) with [`MemoryModel::Tso`].
     pub fn explore(&self) -> BTreeSet<Vec<u64>> {
+        self.explore_under(MemoryModel::Tso)
+    }
+
+    /// [`explore`](Litmus::explore) against an engine emulating `model`.
+    /// The controllable dimensions are the same; what differs is how the
+    /// engine resolves them (RMW drain policy, which barriers gate the
+    /// versioning window), so the reachable outcome sets differ per model.
+    pub fn explore_under(&self, model: MemoryModel) -> BTreeSet<Vec<u64>> {
         // Assign each op a unique iid (stable within this exploration).
         let total_ops: u32 = self.threads.iter().map(|t| t.len() as u32).sum();
         let base = NEXT_LINE.fetch_add(total_ops, Ordering::Relaxed);
@@ -112,7 +130,11 @@ impl Litmus {
         for (t, prog) in self.threads.iter().enumerate() {
             for (o, op) in prog.iter().enumerate() {
                 match op {
-                    Op::Store { ann, .. } if *ann != StoreAnn::Release => stores.push((t, o)),
+                    Op::Store { ann, .. }
+                        if *ann != StoreAnn::Release || model.release_store_is_delayable() =>
+                    {
+                        stores.push((t, o))
+                    }
                     Op::Load { .. } => loads.push((t, o)),
                     _ => {}
                 }
@@ -130,7 +152,7 @@ impl Litmus {
         self.interleavings(&counts, &mut pcs, &mut schedule, &mut |sched| {
             for dmask in 0..(1u32 << stores.len()) {
                 for vmask in 0..(1u32 << loads.len()) {
-                    let regs = self.run_once(sched, &iids, &stores, dmask, &loads, vmask);
+                    let regs = self.run_once(model, sched, &iids, &stores, dmask, &loads, vmask);
                     outcomes.insert(regs);
                 }
             }
@@ -138,15 +160,22 @@ impl Litmus {
         outcomes
     }
 
-    /// Whether the register outcome `regs` is observable.
+    /// Whether the register outcome `regs` is observable under TSO.
     pub fn reachable(&self, regs: &[u64]) -> bool {
         self.explore().contains(&regs.to_vec())
     }
 
+    /// Whether the register outcome `regs` is observable under `model`.
+    pub fn reachable_under(&self, model: MemoryModel, regs: &[u64]) -> bool {
+        self.explore_under(model).contains(&regs.to_vec())
+    }
+
     /// Runs one concrete execution: a fixed interleaving (`sched` is a
     /// sequence of thread ids) with fixed delay/version subsets.
+    #[allow(clippy::too_many_arguments)]
     fn run_once(
         &self,
+        model: MemoryModel,
         sched: &[usize],
         iids: &[Vec<Iid>],
         stores: &[(usize, usize)],
@@ -154,7 +183,7 @@ impl Litmus {
         loads: &[(usize, usize)],
         vmask: u32,
     ) -> Vec<u64> {
-        let engine = Engine::new(self.threads.len());
+        let engine = Engine::new_with_model(self.threads.len(), model);
         for (bit, &(t, o)) in stores.iter().enumerate() {
             if dmask & (1 << bit) != 0 {
                 engine.delay_store_at(Tid(t), iids[t][o]);
@@ -187,6 +216,9 @@ impl Litmus {
                 Op::Wmb => engine.smp_wmb(tid, iid),
                 Op::Rmb => engine.smp_rmb(tid, iid),
                 Op::Mb => engine.smp_mb(tid, iid),
+                Op::Rmw { var } => {
+                    engine.rmw(tid, iid, var_addr(var), |v| v + 1, RmwOrder::Relaxed);
+                }
             }
         }
         regs

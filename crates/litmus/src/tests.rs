@@ -142,6 +142,65 @@ pub fn mp_read_once_flag() -> Litmus {
     }
 }
 
+/// **REL+st** (one-way release): the writer publishes with a release
+/// store, then performs a later plain store; the reader checks the later
+/// store first (`READ_ONCE`, so its own loads stay in order on TSO/PSO)
+/// and then the released variable. A release fence only orders what came
+/// *before* it: on PSO/Arm the release store may linger in its store
+/// queue while the later plain store commits, so `r0 == 1 && r1 == 0` is
+/// observable. TSO's total store order forbids it.
+pub fn release_then_store() -> Litmus {
+    Litmus {
+        name: "REL+st",
+        threads: vec![
+            vec![
+                Op::Store {
+                    var: 0,
+                    val: 1,
+                    ann: StoreAnn::Release,
+                },
+                st(1, 1),
+            ],
+            vec![
+                Op::Load {
+                    reg: 0,
+                    var: 1,
+                    ann: LoadAnn::ReadOnce,
+                },
+                ld(1, 0),
+            ],
+        ],
+        nvars: 2,
+        nregs: 2,
+    }
+}
+
+/// **RMW publication**: the writer delays two plain stores and then does a
+/// relaxed `atomic_inc` on the first variable; the reader observes the
+/// atomic's result and the unrelated store. The conflicting RMW drains the
+/// whole buffer on TSO but only the conflicting address's queue on
+/// PSO/Arm. The outcome *sets* still agree — the explorer may simply not
+/// delay the unrelated store — which pins the drain policy as a
+/// trace-level (not outcome-level) distinction.
+pub fn rmw_publication() -> Litmus {
+    Litmus {
+        name: "RMW+pub",
+        threads: vec![
+            vec![st(0, 1), st(1, 1), Op::Rmw { var: 0 }],
+            vec![
+                Op::Load {
+                    reg: 0,
+                    var: 0,
+                    ann: LoadAnn::ReadOnce,
+                },
+                ld(1, 1),
+            ],
+        ],
+        nvars: 2,
+        nregs: 2,
+    }
+}
+
 /// **2+2W** (coherence of writes): both threads write both variables in
 /// opposite orders; the final memory state must be explainable by a
 /// per-location total order. Exercised through post-hoc loads.
@@ -260,5 +319,78 @@ mod litmus_tests {
         let a = store_buffering(false).explore();
         let b = store_buffering(false).explore();
         assert_eq!(a, b);
+    }
+
+    /// The per-model expectation table: every corpus case, its
+    /// characteristic weak outcome, and whether that outcome is reachable
+    /// under each model, in [`MemoryModel::ALL`] order (TSO, PSO, Arm).
+    /// The rows where the columns differ are the models' observable
+    /// signatures: PSO adds the one-way-release reordering (REL+st), and
+    /// Arm additionally drops the `READ_ONCE` load barrier (MP+ronce).
+    #[test]
+    fn per_model_expectation_table() {
+        use oemu::MemoryModel;
+        let table: [(Litmus, Vec<u64>, [bool; 3]); 12] = [
+            (store_buffering(false), vec![0, 0], [true, true, true]),
+            (store_buffering(true), vec![0, 0], [false, false, false]),
+            (
+                message_passing(Barriers::None),
+                vec![1, 0],
+                [true, true, true],
+            ),
+            (
+                message_passing(Barriers::WriterOnly),
+                vec![1, 0],
+                [true, true, true],
+            ),
+            (
+                message_passing(Barriers::ReaderOnly),
+                vec![1, 0],
+                [true, true, true],
+            ),
+            (
+                message_passing(Barriers::Both),
+                vec![1, 0],
+                [false, false, false],
+            ),
+            (
+                message_passing(Barriers::ReleaseAcquire),
+                vec![1, 0],
+                [false, false, false],
+            ),
+            (load_buffering(), vec![1, 1], [false, false, false]),
+            (corr(), vec![1, 0], [false, false, false]),
+            (mp_read_once_flag(), vec![1, 0], [false, false, true]),
+            (release_then_store(), vec![1, 0], [false, true, true]),
+            (rmw_publication(), vec![2, 0], [true, true, true]),
+        ];
+        for (t, regs, expected) in &table {
+            for (model, &want) in MemoryModel::ALL.iter().zip(expected) {
+                assert_eq!(
+                    t.reachable_under(*model, regs),
+                    want,
+                    "{} outcome {:?} under {}",
+                    t.name,
+                    regs,
+                    model.name()
+                );
+            }
+        }
+    }
+
+    /// Each weaker model's distinguishing outcome, stated directly: the
+    /// acceptance criterion that PSO and Arm each expose at least one
+    /// litmus outcome TSO forbids.
+    #[test]
+    fn weaker_models_are_strictly_weaker_than_tso() {
+        use oemu::MemoryModel;
+        let rel = release_then_store();
+        assert!(!rel.reachable(&[1, 0]), "TSO orders all stores");
+        assert!(rel.reachable_under(MemoryModel::Pso, &[1, 0]));
+        assert!(rel.reachable_under(MemoryModel::Arm, &[1, 0]));
+        let ronce = mp_read_once_flag();
+        assert!(!ronce.reachable(&[1, 0]));
+        assert!(!ronce.reachable_under(MemoryModel::Pso, &[1, 0]));
+        assert!(ronce.reachable_under(MemoryModel::Arm, &[1, 0]));
     }
 }

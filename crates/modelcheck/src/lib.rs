@@ -30,9 +30,9 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use kernelsim::{run_one, BugId, BugSwitches, ExecMode, MachinePool};
+use kernelsim::{run_one, BugId, BugSwitches, ExecMode, MachinePool, MemoryModel};
 use oemu::{AccessKind, AccessRecord, BarrierKind, Iid, ScheduleTrace, Tid, TraceEvent};
-use ozz::hints::{calc_hints, filter_out, HintKind, PairSide, SchedHint};
+use ozz::hints::{calc_hints_for, filter_out, HintKind, PairSide, SchedHint};
 use ozz::mti::Mti;
 use ozz::profile_sti_on;
 use ozz::repro::replay_trace;
@@ -108,7 +108,9 @@ impl Exploration {
 /// record mode on a pooled machine with per-pair setup snapshot reuse —
 /// exactly the fuzzer's execution discipline. Uses the process-default
 /// executor ([`ExecMode::from_env`], stepped unless overridden — the cheap
-/// one for enumeration); [`explore_pair_with_mode`] pins it explicitly.
+/// one for enumeration) and memory model ([`MemoryModel::from_env`], TSO
+/// unless overridden); [`explore_pair_with_mode`] pins the executor and
+/// [`explore_pair_under`] pins both.
 pub fn explore_pair(
     bugs: &BugSwitches,
     sti: &Sti,
@@ -120,7 +122,8 @@ pub fn explore_pair(
 }
 
 /// [`explore_pair`] with the executor pinned, so an exploration can be
-/// compared across executors in one process regardless of `OZZ_EXEC`.
+/// compared across executors in one process regardless of `OZZ_EXEC`. The
+/// memory model still follows `OZZ_MEMMODEL` (TSO when unset).
 pub fn explore_pair_with_mode(
     bugs: &BugSwitches,
     sti: &Sti,
@@ -129,11 +132,28 @@ pub fn explore_pair_with_mode(
     bound: &Bound,
     mode: ExecMode,
 ) -> Exploration {
+    explore_pair_under(bugs, sti, i, j, bound, mode, MemoryModel::from_env())
+}
+
+/// [`explore_pair`] with both the executor and the memory model pinned.
+/// The machine boots under `model`, admissibility (which barriers bound the
+/// delay and version groups) is judged by `model`'s predicates, and every
+/// recorded trace carries the model tag, so replays stay on-model.
+pub fn explore_pair_under(
+    bugs: &BugSwitches,
+    sti: &Sti,
+    i: usize,
+    j: usize,
+    bound: &Bound,
+    mode: ExecMode,
+    model: MemoryModel,
+) -> Exploration {
     let pool = MachinePool::new();
-    let m = pool.checkout(bugs);
+    let m = pool.checkout_with_model(bugs, model);
     m.kctx().set_exec_mode(mode);
     let traces = profile_sti_on(m.kctx(), sti);
-    let (hints, truncated) = enumerate_schedules(&traces[i].events, &traces[j].events, bound);
+    let (hints, truncated) =
+        enumerate_schedules(&traces[i].events, &traces[j].events, bound, model);
 
     let shared = Arc::new(sti.clone());
     let k = m.kctx();
@@ -175,18 +195,21 @@ pub fn explore_pair_with_mode(
 
 /// Enumerates the admissible schedules of a pair from its profiled traces,
 /// as synthetic [`SchedHint`]s. Deterministic: group order, then scheduling
-/// point, then subset in combination order.
+/// point, then subset in combination order. `model` decides which barriers
+/// bound a group — on Arm a `READ_ONCE` no longer closes a load group, so
+/// the admissible space is strictly larger.
 fn enumerate_schedules(
     si: &[TraceEvent],
     sj: &[TraceEvent],
     bound: &Bound,
+    model: MemoryModel,
 ) -> (Vec<SchedHint>, bool) {
     let (fi, fj) = filter_out(si, sj);
     let mut out = Vec::new();
     let mut truncated = false;
     for (side, events, full) in [(PairSide::First, &fi, si), (PairSide::Second, &fj, sj)] {
         for kind in [HintKind::StoreBarrier, HintKind::LoadBarrier] {
-            for group in barrier_groups(events, kind) {
+            for group in barrier_groups(events, kind, model) {
                 enumerate_group(&group, kind, side, full, bound, &mut out, &mut truncated);
             }
         }
@@ -196,11 +219,16 @@ fn enumerate_schedules(
 
 /// Splits filtered events into groups bounded by barriers of the tested
 /// type — the same grouping Algorithm 1 uses: reordering across a real
-/// barrier is inadmissible.
-fn barrier_groups(events: &[TraceEvent], kind: HintKind) -> Vec<Vec<AccessRecord>> {
+/// barrier is inadmissible. Which barriers count is a property of `model`
+/// (the same predicates the engine itself consults).
+fn barrier_groups(
+    events: &[TraceEvent],
+    kind: HintKind,
+    model: MemoryModel,
+) -> Vec<Vec<AccessRecord>> {
     let bounds = |b: BarrierKind| match kind {
-        HintKind::StoreBarrier => b.orders_stores(),
-        HintKind::LoadBarrier => b.orders_loads(),
+        HintKind::StoreBarrier => model.barrier_orders_stores(b),
+        HintKind::LoadBarrier => model.barrier_orders_loads(b),
     };
     let mut groups = Vec::new();
     let mut g: Vec<AccessRecord> = Vec::new();
@@ -355,7 +383,8 @@ impl Differential {
 
 /// Runs the differential on one pair: explore exhaustively, replay-confirm
 /// every crashing schedule, run the hint pipeline on the same pair, and
-/// compare crash surfaces.
+/// compare crash surfaces. Runs under the process-default memory model
+/// ([`MemoryModel::from_env`]); [`differential_pair_under`] pins it.
 pub fn differential_pair(
     bugs: &BugSwitches,
     sti: &Sti,
@@ -363,7 +392,21 @@ pub fn differential_pair(
     j: usize,
     bound: &Bound,
 ) -> Differential {
-    let exploration = explore_pair(bugs, sti, i, j, bound);
+    differential_pair_under(bugs, sti, i, j, bound, MemoryModel::from_env())
+}
+
+/// [`differential_pair`] with the memory model pinned: explorer, replay,
+/// and hint pipeline all run against `model`-booted machines, so the check
+/// validates the hint generator's model-aware grouping per model.
+pub fn differential_pair_under(
+    bugs: &BugSwitches,
+    sti: &Sti,
+    i: usize,
+    j: usize,
+    bound: &Bound,
+    model: MemoryModel,
+) -> Differential {
+    let exploration = explore_pair_under(bugs, sti, i, j, bound, ExecMode::from_env(), model);
 
     let mut replay_failures = 0;
     for s in exploration.crashing() {
@@ -382,9 +425,9 @@ pub fn differential_pair(
     // The hint pipeline on the same pair, every hint (no budget cap): the
     // reproduction-style choreography of `ozz::repro`.
     let pool = MachinePool::new();
-    let m = pool.checkout(bugs);
+    let m = pool.checkout_with_model(bugs, model);
     let traces = profile_sti_on(m.kctx(), sti);
-    let hints = calc_hints(&traces[i].events, &traces[j].events);
+    let hints = calc_hints_for(&traces[i].events, &traces[j].events, model);
     let shared = Arc::new(sti.clone());
     let mut hint_titles: BTreeSet<String> = BTreeSet::new();
     for hint in hints {
@@ -546,6 +589,51 @@ mod tests {
         );
         assert!(d.explorer_titles.contains(case.expected_title));
         assert!(d.hint_titles.contains(case.expected_title));
+    }
+
+    #[test]
+    fn differential_passes_under_every_memory_model() {
+        // Satellite check: the model-aware hint generator must cover the
+        // model-aware exhaustive explorer on every model, and every
+        // crashing trace (tagged with its model) must replay on-model.
+        let case = litmus_case("watch_queue").unwrap();
+        for model in MemoryModel::ALL {
+            let d = differential_pair_under(
+                &case.bugs,
+                &case.sti,
+                case.pair.0,
+                case.pair.1,
+                &Bound::default(),
+                model,
+            );
+            assert!(
+                d.ok(),
+                "{model:?}: explorer_only={:?} replay_failures={}",
+                d.explorer_only,
+                d.replay_failures
+            );
+            assert!(
+                d.explorer_titles.contains(case.expected_title),
+                "{model:?} must still reach the crash"
+            );
+        }
+    }
+
+    #[test]
+    fn arm_enumerates_at_least_the_tso_load_space() {
+        // The Arm model stops treating READ_ONCE as a load barrier, so its
+        // admissible schedule space is a superset of TSO's for any pair.
+        let case = litmus_case("fget").unwrap();
+        let b = Bound::default();
+        let mode = ExecMode::Stepped;
+        let tso = explore_pair_under(&case.bugs, &case.sti, 0, 1, &b, mode, MemoryModel::Tso);
+        let arm = explore_pair_under(&case.bugs, &case.sti, 0, 1, &b, mode, MemoryModel::Arm);
+        assert!(
+            arm.schedules.len() >= tso.schedules.len(),
+            "arm admits {} schedules, tso {}",
+            arm.schedules.len(),
+            tso.schedules.len()
+        );
     }
 
     #[test]

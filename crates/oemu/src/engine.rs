@@ -37,9 +37,9 @@ use crate::history::{StoreHistory, StoreRecord};
 use crate::iid::Iid;
 use crate::memory::Memory;
 use crate::profile::{AccessRecord, BarrierRecord, Profile, TraceEvent};
-use crate::store_buffer::{BufferedStore, StoreBuffer};
+use crate::store_buffer::{BufferedStore, Forward, StoreBuffer};
 use crate::trace::{LoadSrc, ReplayStatus, TraceStep};
-use crate::types::{AccessKind, BarrierKind, LoadAnn, RmwOrder, StoreAnn, Tid};
+use crate::types::{AccessKind, BarrierKind, LoadAnn, MemoryModel, RmwOrder, StoreAnn, Tid};
 
 /// Counters exposed for diagnostics and the ablation benchmarks.
 #[derive(Default, Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +119,11 @@ struct Inner {
     spare_events: Vec<Vec<TraceEvent>>,
     /// Schedule-trace record/replay state (see [`TraceState`]).
     trace: TraceState,
+    /// The memory model this engine emulates. Machine identity, not
+    /// mutable state: fixed at construction, deliberately excluded from
+    /// [`EngineSnapshot`] and its digest (machines of different models are
+    /// never digest-compared; the pool keys shelves on the model instead).
+    model: MemoryModel,
 }
 
 /// A full copy of one engine's semantic state — memory words, store
@@ -194,9 +199,15 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Creates an engine for `nthreads` simulated CPUs, all with empty
+    /// Creates a TSO engine for `nthreads` simulated CPUs, all with empty
     /// control sets (i.e. in-order execution by default, per §3.1).
     pub fn new(nthreads: usize) -> Self {
+        Self::new_with_model(nthreads, MemoryModel::Tso)
+    }
+
+    /// [`new`](Engine::new) under an explicit [`MemoryModel`]. The model is
+    /// fixed for the engine's lifetime.
+    pub fn new_with_model(nthreads: usize, model: MemoryModel) -> Self {
         let threads = (0..nthreads)
             .map(|i| ThreadState {
                 profile: Profile::new(Tid(i)),
@@ -214,8 +225,14 @@ impl Engine {
                 stats: EngineStats::default(),
                 spare_events: Vec::new(),
                 trace: TraceState::default(),
+                model,
             }),
         }
+    }
+
+    /// The memory model this engine was constructed with.
+    pub fn memory_model(&self) -> MemoryModel {
+        self.inner.lock().model
     }
 
     // ------------------------------------------------------------------
@@ -362,6 +379,21 @@ impl Engine {
         let mut inner = self.inner.lock();
         inner.record_access(tid, iid, addr, size, AccessKind::Load);
 
+        // Width-aware forwarding probe. A partial overlap — a buffered
+        // store that intersects the load's bytes but cannot satisfy it
+        // whole — resolves conservatively: drain the buffer, read memory.
+        // This happens *before* the replay step is consumed, so the flush
+        // lands at the same script position in record and replay (both
+        // make the identical decision from the identical buffer state).
+        let (fwd, conflicted) = match inner.threads[tid.0].buffer.forward(addr, size) {
+            Forward::Hit(v) => (Some(v), false),
+            Forward::Miss => (None, false),
+            Forward::Partial => {
+                inner.flush_buffer(tid);
+                (None, true)
+            }
+        };
+
         // In replay mode the recorded source decides whether to attempt a
         // versioned read; store-to-load forwarding stays mandatory (it is
         // per-location coherence, not a choice).
@@ -382,10 +414,7 @@ impl Engine {
             None
         };
 
-        let (fwd, wants_old) = {
-            let t = &inner.threads[tid.0];
-            (t.buffer.forward(addr), t.read_old_set.contains(&iid))
-        };
+        let wants_old = inner.threads[tid.0].read_old_set.contains(&iid);
         enum Source {
             Forwarded(u64),
             Versioned(u64, u64),
@@ -394,11 +423,15 @@ impl Engine {
         let source = if let Some(v) = fwd {
             Source::Forwarded(v)
         } else {
-            let try_versioned = if replaying {
-                replay_src == Some(LoadSrc::Versioned)
-            } else {
-                wants_old
-            };
+            // After a partial-overlap drain the thread's own store just
+            // committed; a versioned read could resurrect its pre-image
+            // and break own-program-order coherence, so memory it is.
+            let try_versioned = !conflicted
+                && if replaying {
+                    replay_src == Some(LoadSrc::Versioned)
+                } else {
+                    wants_old
+                };
             if try_versioned {
                 // Read coherence: the effective window start is also bounded
                 // by this thread's last observation of the location, so two
@@ -473,7 +506,9 @@ impl Engine {
     /// Commits immediately (the in-order default) unless `iid` was marked by
     /// [`delay_store_at`](Engine::delay_store_at), in which case the value is
     /// held in the virtual store buffer. Release stores flush the buffer
-    /// first and are never delayed (LKMM Case 5).
+    /// first (LKMM Case 5); whether the release store itself may then be
+    /// delayed is a model capability
+    /// ([`MemoryModel::release_store_is_delayable`]) — never on TSO.
     pub fn store(&self, tid: Tid, iid: Iid, addr: u64, value: u64, ann: StoreAnn) {
         self.store_sized(tid, iid, addr, value, 8, ann);
     }
@@ -488,11 +523,17 @@ impl Engine {
         inner.record_access(tid, iid, addr, size, AccessKind::Store);
         // Coherence: two stores by one thread to the same location are never
         // reordered (the LKMM's per-location ordering), so a store whose
-        // address already has an in-flight buffered entry must join the
-        // buffer behind it even when not explicitly delayed.
-        let must_join = inner.threads[tid.0].buffer.forward(addr).is_some();
-        let live = ann != StoreAnn::Release
-            && (inner.threads[tid.0].delay_set.contains(&iid) || must_join);
+        // byte range intersects an in-flight buffered entry must join the
+        // buffer behind it even when not explicitly delayed. Overlap — not
+        // exact address — is the test: committing a narrow store ahead of a
+        // buffered wider one to the same bytes reorders them just the same.
+        let must_join = inner.threads[tid.0].buffer.overlaps(addr, size);
+        // A release store already flushed everything before it; whether the
+        // release store *itself* may now be buffered (one-way barrier) is a
+        // model capability — never on TSO, where stores form one total
+        // order.
+        let delayable = ann != StoreAnn::Release || inner.model.release_store_is_delayable();
+        let live = delayable && (inner.threads[tid.0].delay_set.contains(&iid) || must_join);
         // In replay mode the recorded decision replaces the live one; the
         // release rule and coherence join stay mandatory either way.
         let delayed = match inner.trace.mode {
@@ -510,7 +551,7 @@ impl Engine {
                     tid: t,
                     iid: i,
                     delayed,
-                }) if t == tid && i == iid => ann != StoreAnn::Release && (delayed || must_join),
+                }) if t == tid && i == iid => delayable && (delayed || must_join),
                 _ => {
                     inner.trace.diverged = true;
                     live
@@ -556,12 +597,21 @@ impl Engine {
                 inner.barrier_effect(tid, iid, kind);
             }
             RmwOrder::Relaxed | RmwOrder::Acquire => {
-                // A same-address buffered store would make the committed RMW
+                // An overlapping buffered store would make the committed RMW
                 // incoherent with the thread's own program order; drain it.
                 // (Real hardware resolves the same-line conflict the same
-                // way: the store buffer entry is forced out first.)
-                if inner.threads[tid.0].buffer.forward(addr).is_some() {
-                    inner.flush_buffer(tid);
+                // way: the store buffer entry is forced out first.) How much
+                // drains is the store-side model distinction: TSO's single
+                // FIFO buffer can only retire from the front, so forcing one
+                // entry out forces everything before it out too; PSO/Arm
+                // per-address queues drain just the conflicting address and
+                // leave unrelated delayed stores in flight.
+                if inner.threads[tid.0].buffer.overlaps(addr, 8) {
+                    if inner.model.rmw_drains_whole_buffer() {
+                        inner.flush_buffer(tid);
+                    } else {
+                        inner.flush_overlapping(tid, addr, 8);
+                    }
                 }
             }
         }
@@ -744,10 +794,13 @@ impl Inner {
                 _ => self.trace.diverged = true,
             },
         }
-        if kind.orders_stores() {
+        // The model decides which barriers actually bound reordering: under
+        // Arm a READ_ONCE is not a load barrier, so it leaves the
+        // versioning window open (loads reorder unless smp_rmb/acquire).
+        if self.model.barrier_orders_stores(kind) {
             self.flush_buffer(tid);
         }
-        if kind.orders_loads() {
+        if self.model.barrier_orders_loads(kind) {
             self.window_reset(tid);
         }
     }
@@ -785,6 +838,18 @@ impl Inner {
 
     fn flush_buffer(&mut self, tid: Tid) {
         let drained = self.threads[tid.0].buffer.drain();
+        self.commit_drained(tid, drained);
+    }
+
+    /// The PSO/Arm per-address-queue drain: commits only the buffered
+    /// stores overlapping `[addr, addr + size)`, leaving the rest in
+    /// flight.
+    fn flush_overlapping(&mut self, tid: Tid, addr: u64, size: u8) {
+        let drained = self.threads[tid.0].buffer.drain_overlapping(addr, size);
+        self.commit_drained(tid, drained);
+    }
+
+    fn commit_drained(&mut self, tid: Tid, drained: Vec<BufferedStore>) {
         let committed = drained.len() as u32;
         for e in drained {
             self.commit(tid, e.iid, e.addr, e.value);

@@ -66,6 +66,6 @@ pub use history::{StoreHistory, StoreRecord};
 pub use iid::{Iid, Location};
 pub use memory::Memory;
 pub use profile::{AccessRecord, BarrierRecord, Profile, TraceEvent};
-pub use store_buffer::{BufferedStore, StoreBuffer};
+pub use store_buffer::{BufferedStore, Forward, StoreBuffer};
 pub use trace::{LoadSrc, ReplayStatus, ScheduleTrace, SwitchPoint, TraceStep};
-pub use types::{AccessKind, BarrierKind, LoadAnn, RmwOrder, StoreAnn, Tid};
+pub use types::{AccessKind, BarrierKind, LoadAnn, MemoryModel, RmwOrder, StoreAnn, Tid};

@@ -18,10 +18,36 @@ pub struct BufferedStore {
     pub addr: u64,
     /// Value waiting to be committed.
     pub value: u64,
-    /// Access size in bytes (profiling metadata).
+    /// Access size in bytes. Semantic, not just profiling metadata: the
+    /// forwarding decision compares byte ranges, so a narrow buffered
+    /// store must not satisfy a wider load at the same address.
     pub size: u8,
     /// Instruction that issued the store.
     pub iid: Iid,
+}
+
+impl BufferedStore {
+    /// Whether this entry's byte range intersects `[addr, addr + size)`.
+    fn overlaps(&self, addr: u64, size: u8) -> bool {
+        let (a0, a1) = (self.addr, self.addr + u64::from(self.size.max(1)));
+        let (b0, b1) = (addr, addr + u64::from(size.max(1)));
+        a0 < b1 && b0 < a1
+    }
+}
+
+/// Outcome of a store-to-load forwarding probe ([`StoreBuffer::forward`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Forward {
+    /// A buffered entry fully satisfies the load; forward this value.
+    Hit(u64),
+    /// A buffered entry overlaps the load's byte range but cannot satisfy
+    /// it whole (narrower entry, or a wider entry at a different base).
+    /// The caller must resolve conservatively — drain the buffer and read
+    /// memory — because forwarding either the entry's value or the stale
+    /// memory word would be wrong.
+    Partial,
+    /// No buffered entry touches the load's byte range.
+    Miss,
 }
 
 /// Per-thread FIFO buffer of delayed stores.
@@ -53,20 +79,52 @@ impl StoreBuffer {
         self.entries.push(entry);
     }
 
-    /// Store-to-load forwarding: the youngest buffered value for `addr`, if
-    /// any. The owning thread must always observe its own program order, so
-    /// the *latest* matching entry wins.
-    pub fn forward(&self, addr: u64) -> Option<u64> {
-        self.entries
-            .iter()
-            .rev()
-            .find(|e| e.addr == addr)
-            .map(|e| e.value)
+    /// Store-to-load forwarding probe for a load of `size` bytes at `addr`.
+    ///
+    /// The owning thread must always observe its own program order, so the
+    /// *youngest* overlapping entry decides. It forwards only when it can
+    /// satisfy the load whole — same base address and at least the load's
+    /// width (the engine's memory is word-slot granular, so an entry at a
+    /// different base writes a different slot and its bytes cannot be
+    /// spliced). Any other overlap is reported as [`Forward::Partial`] for
+    /// the caller to resolve conservatively. The old exact-`addr` match
+    /// both forwarded narrow entries to wider loads (stale high bytes) and
+    /// missed wider entries based below `addr` entirely.
+    pub fn forward(&self, addr: u64, size: u8) -> Forward {
+        match self.entries.iter().rev().find(|e| e.overlaps(addr, size)) {
+            Some(e) if e.addr == addr && e.size >= size => Forward::Hit(e.value),
+            Some(_) => Forward::Partial,
+            None => Forward::Miss,
+        }
+    }
+
+    /// Whether any buffered entry's byte range intersects
+    /// `[addr, addr + size)` — the coherence test for store joining and
+    /// RMW conflicts.
+    pub fn overlaps(&self, addr: u64, size: u8) -> bool {
+        self.entries.iter().any(|e| e.overlaps(addr, size))
     }
 
     /// Drains all entries in issue (FIFO) order for committing.
     pub fn drain(&mut self) -> Vec<BufferedStore> {
         std::mem::take(&mut self.entries)
+    }
+
+    /// Drains only the entries overlapping `[addr, addr + size)`, in issue
+    /// order, leaving the rest buffered — the per-address-queue drain of
+    /// the PSO/Arm models (the single `Vec` *is* the set of per-address
+    /// queues; selecting by address projects one queue out of it).
+    pub fn drain_overlapping(&mut self, addr: u64, size: u8) -> Vec<BufferedStore> {
+        let mut drained = Vec::new();
+        self.entries.retain(|e| {
+            if e.overlaps(addr, size) {
+                drained.push(*e);
+                false
+            } else {
+                true
+            }
+        });
+        drained
     }
 
     /// Whether any store is currently delayed.
@@ -98,15 +156,97 @@ mod tests {
         }
     }
 
+    fn sized(addr: u64, value: u64, size: u8) -> BufferedStore {
+        BufferedStore {
+            addr,
+            value,
+            size,
+            iid: Iid::SYNTHETIC,
+        }
+    }
+
     #[test]
     fn forwarding_returns_latest_value() {
         let mut buf = StoreBuffer::new();
         buf.push(entry(0x10, 1));
         buf.push(entry(0x10, 2));
         buf.push(entry(0x20, 9));
-        assert_eq!(buf.forward(0x10), Some(2));
-        assert_eq!(buf.forward(0x20), Some(9));
-        assert_eq!(buf.forward(0x30), None);
+        assert_eq!(buf.forward(0x10, 8), Forward::Hit(2));
+        assert_eq!(buf.forward(0x20, 8), Forward::Hit(9));
+        assert_eq!(buf.forward(0x30, 8), Forward::Miss);
+    }
+
+    /// Narrow-over-wide: a 4-byte buffered store must not satisfy an
+    /// 8-byte load at the same address — the load's high bytes would be
+    /// stale. The old exact-`addr` match forwarded the narrow value whole.
+    #[test]
+    fn narrow_buffered_store_does_not_satisfy_a_wider_load() {
+        let mut buf = StoreBuffer::new();
+        buf.push(sized(0x10, 0xabcd, 4));
+        assert_eq!(buf.forward(0x10, 8), Forward::Partial);
+        assert_eq!(
+            buf.forward(0x10, 4),
+            Forward::Hit(0xabcd),
+            "equal width forwards"
+        );
+        assert_eq!(
+            buf.forward(0x10, 2),
+            Forward::Hit(0xabcd),
+            "contained width forwards"
+        );
+    }
+
+    /// Wide-over-narrow at a different base: an 8-byte buffered store at
+    /// `0x10` covers a 4-byte load at `0x14` byte-wise; the old code
+    /// missed it entirely (exact-`addr` match) and let the load read the
+    /// stale memory word. It must now surface as a conflict.
+    #[test]
+    fn wide_buffered_store_conflicts_with_an_inner_load() {
+        let mut buf = StoreBuffer::new();
+        buf.push(sized(0x10, 7, 8));
+        assert_eq!(buf.forward(0x14, 4), Forward::Partial);
+        assert!(buf.overlaps(0x14, 4));
+    }
+
+    /// Misaligned overlap: ranges that intersect without containment in
+    /// either direction are conflicts; byte-disjoint ranges are misses.
+    #[test]
+    fn misaligned_overlap_is_partial_and_disjoint_is_miss() {
+        let mut buf = StoreBuffer::new();
+        buf.push(sized(0x12, 3, 4)); // covers 0x12..0x16
+        assert_eq!(buf.forward(0x14, 4), Forward::Partial); // 0x14..0x18
+        assert_eq!(buf.forward(0x10, 4), Forward::Partial); // 0x10..0x14
+        assert_eq!(buf.forward(0x16, 2), Forward::Miss); // 0x16..0x18
+        assert_eq!(buf.forward(0x10, 2), Forward::Miss); // 0x10..0x12
+        assert!(!buf.overlaps(0x16, 2));
+    }
+
+    /// The youngest overlapping entry decides: a later narrow store to the
+    /// same address shadows an older full-width one, so the probe must
+    /// report a conflict rather than forward the older wide value.
+    #[test]
+    fn youngest_overlapping_entry_wins_the_probe() {
+        let mut buf = StoreBuffer::new();
+        buf.push(sized(0x10, 1, 8));
+        buf.push(sized(0x10, 2, 4));
+        assert_eq!(buf.forward(0x10, 8), Forward::Partial);
+        assert_eq!(buf.forward(0x10, 4), Forward::Hit(2));
+    }
+
+    #[test]
+    fn drain_overlapping_projects_one_address_queue() {
+        let mut buf = StoreBuffer::new();
+        buf.push(entry(0x10, 1));
+        buf.push(entry(0x20, 2));
+        buf.push(entry(0x10, 3));
+        let drained = buf.drain_overlapping(0x10, 8);
+        assert_eq!(
+            drained.iter().map(|e| e.value).collect::<Vec<_>>(),
+            vec![1, 3],
+            "same-address entries drain in issue order"
+        );
+        assert_eq!(buf.len(), 1, "the unrelated store stays buffered");
+        assert_eq!(buf.forward(0x20, 8), Forward::Hit(2));
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! repository and survive `Iid` hash changes.
 
 use crate::iid::Iid;
-use crate::types::{BarrierKind, Tid};
+use crate::types::{BarrierKind, MemoryModel, Tid};
 
 /// Where a load's value came from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -88,6 +88,11 @@ pub struct SwitchPoint {
 /// Everything needed to replay one concurrent pair execution.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ScheduleTrace {
+    /// Memory model of the machine that recorded the trace. Replay must
+    /// run under the same model or the recorded decision stream is
+    /// meaningless (a TSO trace's whole-buffer flushes never happen on a
+    /// PSO machine, and vice versa).
+    pub model: MemoryModel,
     /// The thread that ran first.
     pub first: Tid,
     /// Deliberate token handoffs, in occurrence order.
@@ -164,9 +169,18 @@ fn parse_barrier(s: &str) -> Result<BarrierKind, String> {
 
 impl ScheduleTrace {
     /// Serializes the trace to the line-oriented text format.
+    ///
+    /// TSO traces keep the original `ozz-trace v1` header byte-for-byte
+    /// (golden traces stay pinned); non-TSO traces use `ozz-trace v2`,
+    /// which adds a mandatory `model <name>` line after the header.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
-        out.push_str("ozz-trace v1\n");
+        if self.model == MemoryModel::Tso {
+            out.push_str("ozz-trace v1\n");
+        } else {
+            out.push_str("ozz-trace v2\n");
+            out.push_str(&format!("model {}\n", self.model.name()));
+        }
         out.push_str(&format!("first {}\n", self.first.0));
         for sp in &self.switches {
             out.push_str(&format!(
@@ -209,12 +223,17 @@ impl ScheduleTrace {
     }
 
     /// Parses the text format produced by [`ScheduleTrace::to_text`].
+    ///
+    /// Accepts both versions: `v1` implies TSO (the format predates
+    /// pluggable models); `v2` requires an explicit `model` line.
     pub fn parse(text: &str) -> Result<ScheduleTrace, String> {
         let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
-        match lines.next() {
-            Some("ozz-trace v1") => {}
+        let v2 = match lines.next() {
+            Some("ozz-trace v1") => false,
+            Some("ozz-trace v2") => true,
             other => return Err(format!("bad trace header: {other:?}")),
-        }
+        };
+        let mut model = None;
         let mut first = None;
         let mut switches = Vec::new();
         let mut steps = Vec::new();
@@ -241,6 +260,13 @@ impl ScheduleTrace {
             let str_at =
                 |i: usize| -> Result<&str, String> { fields.get(i).copied().ok_or_else(ctx) };
             match fields[0] {
+                "model" if v2 => {
+                    let name = str_at(1)?;
+                    model = Some(
+                        MemoryModel::parse(name)
+                            .ok_or_else(|| format!("unknown memory model {name:?}"))?,
+                    );
+                }
                 "first" => first = Some(tid_at(1)?),
                 "switch" => switches.push(SwitchPoint {
                     tid: tid_at(1)?,
@@ -286,7 +312,13 @@ impl ScheduleTrace {
         if !ended {
             return Err("trace missing end marker".into());
         }
+        let model = match (v2, model) {
+            (false, _) => MemoryModel::Tso,
+            (true, Some(m)) => m,
+            (true, None) => return Err("v2 trace missing model line".into()),
+        };
         Ok(ScheduleTrace {
+            model,
             first: first.ok_or("trace missing first line")?,
             switches,
             steps,
@@ -303,6 +335,7 @@ mod tests {
         let a = iid!();
         let b = iid!();
         ScheduleTrace {
+            model: MemoryModel::Tso,
             first: Tid(1),
             switches: vec![SwitchPoint {
                 tid: Tid(1),
@@ -347,6 +380,7 @@ mod tests {
     #[test]
     fn synthetic_and_raw_iids_roundtrip() {
         let t = ScheduleTrace {
+            model: MemoryModel::Tso,
             first: Tid(0),
             switches: vec![],
             steps: vec![
@@ -364,11 +398,37 @@ mod tests {
         assert_eq!(t, parsed);
     }
 
+    /// TSO traces keep the exact v1 header (golden traces stay pinned);
+    /// non-TSO traces carry an explicit model tag and round-trip through
+    /// the v2 format.
+    #[test]
+    fn model_tag_selects_format_version_and_roundtrips() {
+        let mut t = sample();
+        assert!(t.to_text().starts_with("ozz-trace v1\nfirst 1\n"));
+        for model in [MemoryModel::Pso, MemoryModel::Arm] {
+            t.model = model;
+            let text = t.to_text();
+            assert!(text.starts_with(&format!("ozz-trace v2\nmodel {}\n", model.name())));
+            assert_eq!(ScheduleTrace::parse(&text).expect("parse"), t);
+        }
+    }
+
     #[test]
     fn malformed_traces_are_rejected() {
         assert!(ScheduleTrace::parse("").is_err());
         assert!(ScheduleTrace::parse("ozz-trace v1\nfirst 0\n").is_err());
         assert!(ScheduleTrace::parse("ozz-trace v1\nfirst 0\nbogus 1 2\nend\n").is_err());
-        assert!(ScheduleTrace::parse("ozz-trace v2\nfirst 0\nend\n").is_err());
+        assert!(
+            ScheduleTrace::parse("ozz-trace v2\nfirst 0\nend\n").is_err(),
+            "a v2 trace without a model line is rejected"
+        );
+        assert!(
+            ScheduleTrace::parse("ozz-trace v2\nmodel sc\nfirst 0\nend\n").is_err(),
+            "an unknown model name is rejected"
+        );
+        assert!(
+            ScheduleTrace::parse("ozz-trace v1\nmodel pso\nfirst 0\nend\n").is_err(),
+            "v1 traces predate the model line"
+        );
     }
 }

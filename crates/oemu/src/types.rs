@@ -144,6 +144,120 @@ impl BarrierKind {
     }
 }
 
+/// The memory model an [`crate::Engine`] emulates.
+///
+/// The engine's *mechanisms* — the virtual store buffer (§3.1) and
+/// versioned loads over the store history (§3.2) — are shared by every
+/// model; the model decides which orderings the mechanisms must preserve:
+///
+/// - [`Tso`](MemoryModel::Tso) (the default): the paper's x86-TSO-shaped
+///   point. One FIFO store buffer per thread; any flush drains it whole,
+///   and `READ_ONCE` acts as an implied load barrier (the engine's LKMM
+///   Case 6 choice). This is bit-for-bit the engine's historical behavior
+///   and the one all golden traces are recorded under.
+/// - [`Pso`](MemoryModel::Pso): per-address store queues — buffered
+///   stores to *different* addresses drain independently, so a relaxed or
+///   acquire RMW forces out only the conflicting address's queue and
+///   leaves unrelated delayed stores in flight (under TSO the FIFO forces
+///   the whole buffer out). Same-address order and every explicit barrier
+///   are unchanged.
+/// - [`Arm`](MemoryModel::Arm): PSO plus reordered loads gated only by
+///   *real* load barriers — `smp_rmb`, `smp_mb`, and acquire reset the
+///   versioning window, but `READ_ONCE` no longer does (on Arm a
+///   `READ_ONCE` suppresses compiler games and carries the address
+///   dependency, it is not a DMB).
+///
+/// This is deliberately a fieldless `Copy` enum rather than a trait
+/// object: the model is part of a machine's identity (it keys the machine
+/// pool next to `BugSwitches`, so it needs `Eq + Hash + Ord`), and the
+/// per-access hot path stays a branch on a register-sized value instead
+/// of a dynamic dispatch.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub enum MemoryModel {
+    /// x86-TSO-shaped (the engine's historical behavior; the default).
+    #[default]
+    Tso,
+    /// Partial store order: per-address store queues.
+    Pso,
+    /// ARM-like: PSO plus load reordering gated by `smp_rmb`/acquire only.
+    Arm,
+}
+
+impl MemoryModel {
+    /// Every model, in strength order (strongest first). Handy for
+    /// per-model test sweeps.
+    pub const ALL: [MemoryModel; 3] = [MemoryModel::Tso, MemoryModel::Pso, MemoryModel::Arm];
+
+    /// Lower-case name, as accepted by `OZZ_MEMMODEL` and written into
+    /// `ozz-trace v2` headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemoryModel::Tso => "tso",
+            MemoryModel::Pso => "pso",
+            MemoryModel::Arm => "arm",
+        }
+    }
+
+    /// Parses a model name (the inverse of [`name`](MemoryModel::name)).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "tso" => Some(MemoryModel::Tso),
+            "pso" => Some(MemoryModel::Pso),
+            "arm" => Some(MemoryModel::Arm),
+            _ => None,
+        }
+    }
+
+    /// Reads the `OZZ_MEMMODEL` environment variable: unset means TSO, a
+    /// recognized name selects that model, and anything else panics — a
+    /// typo must not silently test the wrong memory model.
+    pub fn from_env() -> Self {
+        match std::env::var("OZZ_MEMMODEL") {
+            Err(_) => MemoryModel::Tso,
+            Ok(v) => MemoryModel::parse(&v).unwrap_or_else(|| {
+                panic!("unrecognized OZZ_MEMMODEL value {v:?}: valid values are \"tso\", \"pso\", \"arm\" (unset defaults to tso)")
+            }),
+        }
+    }
+
+    /// Whether `kind` bounds **load** reordering under this model, i.e.
+    /// resets the versioning window. Equals [`BarrierKind::orders_loads`]
+    /// everywhere except Arm, where `READ_ONCE` is not a load barrier.
+    pub fn barrier_orders_loads(self, kind: BarrierKind) -> bool {
+        match self {
+            MemoryModel::Tso | MemoryModel::Pso => kind.orders_loads(),
+            MemoryModel::Arm => kind.orders_loads() && kind != BarrierKind::ReadOnce,
+        }
+    }
+
+    /// Whether `kind` bounds **store** reordering under this model, i.e.
+    /// flushes the store buffer. Identical across models today (every
+    /// model honors `smp_wmb`/`smp_mb`/release); kept symmetric with
+    /// [`barrier_orders_loads`](MemoryModel::barrier_orders_loads) so
+    /// planners query capabilities, not model names.
+    pub fn barrier_orders_stores(self, kind: BarrierKind) -> bool {
+        kind.orders_stores()
+    }
+
+    /// Whether a relaxed/acquire RMW that conflicts with a buffered store
+    /// forces the **whole** buffer out (TSO's FIFO drain) or only the
+    /// conflicting address's queue (PSO/Arm per-address queues).
+    pub fn rmw_drains_whole_buffer(self) -> bool {
+        matches!(self, MemoryModel::Tso)
+    }
+
+    /// Whether a release store may itself sit in the store buffer after
+    /// flushing the accesses *before* it. A release fence is one-way:
+    /// everything prior must be visible before the release store, but a
+    /// *later* plain store overtaking the release store is legal on
+    /// PSO/Arm-class machines — while TSO's single ordered store queue
+    /// (x86's total store order) forbids it. This is the store-side
+    /// relaxation that gives PSO an outcome set strictly wider than TSO's.
+    pub fn release_store_is_delayable(self) -> bool {
+        !matches!(self, MemoryModel::Tso)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,5 +312,55 @@ mod tests {
     #[test]
     fn tid_display() {
         assert_eq!(Tid(1).to_string(), "cpu1");
+    }
+
+    #[test]
+    fn memory_model_names_round_trip() {
+        for m in MemoryModel::ALL {
+            assert_eq!(MemoryModel::parse(m.name()), Some(m));
+        }
+        assert_eq!(MemoryModel::parse("sc"), None);
+        assert_eq!(MemoryModel::default(), MemoryModel::Tso);
+    }
+
+    #[test]
+    fn tso_and_pso_barrier_predicates_match_the_barrier_kind() {
+        for kind in [
+            BarrierKind::Full,
+            BarrierKind::Rmb,
+            BarrierKind::Wmb,
+            BarrierKind::Acquire,
+            BarrierKind::Release,
+            BarrierKind::ReadOnce,
+        ] {
+            for m in [MemoryModel::Tso, MemoryModel::Pso] {
+                assert_eq!(m.barrier_orders_loads(kind), kind.orders_loads());
+            }
+            for m in MemoryModel::ALL {
+                assert_eq!(m.barrier_orders_stores(kind), kind.orders_stores());
+            }
+        }
+    }
+
+    #[test]
+    fn arm_read_once_is_not_a_load_barrier() {
+        assert!(!MemoryModel::Arm.barrier_orders_loads(BarrierKind::ReadOnce));
+        for kind in [BarrierKind::Full, BarrierKind::Rmb, BarrierKind::Acquire] {
+            assert!(MemoryModel::Arm.barrier_orders_loads(kind));
+        }
+    }
+
+    #[test]
+    fn only_tso_drains_the_whole_buffer_on_rmw() {
+        assert!(MemoryModel::Tso.rmw_drains_whole_buffer());
+        assert!(!MemoryModel::Pso.rmw_drains_whole_buffer());
+        assert!(!MemoryModel::Arm.rmw_drains_whole_buffer());
+    }
+
+    #[test]
+    fn release_stores_are_delayable_only_off_tso() {
+        assert!(!MemoryModel::Tso.release_store_is_delayable());
+        assert!(MemoryModel::Pso.release_store_is_delayable());
+        assert!(MemoryModel::Arm.release_store_is_delayable());
     }
 }

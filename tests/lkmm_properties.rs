@@ -6,12 +6,22 @@
 //! (every single-op thread-pair over the op alphabet) plus a seeded
 //! [`DetRng`] sweep. On failure the reproducing seed is printed before the
 //! panic propagates.
+//!
+//! The whole suite runs under the process-default memory model
+//! (`OZZ_MEMMODEL`, TSO when unset): these are invariants every emulated
+//! model must satisfy, so CI runs the file once per model.
 
 use std::panic::AssertUnwindSafe;
 
 use kutil::DetRng;
 use litmus::{Litmus, Op};
-use oemu::{LoadAnn, StoreAnn};
+use oemu::{LoadAnn, MemoryModel, StoreAnn};
+
+/// The memory model under test: whatever `OZZ_MEMMODEL` selects (TSO when
+/// unset), so one binary covers all three models across CI runs.
+fn model() -> MemoryModel {
+    MemoryModel::from_env()
+}
 
 /// One random operation for a litmus thread program over `nvars`
 /// variables, with registers drawn from `reg_base..reg_base + 2`.
@@ -134,7 +144,7 @@ fn stored_values(t: &Litmus) -> Vec<u64> {
 fn no_out_of_thin_air() {
     check_property(1, |t| {
         let legal = stored_values(t);
-        for outcome in t.explore() {
+        for outcome in t.explore_under(model()) {
             for v in outcome {
                 assert!(legal.contains(&v), "thin-air value {v}");
             }
@@ -164,8 +174,8 @@ fn full_barriers_only_restrict() {
             nvars: t.nvars,
             nregs: t.nregs,
         };
-        let weak = t.explore();
-        let strong = strengthened.explore();
+        let weak = t.explore_under(model());
+        let strong = strengthened.explore_under(model());
         assert!(
             strong.is_subset(&weak),
             "smp_mb added outcomes: {:?}",
@@ -199,8 +209,8 @@ fn sc_outcomes_are_preserved() {
             nvars: t.nvars,
             nregs: t.nregs,
         };
-        let weak = t.explore();
-        for outcome in sc.explore() {
+        let weak = t.explore_under(model());
+        for outcome in sc.explore_under(model()) {
             assert!(weak.contains(&outcome), "SC outcome {outcome:?} lost");
         }
     });
@@ -244,7 +254,7 @@ fn mp_shape_with_mixed_annotations() {
         nregs: 2,
     };
     assert!(
-        t.reachable(&[1, 0]),
+        t.reachable_under(model(), &[1, 0]),
         "release alone does not order the reader (the Alpha rule)"
     );
 }
