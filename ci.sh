@@ -37,11 +37,16 @@ done
 echo "== rustdoc (all crates, no warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace -q
 
-echo "== sharded-campaign determinism =="
+echo "== campaign determinism (work-stealing merge, worker invariance) =="
 cargo test -q --offline --test parallel_determinism
 
-echo "== scaling bench builds (release) =="
+echo "== checkpoint/resume equivalence (kill + fresh-process resume) =="
+cargo test -q --offline --test checkpoint_resume
+
+echo "== campaign scaling smoke (8-worker steal dispatch + makespan model) =="
 cargo build --release --offline -p bench --bin parallel_scaling
+./target/release/parallel_scaling
+cat BENCH_parallel_scaling.json
 
 echo "== mti throughput smoke (fresh vs pooled vs stepped) =="
 cargo build --release --offline -p bench --bin mti_throughput

@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use kernelsim::{run_concurrent, BugSwitches, Kctx};
+use kernelsim::{execute, BugSwitches, ExecRequest, Kctx};
 use ksched::{BreakWhen, Breakpoint, SchedulePlan};
 use oemu::Tid;
 use ozz::profile_sti;
@@ -78,7 +78,8 @@ impl InterleaveFuzzer {
                             hit: 1,
                         }),
                     };
-                    let out = run_concurrent(&k, plan, sti.calls[i], sti.calls[j]);
+                    let out =
+                        execute(&k, ExecRequest::live(plan, sti.calls[i], sti.calls[j])).outcome;
                     for crash in out.crashes {
                         if !self.found.contains_key(&crash.title) {
                             new += 1;

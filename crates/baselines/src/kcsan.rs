@@ -19,7 +19,7 @@
 //!    ordering — the Figure 7 mis-fix: after the annotation patch, KCSAN
 //!    reports nothing on the TLS path while the OOO bug remains.
 
-use kernelsim::{run_concurrent, BugId, BugSwitches, Kctx};
+use kernelsim::{execute, BugId, BugSwitches, ExecRequest, Kctx};
 use ksched::{BreakWhen, Breakpoint, SchedulePlan};
 use oemu::{AccessKind, AccessRecord, Tid, TraceEvent};
 use ozz::profile_sti_on;
@@ -87,7 +87,7 @@ pub fn scan_pair(bugs: BugSwitches, sti: &Sti, wi: usize, ri: usize) -> Vec<Race
                 hit: occurrence(writer_events, idx),
             }),
         };
-        run_concurrent(&k, plan, sti.calls[wi], sti.calls[ri]);
+        execute(&k, ExecRequest::live(plan, sti.calls[wi], sti.calls[ri]));
         let reader_profile = k.engine.take_profile(Tid(1));
         k.engine.set_profiling(false);
         for (ridx, re) in reader_profile.events.iter().enumerate() {

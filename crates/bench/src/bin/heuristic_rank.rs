@@ -11,7 +11,7 @@
 
 use bench::row;
 use kernelsim::BugId;
-use ozz::fuzzer::campaign;
+use ozz::campaign::CampaignBuilder;
 use ozz::repro::reproduce;
 
 fn main() {
@@ -25,9 +25,9 @@ fn main() {
 
     let mut rank_histogram = std::collections::BTreeMap::new();
     // Table 3 bugs via the campaign.
-    let fuzzer = campaign(2024, budget);
+    let report = CampaignBuilder::new(2024).budget(budget).run();
     for bug in BugId::NEW {
-        if let Some(info) = fuzzer.found().get(bug.expected_title()) {
+        if let Some(info) = report.found.get(bug.expected_title()) {
             *rank_histogram.entry(info.hint_rank).or_insert(0usize) += 1;
             println!(
                 "{}",

@@ -9,7 +9,7 @@
 
 use bench::row;
 use kernelsim::BugId;
-use ozz::fuzzer::campaign;
+use ozz::campaign::CampaignBuilder;
 
 fn main() {
     let budget: u64 = std::env::args()
@@ -17,7 +17,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(40_000);
     println!("Table 3 — newly discovered OOO bugs (campaign, budget {budget} tests)\n");
-    let fuzzer = campaign(2024, budget);
+    let report = CampaignBuilder::new(2024).budget(budget).run();
     let widths = [8, 11, 78, 5, 8, 5];
     println!(
         "{}",
@@ -29,7 +29,7 @@ fn main() {
     let mut found_count = 0;
     for bug in BugId::NEW {
         let title = bug.expected_title();
-        match fuzzer.found().get(title) {
+        match report.found.get(title) {
             Some(info) => {
                 found_count += 1;
                 println!(
@@ -58,13 +58,13 @@ fn main() {
             }
         }
     }
-    let stats = fuzzer.stats();
+    let stats = &report.stats;
     println!(
-        "\nfound {found_count}/11 seeded bugs | STIs: {} | MTIs (tests): {} | coverage: {} sites | corpus: {}",
+        "\nfound {found_count}/11 seeded bugs | STIs: {} | MTIs (tests): {} | coverage: {} sites | deduped crashes: {}",
         stats.stis_run,
         stats.mtis_run,
         stats.coverage,
-        fuzzer.corpus_len()
+        report.crashes.len()
     );
     println!(
         "(paper: 11 new OOO bugs over a 6-week, 32-VM campaign; this harness seeds the same\n bugs in the simulated kernel and measures tests-to-discovery under the same pipeline)"

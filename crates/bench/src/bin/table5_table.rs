@@ -137,7 +137,10 @@ fn main() {
                     hit: 1,
                 }),
             };
-            kernelsim::run_concurrent(&k, plan, Syscall::WqPost, Syscall::PipeRead);
+            kernelsim::execute(
+                &k,
+                kernelsim::ExecRequest::live(plan, Syscall::WqPost, Syscall::PipeRead),
+            );
         })
     };
     let kseq = Kctx::new(BugSwitches::none());

@@ -1,0 +1,402 @@
+//! The campaign crash database.
+//!
+//! Syzkaller's dashboard deduplicates crash reports, counts sightings, and
+//! records when and under which kernel build each crash was seen; OZZ's
+//! evaluation (§6.1) leans on exactly that bookkeeping to report unique
+//! bugs and their discovery statistics. This module is the reproduction's
+//! analog: a [`CrashDb`] keyed on the crashing execution's state digest
+//! ([`FoundBug::digest_fnv`]) that accumulates per-crash triage data —
+//! sighting counts, first/last-seen epochs, the discovering shard, and
+//! per-[`kernelsim::MemoryModel`] / per-[`kernelsim::BugSwitches`]
+//! breakdowns — plus a query and report surface for triage tooling
+//! (`examples/crashdb_report.rs`).
+//!
+//! The database serializes through the [`kutil::codec`] text format, both
+//! standalone (`save`/`load`) and embedded inside a campaign checkpoint, so
+//! a resumed campaign continues its triage counts instead of restarting
+//! them.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use kernelsim::ReorderType;
+use kutil::codec::{ParseError, TextReader, TextWriter};
+
+use crate::fuzzer::FoundBug;
+
+const MAGIC: &str = "ozz-crashdb";
+const VERSION: u32 = 1;
+
+/// One deduplicated crash with its triage statistics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrashRecord {
+    /// Dedup key: FNV-1a of the crashing run's machine-state digest.
+    pub digest_fnv: u64,
+    /// Crash title (the dashboard's dedup key; here a secondary label).
+    pub title: String,
+    /// Where the missing barrier belongs ([`FoundBug::barrier_location`]).
+    pub barrier_location: String,
+    /// The reordering class that triggered the crash.
+    pub reorder_type: ReorderType,
+    /// Total sightings across the campaign (before dedup).
+    pub count: u64,
+    /// Campaign epoch of the first sighting.
+    pub first_seen_epoch: u64,
+    /// Campaign epoch of the most recent sighting.
+    pub last_seen_epoch: u64,
+    /// Shard that first reported the crash.
+    pub first_seen_shard: usize,
+    /// Sightings per memory-model name ([`kernelsim::MemoryModel::name`]).
+    pub per_model: BTreeMap<String, u64>,
+    /// Sightings per bug-switch set key ([`kernelsim::BugSwitches::key`]).
+    pub per_switches: BTreeMap<String, u64>,
+}
+
+/// Filter for [`CrashDb::query`]. Empty (`Default`) matches every record.
+#[derive(Clone, Debug, Default)]
+pub struct CrashQuery {
+    /// Only records whose title contains this substring.
+    pub title_contains: Option<String>,
+    /// Only records sighted under this memory model.
+    pub model: Option<String>,
+    /// Only records of this reordering class.
+    pub reorder: Option<ReorderType>,
+    /// Only records with at least this many sightings.
+    pub min_count: u64,
+    /// Only records last seen at or after this epoch.
+    pub seen_since_epoch: Option<u64>,
+}
+
+/// The deduplicated crash database of one campaign.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CrashDb {
+    records: BTreeMap<u64, CrashRecord>,
+}
+
+impl CrashDb {
+    /// An empty database.
+    pub fn new() -> CrashDb {
+        CrashDb::default()
+    }
+
+    /// Records `sightings` occurrences of `bug` observed by `shard` during
+    /// `epoch` on a machine running `model` with the `switches` build. The
+    /// first sighting creates the record; later ones accumulate counts and
+    /// advance `last_seen_epoch`.
+    pub fn record(
+        &mut self,
+        bug: &FoundBug,
+        shard: usize,
+        epoch: u64,
+        model: &str,
+        switches: &str,
+        sightings: u64,
+    ) {
+        let rec = self
+            .records
+            .entry(bug.digest_fnv)
+            .or_insert_with(|| CrashRecord {
+                digest_fnv: bug.digest_fnv,
+                title: bug.title.clone(),
+                barrier_location: bug.barrier_location.clone(),
+                reorder_type: bug.reorder_type,
+                count: 0,
+                first_seen_epoch: epoch,
+                last_seen_epoch: epoch,
+                first_seen_shard: shard,
+                per_model: BTreeMap::new(),
+                per_switches: BTreeMap::new(),
+            });
+        rec.count += sightings;
+        rec.last_seen_epoch = rec.last_seen_epoch.max(epoch);
+        *rec.per_model.entry(model.to_string()).or_default() += sightings;
+        *rec.per_switches.entry(switches.to_string()).or_default() += sightings;
+    }
+
+    /// Number of deduplicated crashes.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the database holds no crashes.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records, in digest order.
+    pub fn records(&self) -> impl Iterator<Item = &CrashRecord> {
+        self.records.values()
+    }
+
+    /// Looks up a record by its digest key.
+    pub fn get(&self, digest_fnv: u64) -> Option<&CrashRecord> {
+        self.records.get(&digest_fnv)
+    }
+
+    /// Records matching every set filter of `q`, sorted by sighting count
+    /// (descending) then digest — the triage ordering of [`CrashDb::report`].
+    pub fn query(&self, q: &CrashQuery) -> Vec<&CrashRecord> {
+        let mut hits: Vec<&CrashRecord> = self
+            .records
+            .values()
+            .filter(|r| {
+                q.title_contains
+                    .as_deref()
+                    .is_none_or(|t| r.title.contains(t))
+                    && q.model
+                        .as_deref()
+                        .is_none_or(|m| r.per_model.contains_key(m))
+                    && q.reorder.is_none_or(|t| r.reorder_type == t)
+                    && r.count >= q.min_count
+                    && q.seen_since_epoch.is_none_or(|e| r.last_seen_epoch >= e)
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.count
+                .cmp(&a.count)
+                .then_with(|| a.digest_fnv.cmp(&b.digest_fnv))
+        });
+        hits
+    }
+
+    /// Renders the triage table: one row per crash, sighting-count
+    /// descending, with the digest key, reorder class, epoch span and
+    /// per-model breakdown.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>7} {:>4} {:>11} {:<24} title",
+            "digest", "count", "type", "epochs", "models"
+        );
+        for r in self.query(&CrashQuery::default()) {
+            let models: Vec<String> = r
+                .per_model
+                .iter()
+                .map(|(m, n)| format!("{m}:{n}"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "{:016x} {:>7} {:>4} {:>5}..{:<4} {:<24} {}",
+                r.digest_fnv,
+                r.count,
+                r.reorder_type.to_string(),
+                r.first_seen_epoch,
+                r.last_seen_epoch,
+                models.join(","),
+                r.title
+            );
+        }
+        out
+    }
+
+    /// Serializes the database to the `ozz-crashdb` text form.
+    pub fn to_text(&self) -> String {
+        let mut w = TextWriter::new(MAGIC, VERSION);
+        w.field("records", self.records.len());
+        for r in self.records.values() {
+            w.begin("record");
+            w.hex_field("digest", r.digest_fnv);
+            w.str_field("title", &r.title);
+            w.str_field("barrier", &r.barrier_location);
+            w.field("reorder", r.reorder_type);
+            w.field("count", r.count);
+            w.field("first_epoch", r.first_seen_epoch);
+            w.field("last_epoch", r.last_seen_epoch);
+            w.field("first_shard", r.first_seen_shard);
+            write_count_map(&mut w, "models", &r.per_model);
+            write_count_map(&mut w, "switches", &r.per_switches);
+            w.end();
+        }
+        w.finish()
+    }
+
+    /// Parses the [`CrashDb::to_text`] form.
+    pub fn parse(text: &str) -> Result<CrashDb, ParseError> {
+        let (mut r, version) = TextReader::new(text, MAGIC)?;
+        if version != VERSION {
+            return Err(format!("unsupported {MAGIC} version {version}"));
+        }
+        let count: usize = r.parse_field("records")?;
+        let mut db = CrashDb::new();
+        for _ in 0..count {
+            r.begin("record")?;
+            let digest_fnv = r.hex_field("digest")?;
+            let title = r.str_field("title")?;
+            let barrier_location = r.str_field("barrier")?;
+            let reorder = r.field("reorder")?;
+            let reorder_type = ReorderType::parse(reorder)
+                .ok_or_else(|| format!("bad reorder type {reorder:?}"))?;
+            let rec = CrashRecord {
+                digest_fnv,
+                title,
+                barrier_location,
+                reorder_type,
+                count: r.parse_field("count")?,
+                first_seen_epoch: r.parse_field("first_epoch")?,
+                last_seen_epoch: r.parse_field("last_epoch")?,
+                first_seen_shard: r.parse_field("first_shard")?,
+                per_model: read_count_map(&mut r, "models")?,
+                per_switches: read_count_map(&mut r, "switches")?,
+            };
+            r.end()?;
+            db.records.insert(rec.digest_fnv, rec);
+        }
+        r.expect_eof()?;
+        Ok(db)
+    }
+
+    /// Writes the database to `path` ([`CrashDb::to_text`] + atomic rename).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        crate::checkpoint::write_atomic(path, &self.to_text())
+    }
+
+    /// Loads a database from `path`.
+    pub fn load(path: &Path) -> io::Result<CrashDb> {
+        let text = std::fs::read_to_string(path)?;
+        CrashDb::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+fn write_count_map(w: &mut TextWriter, key: &str, map: &BTreeMap<String, u64>) {
+    w.field(key, map.len());
+    for (name, n) in map {
+        w.field("tally", format_args!("{} {n}", escape_token(name)));
+    }
+}
+
+fn read_count_map(r: &mut TextReader<'_>, key: &str) -> Result<BTreeMap<String, u64>, ParseError> {
+    let count: usize = r.parse_field(key)?;
+    let mut map = BTreeMap::new();
+    for _ in 0..count {
+        let line = r.field("tally")?;
+        let (name, n) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("bad tally line {line:?}"))?;
+        let n: u64 = n.parse().map_err(|_| format!("bad tally count {line:?}"))?;
+        map.insert(
+            kutil::codec::unescape(name).ok_or_else(|| format!("bad tally name {line:?}"))?,
+            n,
+        );
+    }
+    Ok(map)
+}
+
+fn escape_token(s: &str) -> String {
+    kutil::codec::escape(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use kernelsim::Syscall;
+    use oemu::{MemoryModel, ScheduleTrace, Tid};
+
+    use crate::sti::Sti;
+
+    fn bug(title: &str, digest: u64) -> FoundBug {
+        FoundBug {
+            title: title.to_string(),
+            barrier_location: "smp_wmb() in post_one_notification".to_string(),
+            reorder_type: ReorderType::StoreStore,
+            tests_to_find: 10,
+            hint_rank: 0,
+            pair: (Syscall::WqPost, Syscall::PipeRead),
+            sti: Arc::new(Sti {
+                calls: vec![Syscall::WqPost, Syscall::PipeRead],
+            }),
+            pair_indices: (0, 1),
+            trace: ScheduleTrace {
+                model: MemoryModel::Tso,
+                first: Tid(0),
+                switches: vec![],
+                steps: vec![],
+            },
+            digest_fnv: digest,
+        }
+    }
+
+    #[test]
+    fn record_accumulates_and_dedupes() {
+        let mut db = CrashDb::new();
+        let b = bug("BUG: null deref in pipe_read", 0xabc);
+        db.record(&b, 2, 1, "tso", "all", 3);
+        db.record(&b, 0, 4, "pso", "all", 2);
+        assert_eq!(db.len(), 1);
+        let r = db.get(0xabc).unwrap();
+        assert_eq!(r.count, 5);
+        assert_eq!(r.first_seen_epoch, 1);
+        assert_eq!(r.last_seen_epoch, 4);
+        assert_eq!(r.first_seen_shard, 2);
+        assert_eq!(r.per_model["tso"], 3);
+        assert_eq!(r.per_model["pso"], 2);
+        assert_eq!(r.per_switches["all"], 5);
+    }
+
+    #[test]
+    fn query_filters_compose() {
+        let mut db = CrashDb::new();
+        db.record(&bug("null deref in pipe_read", 1), 0, 0, "tso", "all", 10);
+        db.record(&bug("uaf in tls_getsockopt", 2), 1, 5, "pso", "all", 2);
+        assert_eq!(db.query(&CrashQuery::default()).len(), 2);
+        let q = CrashQuery {
+            title_contains: Some("tls".into()),
+            ..CrashQuery::default()
+        };
+        assert_eq!(db.query(&q)[0].digest_fnv, 2);
+        let q = CrashQuery {
+            model: Some("tso".into()),
+            ..CrashQuery::default()
+        };
+        assert_eq!(db.query(&q)[0].digest_fnv, 1);
+        let q = CrashQuery {
+            min_count: 5,
+            ..CrashQuery::default()
+        };
+        assert_eq!(db.query(&q).len(), 1);
+        let q = CrashQuery {
+            seen_since_epoch: Some(3),
+            ..CrashQuery::default()
+        };
+        assert_eq!(db.query(&q)[0].digest_fnv, 2);
+    }
+
+    #[test]
+    fn report_sorts_by_count_descending() {
+        let mut db = CrashDb::new();
+        db.record(&bug("rare crash", 9), 0, 0, "tso", "all", 1);
+        db.record(&bug("common crash", 3), 0, 0, "tso", "all", 7);
+        let report = db.report();
+        let common = report.find("common crash").unwrap();
+        let rare = report.find("rare crash").unwrap();
+        assert!(common < rare, "higher count sorts first:\n{report}");
+    }
+
+    #[test]
+    fn text_roundtrip_is_lossless() {
+        let mut db = CrashDb::new();
+        db.record(
+            &bug("BUG: null deref\nwith a newline", 0xdead),
+            3,
+            2,
+            "arm",
+            "RdsClearBit+GsmDlci",
+            4,
+        );
+        db.record(&bug("plain crash", 0xbeef), 0, 0, "tso", "all", 1);
+        let text = db.to_text();
+        let back = CrashDb::parse(&text).expect("parse");
+        assert_eq!(back, db);
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn empty_db_roundtrips() {
+        let db = CrashDb::new();
+        assert_eq!(CrashDb::parse(&db.to_text()).unwrap(), db);
+    }
+}

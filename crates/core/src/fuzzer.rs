@@ -34,6 +34,27 @@ pub enum HintOrder {
     Shuffled,
 }
 
+impl HintOrder {
+    /// Stable text name, used by campaign checkpoints.
+    pub fn name(self) -> &'static str {
+        match self {
+            HintOrder::MaxReorderFirst => "max-reorder-first",
+            HintOrder::MinReorderFirst => "min-reorder-first",
+            HintOrder::Shuffled => "shuffled",
+        }
+    }
+
+    /// Parses a name produced by [`HintOrder::name`].
+    pub fn parse(s: &str) -> Result<HintOrder, String> {
+        match s {
+            "max-reorder-first" => Ok(HintOrder::MaxReorderFirst),
+            "min-reorder-first" => Ok(HintOrder::MinReorderFirst),
+            "shuffled" => Ok(HintOrder::Shuffled),
+            other => Err(format!("unknown hint order {other:?}")),
+        }
+    }
+}
+
 /// Fuzzer configuration.
 #[derive(Clone, Debug)]
 pub struct FuzzConfig {
@@ -115,7 +136,7 @@ pub struct FoundBug {
 }
 
 /// Campaign statistics.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FuzzStats {
     /// STIs generated and profiled.
     pub stis_run: u64,
@@ -150,6 +171,9 @@ pub struct Fuzzer {
     corpus_set: HashSet<Sti>,
     coverage: HashSet<Iid>,
     found: BTreeMap<String, FoundBug>,
+    /// Crash occurrences per title (before dedup) — the crash database's
+    /// per-shard sighting counts.
+    crash_counts: BTreeMap<String, u64>,
     stats: FuzzStats,
     rng_pick: u64,
     /// Reset machines with persistent workers, reused across steps when
@@ -200,6 +224,7 @@ impl Fuzzer {
             corpus_set: HashSet::new(),
             coverage: HashSet::new(),
             found: BTreeMap::new(),
+            crash_counts: BTreeMap::new(),
             stats: FuzzStats::default(),
             rng_pick,
             pool: MachinePool::new(),
@@ -309,6 +334,9 @@ impl Fuzzer {
             };
             if out.crashed() {
                 self.stats.crashes_total += out.crashes.len() as u64;
+                for crash in &out.crashes {
+                    *self.crash_counts.entry(crash.title.clone()).or_default() += 1;
+                }
                 // A first sighting gets its schedule recorded: the MTI is
                 // re-executed once in record mode (same controls, same
                 // plan — deterministic, so the same crash) and the trace
@@ -456,11 +484,89 @@ impl Fuzzer {
         v.sort_unstable();
         v
     }
+
+    /// Crash occurrences per title (before dedup), oldest-title first.
+    pub fn crash_counts(&self) -> &BTreeMap<String, u64> {
+        &self.crash_counts
+    }
+
+    /// Captures the fuzzer's complete resumable state.
+    pub fn checkpoint(&self) -> FuzzerCheckpoint {
+        FuzzerCheckpoint {
+            gen_state: self.gen.rng_state(),
+            rng_pick: self.rng_pick,
+            corpus: self.corpus.clone(),
+            coverage: self.coverage_iids(),
+            found: self.found.values().cloned().collect(),
+            crash_counts: self.crash_counts.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Rebuilds a fuzzer mid-campaign from a checkpoint. The resumed
+    /// fuzzer's future output is byte-identical to the snapshotted one's:
+    /// every deterministic input (RNG streams, corpus order, coverage set,
+    /// found map) is restored; the machine pool — reset to boot state
+    /// between steps by construction — is rebuilt lazily.
+    pub fn from_checkpoint(cfg: FuzzConfig, ck: FuzzerCheckpoint) -> Fuzzer {
+        let mut stats = ck.stats;
+        stats.coverage = ck.coverage.len();
+        Fuzzer {
+            cfg,
+            gen: StiGen::from_rng_state(ck.gen_state),
+            corpus_set: ck.corpus.iter().cloned().collect(),
+            corpus: ck.corpus,
+            coverage: ck.coverage.into_iter().collect(),
+            found: ck.found.into_iter().map(|b| (b.title.clone(), b)).collect(),
+            crash_counts: ck.crash_counts,
+            stats,
+            rng_pick: ck.rng_pick,
+            pool: MachinePool::new(),
+        }
+    }
+}
+
+/// Resumable snapshot of a [`Fuzzer`]'s complete deterministic state.
+///
+/// Everything that influences future campaign output is captured: the STI
+/// generator's RNG, the corpus-pick stream, the corpus itself (order
+/// matters — the pick stream indexes it), the coverage set, the found-bug
+/// map (schedule traces included) and the statistics. The machine pool is
+/// deliberately *not* captured: pooled machines are reset to boot state
+/// between steps, so a resumed fuzzer rebooting its pool lazily produces
+/// byte-identical output — only [`Fuzzer::machine_boots`], a throughput
+/// counter, differs. Likewise [`FuzzConfig::reuse_machines`] and
+/// [`FuzzConfig::exec_mode`] are perf knobs, not state: a checkpoint taken
+/// under one executor resumes correctly under the other.
+#[derive(Clone, Debug)]
+pub struct FuzzerCheckpoint {
+    /// [`crate::sti::StiGen`] RNG state.
+    pub gen_state: [u64; 4],
+    /// Corpus-pick scramble state.
+    pub rng_pick: u64,
+    /// Corpus entries, oldest first.
+    pub corpus: Vec<Sti>,
+    /// Covered instrumentation sites, sorted.
+    pub coverage: Vec<Iid>,
+    /// Unique crashes found, in title order.
+    pub found: Vec<FoundBug>,
+    /// Crash occurrences per title (before dedup).
+    pub crash_counts: BTreeMap<String, u64>,
+    /// Statistics snapshot.
+    pub stats: FuzzStats,
 }
 
 /// Runs a Table 3-style campaign: fuzz the all-bugs kernel until every
 /// expected crash title is found or the test budget runs out; returns the
 /// fuzzer for inspection.
+///
+/// Deprecated: build campaigns through
+/// [`CampaignBuilder`](crate::campaign::CampaignBuilder) instead — a
+/// one-shard campaign reproduces this loop byte-for-byte and adds the
+/// crash database, checkpoint/resume, and sharding behind the same
+/// surface. This shim remains only for callers that need the final
+/// [`Fuzzer`] value itself.
+#[deprecated(note = "use ozz::campaign::CampaignBuilder")]
 pub fn campaign(seed: u64, max_tests: u64) -> Fuzzer {
     let expected: Vec<&str> = kernelsim::BugId::NEW
         .iter()
@@ -665,6 +771,49 @@ mod tests {
         assert_eq!(f.import_corpus(std::slice::from_ref(&foreign)), 1);
         assert_eq!(f.corpus().last(), Some(&foreign));
         assert_eq!(f.import_corpus(std::slice::from_ref(&foreign)), 0);
+    }
+
+    /// A fuzzer resumed from a mid-campaign checkpoint must continue the
+    /// exact run the snapshot interrupted: identical stats, coverage,
+    /// corpus, crash counts and found set after the same further steps.
+    #[test]
+    fn checkpoint_resume_continues_byte_identically() {
+        let cfg = FuzzConfig {
+            seed: 11,
+            ..FuzzConfig::default()
+        };
+        let mut a = Fuzzer::new(cfg.clone());
+        for _ in 0..6 {
+            a.step();
+        }
+        let mut b = Fuzzer::from_checkpoint(cfg, a.checkpoint());
+        for _ in 0..6 {
+            a.step();
+            b.step();
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.coverage_iids(), b.coverage_iids());
+        assert_eq!(a.corpus(), b.corpus());
+        assert_eq!(a.crash_counts(), b.crash_counts());
+        let keys = |f: &Fuzzer| f.found().keys().cloned().collect::<Vec<_>>();
+        assert_eq!(keys(&a), keys(&b));
+        for (ka, kb) in a.found().values().zip(b.found().values()) {
+            assert_eq!(ka.digest_fnv, kb.digest_fnv);
+            assert_eq!(ka.tests_to_find, kb.tests_to_find);
+            assert_eq!(ka.trace.to_text(), kb.trace.to_text());
+        }
+    }
+
+    #[test]
+    fn hint_order_names_roundtrip() {
+        for order in [
+            HintOrder::MaxReorderFirst,
+            HintOrder::MinReorderFirst,
+            HintOrder::Shuffled,
+        ] {
+            assert_eq!(HintOrder::parse(order.name()), Ok(order));
+        }
+        assert!(HintOrder::parse("sideways").is_err());
     }
 
     #[test]

@@ -13,8 +13,12 @@
 //!   hypothetical-barrier-test choreography (§4.4);
 //! - [`fuzzer`]: the full fuzzing loop with KCov-style coverage, corpus
 //!   management, and crash dedup (Figure 6);
-//! - [`parallel`]: sharded campaigns — N worker threads with private
-//!   fuzzers, epoch-lockstep corpus exchange, and a deterministic merge;
+//! - [`campaign`]: the unified campaign service — one builder for
+//!   serial, sharded, and resumed campaigns;
+//! - [`parallel`]: the deterministic work-stealing engine underneath it;
+//! - [`checkpoint`]: full-state campaign checkpoints (kill/resume
+//!   byte-identically, even across processes);
+//! - [`crashdb`]: the digest-keyed crash database with triage queries;
 //! - [`repro`]: the directed Table 4 reproduction methodology (§6.2).
 //!
 //! # Examples
@@ -43,6 +47,9 @@
 //! );
 //! ```
 
+pub mod campaign;
+pub mod checkpoint;
+pub mod crashdb;
 pub mod fuzzer;
 pub mod hints;
 pub mod mti;

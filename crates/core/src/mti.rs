@@ -17,8 +17,8 @@
 use std::sync::Arc;
 
 use kernelsim::{
-    run_concurrent, run_concurrent_recorded, run_concurrent_replay, run_one, BugSwitches, Kctx,
-    PooledMachine, ReplayReport, RunOutcome, Syscall,
+    execute, run_one, BugSwitches, ExecRequest, Kctx, PooledMachine, ReplayReport, RunOutcome,
+    Syscall,
 };
 use ksched::{BreakWhen, Breakpoint, SchedulePlan};
 use oemu::{ScheduleTrace, Tid};
@@ -66,7 +66,7 @@ impl Mti {
         self.run_setup(k);
         self.install_controls(k);
         let (a, b) = self.pair();
-        run_concurrent(k, self.plan(), a, b)
+        execute(k, ExecRequest::live(self.plan(), a, b)).outcome
     }
 
     /// Runs the single-threaded setup prefix (every syscall before `j`
@@ -103,8 +103,8 @@ impl Mti {
 
     /// The schedule enforcing the hint: the reorderer always starts first;
     /// the breakpoint semantics depend on the test type (Figure 5a vs 5b).
-    /// Public so record-mode executors can hand the same plan to
-    /// [`kernelsim::run_concurrent_recorded`].
+    /// Public so record-mode executors can hand the same plan to a
+    /// [`kernelsim::ExecRequest::recorded`] request.
     pub fn plan(&self) -> SchedulePlan {
         SchedulePlan {
             first: self.reorder_tid(),
@@ -126,7 +126,7 @@ impl Mti {
     pub fn run_pair_pooled(&self, m: &PooledMachine) -> RunOutcome {
         self.install_controls(m.kctx());
         let (a, b) = self.pair();
-        m.run_pair(self.plan(), a, b)
+        m.execute(ExecRequest::live(self.plan(), a, b)).outcome
     }
 
     /// [`Mti::run`] in record mode: a freshly booted machine executes the
@@ -144,7 +144,7 @@ impl Mti {
         self.run_setup(k);
         self.install_controls(k);
         let (a, b) = self.pair();
-        let (outcome, trace) = run_concurrent_recorded(k, self.plan(), a, b);
+        let (outcome, trace) = execute(k, ExecRequest::recorded(self.plan(), a, b)).into_recorded();
         RecordedRun {
             digest: k.state_digest(),
             outcome,
@@ -157,7 +157,9 @@ impl Mti {
     pub fn run_pair_pooled_recorded(&self, m: &PooledMachine) -> RecordedRun {
         self.install_controls(m.kctx());
         let (a, b) = self.pair();
-        let (outcome, trace) = m.run_pair_recorded(self.plan(), a, b);
+        let (outcome, trace) = m
+            .execute(ExecRequest::recorded(self.plan(), a, b))
+            .into_recorded();
         RecordedRun {
             digest: m.kctx().state_digest(),
             outcome,
@@ -175,7 +177,7 @@ impl Mti {
         let k = Kctx::new_with_model(bugs, trace.model);
         self.run_setup(&k);
         let (a, b) = self.pair();
-        let (outcome, report) = run_concurrent_replay(&k, trace, a, b);
+        let (outcome, report) = execute(&k, ExecRequest::replay(trace, a, b)).into_replayed();
         ReplayedRun {
             digest: k.state_digest(),
             outcome,

@@ -1,290 +1,156 @@
-//! Sharded parallel campaigns with a deterministic merge.
+//! The deterministic work-stealing campaign engine.
 //!
-//! A [`ParallelCampaign`] splits one campaign budget across N OS-thread
-//! workers, each owning a private [`Fuzzer`] seeded from `(seed, shard)`.
-//! The coordinator merges every shard's crashes into one deduplicated map
-//! and periodically re-broadcasts new-coverage corpus entries so shards
-//! benefit from each other's discoveries — yet the merged result is a pure
-//! function of `(seed, shards, budget)`, independent of thread timing.
+//! A campaign splits its MTI budget across N logical *shard streams*, each
+//! owning a private [`Fuzzer`] seeded from `(seed, shard)`. Streams run in
+//! fixed-length *rounds* (epochs): every live stream executes one batch of
+//! up to `epoch_mtis` MTIs, the coordinator merges the round's results in
+//! shard order, and corpus discoveries are re-broadcast so shards benefit
+//! from each other — yet the merged result is a pure function of
+//! `(seed, shards, budget)`, independent of thread timing and of how many
+//! OS workers execute the batches.
 //!
-//! # How determinism survives parallelism
+//! # Work stealing without nondeterminism
 //!
-//! Nothing about the merged output may depend on which worker happens to
-//! run faster. Three rules enforce that:
+//! Earlier revisions pinned one OS thread per shard and blocked all of
+//! them at an epoch barrier, so a round lasted as long as its *slowest*
+//! shard even when other threads sat idle. This engine decouples the two
+//! axes:
+//!
+//! - **Shard streams** are parked state machines (fuzzer + broadcast
+//!   protocol state) owned by the coordinator between batches. Everything
+//!   semantic lives here.
+//! - **Workers** are a small pool of OS threads (`workers ≤ shards`, a
+//!   pure throughput knob). Each round, the coordinator deals pending
+//!   batches to idle workers — preferring each worker's previous shards
+//!   (affinity) and otherwise *stealing* the lowest pending shard id — so
+//!   an uneven round keeps every worker busy instead of convoying behind
+//!   the slowest stream.
+//!
+//! Determinism survives because scheduling only decides *where and when* a
+//! batch runs, never *what it computes*: a batch is a pure function of its
+//! stream's state, and the coordinator merges a round's reports in shard
+//! order only after every live stream has returned. Steal counts and batch
+//! wall-times are surfaced as observability ([`ShardStats`]) but are
+//! timing-dependent and excluded from the determinism-pinned renders.
+//! With `workers == 1` the engine runs batches inline on the calling
+//! thread — no threads are spawned, which is also what a one-shard
+//! campaign uses to reproduce the serial fuzzing loop byte-for-byte.
+//!
+//! # Rules that keep the merge deterministic
 //!
 //! 1. **Deterministic budget slices.** Shard `i` owns exactly
 //!    `budget / shards` MTIs plus one of the `budget % shards` remainder
-//!    slots. A shared atomic counter tracks aggregate progress for
-//!    reporting, but it is *never* a stop condition — stopping on a racing
-//!    counter would make each shard's share timing-dependent.
-//! 2. **Epoch lockstep.** Workers run fixed-length epochs and block at an
-//!    epoch barrier until the coordinator has a report from every live
-//!    shard. Corpus broadcasts, crash merging, and the cross-shard
-//!    early-stop decision happen only at barriers, processed in shard-id
-//!    order, so every worker sees the same imports at the same point of its
-//!    own schedule on every run.
+//!    slots — never a share of a racing global counter.
+//! 2. **Round lockstep.** All live streams finish round `r` before any
+//!    stream starts `r + 1`. Crash merging, crash-database accounting,
+//!    corpus broadcasts, and the early-stop decision happen between
+//!    rounds, in shard-id order.
 //! 3. **Deterministic shard seeds.** Shard 0 fuzzes with the raw campaign
-//!    seed — a one-shard campaign reproduces the serial [`campaign`](crate::fuzzer::campaign)
-//!    byte-for-byte — and shard `i > 0` draws the `i`-th value of the
-//!    [`splitmix64`] chain over the seed, so shards are decorrelated but
-//!    reproducible from `(seed, shard)` alone.
+//!    seed — a one-shard campaign reproduces the serial loop byte-for-byte
+//!    — and shard `i > 0` draws the `i`-th value of the [`splitmix64`]
+//!    chain over the seed.
 //!
-//! Cross-shard messages travel over [`kutil::chan`], the workspace's own
-//! MPSC channel (zero-dependency policy): one shared worker→coordinator
-//! queue, plus one coordinator→worker queue per shard for barrier replies.
+//! A round boundary is also the campaign's *quiescent point*: no batch is
+//! in flight, so the coordinator can serialize every stream into a
+//! [`CampaignCheckpoint`] (see [`crate::checkpoint`]) from which a later
+//! process resumes byte-identically.
+//!
+//! Construct campaigns through [`crate::campaign::CampaignBuilder`]; the
+//! entry points in this module are deprecated shims kept for one release.
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use kernelsim::BugSwitches;
 use kutil::chan::{channel, Receiver, Sender};
 use kutil::splitmix64;
 use oemu::Iid;
 
+use crate::campaign::{CampaignBuilder, CampaignReport, ShardStats};
+use crate::checkpoint::{CampaignCheckpoint, StreamCheckpoint};
+use crate::crashdb::CrashDb;
 use crate::fuzzer::{FoundBug, FuzzConfig, FuzzStats, Fuzzer, STALL_LIMIT};
 use crate::sti::Sti;
 
-/// Default epoch length, in MTIs per shard between barriers. Long enough
-/// that barrier overhead is noise, short enough that corpus discoveries
-/// propagate while a campaign is young.
+/// Default epoch length, in MTIs per shard between rounds. Long enough
+/// that coordination overhead is noise, short enough that corpus
+/// discoveries propagate while a campaign is young.
 pub const DEFAULT_EPOCH_MTIS: u64 = 64;
 
-/// One shard's report at an epoch barrier (or its final report).
-struct EpochReport {
+/// One logical shard stream: a private fuzzer plus the cross-shard
+/// broadcast protocol state, parked with the coordinator between batches.
+struct StreamState {
     shard: usize,
-    /// Unique crashes first seen this epoch, in title order.
+    /// This shard's total MTI slice of the campaign budget.
+    slice: u64,
+    /// Rounds this stream has completed.
+    epoch: u64,
+    /// Corpus high-water mark: entries below it were already broadcast (or
+    /// arrived via broadcast and are not ours to re-broadcast).
+    corpus_mark: usize,
+    /// Bug titles already reported to the coordinator.
+    bugs_sent: BTreeSet<String>,
+    /// Crash-occurrence counts already reported to the coordinator.
+    counts_sent: BTreeMap<String, u64>,
+    /// Slice exhausted, all expected bugs found, or stalled.
+    done: bool,
+    /// Batches run by a worker other than the stream's previous one
+    /// (timing observability; excluded from determinism-pinned output).
+    steals: u64,
+    /// Wall time of each batch, microseconds (timing observability).
+    batch_micros: Vec<u64>,
+    fuzzer: Fuzzer,
+}
+
+/// One stream's report for one round.
+struct EpochReport {
+    /// Unique crashes first seen this round, in title order.
     bugs: Vec<FoundBug>,
-    /// Corpus entries added this epoch (coverage-earning STIs; imports are
+    /// New crash occurrences since the last report: `(title, count)`.
+    sightings: Vec<(String, u64)>,
+    /// Corpus entries added this round (coverage-earning STIs; imports are
     /// excluded — every shard already received those from the broadcast).
     corpus: Vec<Sti>,
-    /// Statistics snapshot as of this barrier.
-    stats: FuzzStats,
-    /// Covered sites as of this barrier, sorted.
-    coverage: Vec<Iid>,
-    /// This shard finished (budget slice exhausted, all expected bugs
-    /// found locally, or stalled) and will send nothing more.
-    done: bool,
 }
 
-/// Coordinator's barrier reply.
-#[derive(Debug)]
-enum BarrierReply {
-    /// Keep fuzzing; first import these foreign corpus entries.
-    Continue(Vec<Sti>),
-    /// Every expected crash has been found across the union; stop now.
-    Stop,
+/// A batch shipped to a worker: the stream, the epoch length, and the
+/// expected-titles early-stop set.
+type Task = (Box<StreamState>, u64, Arc<Vec<String>>);
+
+/// A worker's result: its own id (for affinity), the stream, the report.
+type TaskResult = (usize, Box<StreamState>, EpochReport);
+
+/// Engine-level configuration, assembled by
+/// [`crate::campaign::CampaignBuilder`].
+pub(crate) struct EngineConfig {
+    /// Per-shard fuzzer template; `cfg.seed` is the *campaign* seed (shard
+    /// seeds derive from it via [`shard_seed`]).
+    pub cfg: FuzzConfig,
+    pub shards: usize,
+    /// OS worker threads (`1` runs batches inline). Clamped to `shards`.
+    pub workers: usize,
+    pub budget: u64,
+    pub epoch_mtis: u64,
+    /// Crash titles the campaign stops on once the union holds them all.
+    pub expected: Vec<String>,
+    pub checkpoint_to: Option<std::path::PathBuf>,
+    /// Write the checkpoint every N rounds (when `checkpoint_to` is set).
+    pub checkpoint_every: u64,
+    /// Simulated kill: stop at the first quiescent point at or after this
+    /// many completed rounds, attaching the checkpoint to the report.
+    pub halt_after: Option<u64>,
+    pub resume: Option<CampaignCheckpoint>,
 }
 
-/// A sharded campaign over the all-bugs kernel (the parallel analog of
-/// [`campaign`](crate::fuzzer::campaign)). Construct with [`ParallelCampaign::new`], tweak, then
-/// [`run`](ParallelCampaign::run).
-pub struct ParallelCampaign {
-    seed: u64,
-    shards: usize,
-    budget: u64,
-    epoch_mtis: u64,
-    bugs: BugSwitches,
-    expected: Vec<String>,
-}
-
-/// The merged outcome of a sharded campaign.
-#[derive(Debug)]
-pub struct ParallelReport {
-    /// Union of every shard's unique crashes, keyed by title. For a title
-    /// found by several shards, the surviving diagnosis is the one merged
-    /// first in (epoch, shard) order — deterministic, not racy.
-    pub found: BTreeMap<String, FoundBug>,
-    /// Final per-shard statistics, indexed by shard id.
-    pub shard_stats: Vec<FuzzStats>,
-    /// Aggregate statistics: sums over shards, with `coverage` the size of
-    /// the *union* of covered sites (not the sum, which double-counts).
-    pub stats: FuzzStats,
-}
-
-impl ParallelCampaign {
-    /// A campaign of `budget` total MTIs split across `shards` workers.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `shards == 0`.
-    pub fn new(seed: u64, shards: usize, budget: u64) -> Self {
-        assert!(shards > 0, "a campaign needs at least one shard");
-        ParallelCampaign {
-            seed,
-            shards,
-            budget,
-            epoch_mtis: DEFAULT_EPOCH_MTIS,
-            bugs: BugSwitches::all(),
-            expected: kernelsim::BugId::NEW
-                .iter()
-                .map(|b| b.expected_title().to_string())
-                .collect(),
-        }
-    }
-
-    /// Overrides the epoch length (MTIs per shard between barriers).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `epoch_mtis == 0`.
-    pub fn epoch_mtis(mut self, epoch_mtis: u64) -> Self {
-        assert!(epoch_mtis > 0, "an epoch must make progress");
-        self.epoch_mtis = epoch_mtis;
-        self
-    }
-
-    /// Overrides the kernel build and the crash titles the campaign hunts;
-    /// the campaign early-stops once the union of shards found them all.
-    pub fn target(mut self, bugs: BugSwitches, expected: Vec<String>) -> Self {
-        self.bugs = bugs;
-        self.expected = expected;
-        self
-    }
-
-    /// Shard `shard`'s MTI slice: an equal share of the budget, with the
-    /// remainder spread over the lowest shard ids.
-    fn slice(&self, shard: usize) -> u64 {
-        self.budget / self.shards as u64
-            + u64::from((shard as u64) < self.budget % self.shards as u64)
-    }
-
-    /// Runs the campaign: spawns one worker thread per shard, coordinates
-    /// epoch barriers on the calling thread, joins every worker, and
-    /// returns the deterministic merge.
-    pub fn run(self) -> ParallelReport {
-        let (report_tx, report_rx) = channel::<EpochReport>();
-        // Aggregate progress for observability; never a stop condition
-        // (see module docs).
-        let mtis_total = Arc::new(AtomicU64::new(0));
-
-        let mut reply_txs: Vec<Sender<BarrierReply>> = Vec::with_capacity(self.shards);
-        let mut handles = Vec::with_capacity(self.shards);
-        for shard in 0..self.shards {
-            let (reply_tx, reply_rx) = channel::<BarrierReply>();
-            reply_txs.push(reply_tx);
-            let worker = ShardWorker {
-                shard,
-                seed: shard_seed(self.seed, shard),
-                slice: self.slice(shard),
-                epoch_mtis: self.epoch_mtis,
-                bugs: self.bugs.clone(),
-                expected: self.expected.clone(),
-                report_tx: report_tx.clone(),
-                reply_rx,
-                mtis_total: Arc::clone(&mtis_total),
-            };
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("ozz-shard-{shard}"))
-                    .spawn(move || worker.run())
-                    .unwrap_or_else(|e| {
-                        panic!("failed to spawn worker thread for shard {shard}: {e}")
-                    }),
-            );
-        }
-        drop(report_tx);
-
-        let merged = self.coordinate(&report_rx, &reply_txs);
-        drop(reply_txs);
-        for (shard, h) in handles.into_iter().enumerate() {
-            if h.join().is_err() {
-                panic!("shard {shard} worker panicked; its partial results are unusable");
-            }
-        }
-        debug_assert_eq!(
-            mtis_total.load(Ordering::Relaxed),
-            merged.shard_stats.iter().map(|s| s.mtis_run).sum::<u64>(),
-            "the atomic aggregate must agree with the per-shard sums"
-        );
-        merged
-    }
-
-    /// The coordinator: per round, collect one report from every live
-    /// shard, then merge and reply in shard-id order.
-    fn coordinate(
-        &self,
-        report_rx: &Receiver<EpochReport>,
-        reply_txs: &[Sender<BarrierReply>],
-    ) -> ParallelReport {
-        let mut live: BTreeSet<usize> = (0..self.shards).collect();
-        let mut found: BTreeMap<String, FoundBug> = BTreeMap::new();
-        let mut shard_stats: Vec<FuzzStats> = vec![FuzzStats::default(); self.shards];
-        let mut coverage: HashSet<Iid> = HashSet::new();
-
-        while !live.is_empty() {
-            // Lockstep: every live worker sends exactly one report per
-            // round, then blocks (unless done). Arrival order is racy;
-            // keying by shard id restores a deterministic order.
-            let mut round: BTreeMap<usize, EpochReport> = BTreeMap::new();
-            while round.len() < live.len() {
-                let r = report_rx.recv().unwrap_or_else(|e| {
-                    let missing: Vec<usize> = live
-                        .iter()
-                        .filter(|s| !round.contains_key(s))
-                        .copied()
-                        .collect();
-                    panic!(
-                        "worker report channel closed ({e:?}) before shards {missing:?} \
-                         reported this epoch"
-                    )
-                });
-                round.insert(r.shard, r);
-            }
-            for (&shard, r) in &round {
-                for bug in &r.bugs {
-                    // First merge in (epoch, shard) order wins the title.
-                    found
-                        .entry(bug.title.clone())
-                        .or_insert_with(|| bug.clone());
-                }
-                coverage.extend(r.coverage.iter().copied());
-                shard_stats[shard] = r.stats.clone();
-                if r.done {
-                    live.remove(&shard);
-                }
-            }
-            let stop = self.expected.iter().all(|t| found.contains_key(t));
-            for &shard in &live {
-                let reply = if stop {
-                    BarrierReply::Stop
-                } else {
-                    // Broadcast the other shards' fresh entries, in shard
-                    // order; the worker's import dedups.
-                    let entries: Vec<Sti> = round
-                        .iter()
-                        .filter(|(&s, _)| s != shard)
-                        .flat_map(|(_, r)| r.corpus.iter().cloned())
-                        .collect();
-                    BarrierReply::Continue(entries)
-                };
-                reply_txs[shard].send(reply).unwrap_or_else(|_| {
-                    panic!("shard {shard} dropped its barrier queue while still live (SendError)")
-                });
-            }
-            if stop {
-                break;
-            }
-        }
-
-        let stats = FuzzStats {
-            stis_run: shard_stats.iter().map(|s| s.stis_run).sum(),
-            mtis_run: shard_stats.iter().map(|s| s.mtis_run).sum(),
-            crashes_total: shard_stats.iter().map(|s| s.crashes_total).sum(),
-            coverage: coverage.len(),
-            barren_stis: 0,
-            stalled: shard_stats.iter().all(|s| s.stalled),
-        };
-        ParallelReport {
-            found,
-            shard_stats,
-            stats,
-        }
-    }
+/// Shard `shard`'s MTI slice: an equal share of the budget, with the
+/// remainder spread over the lowest shard ids.
+fn slice(budget: u64, shards: usize, shard: usize) -> u64 {
+    budget / shards as u64 + u64::from((shard as u64) < budget % shards as u64)
 }
 
 /// Shard `shard`'s fuzzer seed: the raw campaign seed for shard 0 (so one
-/// shard reproduces the serial [`campaign`](crate::fuzzer::campaign) exactly), the `shard`-th value
+/// shard reproduces the serial fuzzing loop exactly), the `shard`-th value
 /// of the seed's [`splitmix64`] chain otherwise.
 fn shard_seed(seed: u64, shard: usize) -> u64 {
     let mut sm = seed;
@@ -295,109 +161,478 @@ fn shard_seed(seed: u64, shard: usize) -> u64 {
     derived
 }
 
-/// One worker thread's state.
-struct ShardWorker {
-    shard: usize,
-    seed: u64,
-    slice: u64,
-    epoch_mtis: u64,
-    bugs: BugSwitches,
-    expected: Vec<String>,
-    report_tx: Sender<EpochReport>,
-    reply_rx: Receiver<BarrierReply>,
-    mtis_total: Arc<AtomicU64>,
+/// Runs one batch: up to `epoch_mtis` MTIs of the stream's fuzzer, with
+/// the early-stop and stall checks of the serial fuzzing loop after every
+/// step. Pure with respect to the stream's state — which worker runs it
+/// and when cannot change the report.
+fn run_epoch(st: &mut StreamState, epoch_mtis: u64, expected: &[String]) -> EpochReport {
+    let start = Instant::now();
+    let f = &mut st.fuzzer;
+    let target = st.slice.min((st.epoch + 1) * epoch_mtis);
+    let mut found_all = false;
+    while f.stats().mtis_run < target {
+        f.step();
+        if expected.iter().all(|t| f.found().contains_key(t)) {
+            found_all = true;
+            break;
+        }
+        if f.stats().barren_stis >= STALL_LIMIT {
+            break;
+        }
+    }
+    let stalled = f.stats().barren_stis >= STALL_LIMIT;
+    st.done = found_all || stalled || f.stats().mtis_run >= st.slice;
+    let bugs: Vec<FoundBug> = f
+        .found()
+        .iter()
+        .filter(|(title, _)| !st.bugs_sent.contains(*title))
+        .map(|(_, b)| b.clone())
+        .collect();
+    st.bugs_sent.extend(bugs.iter().map(|b| b.title.clone()));
+    let mut sightings = Vec::new();
+    for (title, &n) in f.crash_counts() {
+        let sent = st.counts_sent.get(title).copied().unwrap_or(0);
+        if n > sent {
+            sightings.push((title.clone(), n - sent));
+            st.counts_sent.insert(title.clone(), n);
+        }
+    }
+    let corpus = f.corpus()[st.corpus_mark..].to_vec();
+    st.epoch += 1;
+    st.batch_micros.push(start.elapsed().as_micros() as u64);
+    EpochReport {
+        bugs,
+        sightings,
+        corpus,
+    }
 }
 
-impl ShardWorker {
-    /// The worker loop. The inner step loop is a faithful copy of the
-    /// serial [`campaign`](crate::fuzzer::campaign) loop — step, then check the early-stop — bounded
-    /// per epoch, so a one-shard campaign replays it exactly.
-    fn run(self) {
-        let mut f = Fuzzer::new(FuzzConfig {
-            seed: self.seed,
-            bugs: self.bugs.clone(),
-            ..FuzzConfig::default()
-        });
-        // Corpus high-water mark: entries below it were already reported
-        // (or arrived via broadcast and need no re-broadcast).
-        let mut corpus_mark = 0usize;
-        let mut bugs_sent: BTreeSet<String> = BTreeSet::new();
-        let mut epoch = 0u64;
-        loop {
-            let target = self.slice.min((epoch + 1) * self.epoch_mtis);
-            let mut found_all = false;
-            while f.stats().mtis_run < target {
-                let before = f.stats().mtis_run;
-                f.step();
-                self.mtis_total
-                    .fetch_add(f.stats().mtis_run - before, Ordering::Relaxed);
-                if self.expected.iter().all(|t| f.found().contains_key(t)) {
-                    found_all = true;
-                    break;
-                }
-                if f.stats().barren_stis >= STALL_LIMIT {
-                    break;
-                }
-            }
-            let stalled = f.stats().barren_stis >= STALL_LIMIT;
-            let done = found_all || stalled || f.stats().mtis_run >= self.slice;
+/// The worker pool: per-worker task queues feeding one shared result
+/// queue. Dropping the pool closes the task queues; workers then exit and
+/// are joined.
+struct WorkerPool {
+    task_txs: Vec<Sender<Task>>,
+    result_rx: Receiver<TaskResult>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
 
-            let bugs: Vec<FoundBug> = f
-                .found()
-                .iter()
-                .filter(|(title, _)| !bugs_sent.contains(*title))
-                .map(|(_, b)| b.clone())
-                .collect();
-            bugs_sent.extend(bugs.iter().map(|b| b.title.clone()));
-            let corpus = f.corpus()[corpus_mark..].to_vec();
-            let mut stats = f.stats().clone();
-            stats.stalled = stalled;
-            let report = EpochReport {
-                shard: self.shard,
-                bugs,
-                corpus,
-                stats,
-                coverage: f.coverage_iids(),
-                done,
-            };
-            if self.report_tx.send(report).is_err() || done {
-                return;
+impl WorkerPool {
+    fn spawn(workers: usize) -> WorkerPool {
+        let (result_tx, result_rx) = channel::<TaskResult>();
+        let mut task_txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (task_tx, task_rx) = channel::<Task>();
+            task_txs.push(task_tx);
+            let result_tx = result_tx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ozz-worker-{w}"))
+                    .spawn(move || {
+                        while let Ok((mut st, epoch_mtis, expected)) = task_rx.recv() {
+                            let report = run_epoch(&mut st, epoch_mtis, &expected);
+                            if result_tx.send((w, st, report)).is_err() {
+                                return;
+                            }
+                        }
+                    })
+                    .unwrap_or_else(|e| panic!("failed to spawn campaign worker {w}: {e}")),
+            );
+        }
+        WorkerPool {
+            task_txs,
+            result_rx,
+            handles,
+        }
+    }
+
+    fn shutdown(self) {
+        drop(self.task_txs);
+        drop(self.result_rx);
+        for (w, h) in self.handles.into_iter().enumerate() {
+            if h.join().is_err() {
+                panic!("campaign worker {w} panicked; campaign results are unusable");
             }
-            match self.reply_rx.recv() {
-                Ok(BarrierReply::Continue(entries)) => {
-                    f.import_corpus(&entries);
-                    // Imports widen the mutation pool but are not ours to
-                    // re-broadcast.
-                    corpus_mark = f.corpus().len();
-                }
-                Ok(BarrierReply::Stop) | Err(_) => return,
-            }
-            epoch += 1;
         }
     }
 }
 
-/// Runs a sharded Table 3-style campaign on the all-bugs kernel: the
-/// parallel analog of [`campaign`](crate::fuzzer::campaign), with identical semantics at
-/// `shards == 1`.
-pub fn parallel_campaign(seed: u64, shards: usize, budget: u64) -> ParallelReport {
-    ParallelCampaign::new(seed, shards, budget).run()
+/// Where batches execute: inline on the coordinator thread, or on the
+/// worker pool.
+enum Lanes {
+    Inline,
+    Threads(WorkerPool),
+}
+
+/// Picks the next pending shard for worker `w`: an affinity match if one
+/// is pending, else the lowest pending shard id (a steal). Returns the
+/// shard and whether it was stolen.
+fn pick_task(pending: &mut BTreeSet<usize>, affinity: &[usize], w: usize) -> Option<(usize, bool)> {
+    if let Some(&s) = pending.iter().find(|&&s| affinity[s] == w) {
+        pending.remove(&s);
+        return Some((s, false));
+    }
+    let s = pending.iter().next().copied()?;
+    pending.remove(&s);
+    Some((s, true))
+}
+
+/// Runs the campaign engine to completion (or to a halt/stop point).
+pub(crate) fn run_engine(mut ec: EngineConfig) -> CampaignReport {
+    // A checkpoint's semantic settings win over the resuming builder's:
+    // resuming under a different seed or budget would not be a resume.
+    if let Some(ck) = &ec.resume {
+        ec.cfg.seed = ck.seed;
+        ec.cfg.bugs = ck.bugs.clone();
+        ec.cfg.memory_model = ck.memory_model;
+        ec.cfg.max_hints_per_pair = ck.max_hints_per_pair;
+        ec.cfg.mutate_ratio = ck.mutate_ratio;
+        ec.cfg.hint_order = ck.hint_order;
+        ec.shards = ck.shards;
+        ec.budget = ck.budget;
+        ec.epoch_mtis = ck.epoch_mtis;
+        ec.expected = ck.expected.clone();
+    }
+    assert!(ec.shards > 0, "a campaign needs at least one shard");
+    assert!(ec.epoch_mtis > 0, "an epoch must make progress");
+    assert!(
+        ec.checkpoint_every > 0,
+        "checkpoint cadence must be nonzero"
+    );
+    let workers = ec.workers.clamp(1, ec.shards);
+
+    let mut found: BTreeMap<String, FoundBug> = BTreeMap::new();
+    let mut crashdb = CrashDb::new();
+    let mut round = 0u64;
+    let mut streams: Vec<Option<Box<StreamState>>> = match ec.resume.take() {
+        Some(ck) => {
+            round = ck.round;
+            found = ck.found.into_iter().map(|b| (b.title.clone(), b)).collect();
+            crashdb = ck.crashdb;
+            assert_eq!(ck.streams.len(), ec.shards, "checkpoint is self-consistent");
+            ck.streams
+                .into_iter()
+                .enumerate()
+                .map(|(shard, sck)| Some(Box::new(restore_stream(&ec, shard, sck))))
+                .collect()
+        }
+        None => (0..ec.shards)
+            .map(|shard| {
+                let cfg = FuzzConfig {
+                    seed: shard_seed(ec.cfg.seed, shard),
+                    ..ec.cfg.clone()
+                };
+                Some(Box::new(StreamState {
+                    shard,
+                    slice: slice(ec.budget, ec.shards, shard),
+                    epoch: 0,
+                    corpus_mark: 0,
+                    bugs_sent: BTreeSet::new(),
+                    counts_sent: BTreeMap::new(),
+                    done: false,
+                    steals: 0,
+                    batch_micros: Vec::new(),
+                    fuzzer: Fuzzer::new(cfg),
+                }))
+            })
+            .collect(),
+    };
+
+    let model_name = ec.cfg.memory_model.name().to_string();
+    let switches_key = ec.cfg.bugs.key();
+    let expected = Arc::new(ec.expected.clone());
+    let mut affinity: Vec<usize> = (0..ec.shards).map(|s| s % workers).collect();
+    let mut lanes = if workers == 1 {
+        Lanes::Inline
+    } else {
+        Lanes::Threads(WorkerPool::spawn(workers))
+    };
+
+    let mut halted = false;
+    let mut checkpoint_out: Option<CampaignCheckpoint> = None;
+    loop {
+        let live: Vec<usize> = streams
+            .iter()
+            .filter_map(|st| {
+                let st = st.as_ref().expect("streams parked between rounds");
+                (!st.done).then_some(st.shard)
+            })
+            .collect();
+        if live.is_empty() {
+            break;
+        }
+
+        // Run the round: every live stream executes one batch. Arrival
+        // order is racy under threads; `reports` keys by shard id, which
+        // restores a deterministic merge order below.
+        let mut reports: BTreeMap<usize, EpochReport> = BTreeMap::new();
+        match &mut lanes {
+            Lanes::Inline => {
+                for &s in &live {
+                    let mut st = streams[s].take().expect("stream parked");
+                    let report = run_epoch(&mut st, ec.epoch_mtis, &expected);
+                    streams[s] = Some(st);
+                    reports.insert(s, report);
+                }
+            }
+            Lanes::Threads(pool) => {
+                let mut pending: BTreeSet<usize> = live.iter().copied().collect();
+                let mut in_flight = 0usize;
+                let dispatch = |w: usize,
+                                pending: &mut BTreeSet<usize>,
+                                affinity: &[usize],
+                                streams: &mut Vec<Option<Box<StreamState>>>|
+                 -> bool {
+                    let Some((s, stolen)) = pick_task(pending, affinity, w) else {
+                        return false;
+                    };
+                    let mut st = streams[s].take().expect("stream parked");
+                    st.steals += u64::from(stolen);
+                    pool.task_txs[w]
+                        .send((st, ec.epoch_mtis, Arc::clone(&expected)))
+                        .unwrap_or_else(|_| panic!("campaign worker {w} hung up"));
+                    true
+                };
+                for w in 0..workers {
+                    if dispatch(w, &mut pending, &affinity, &mut streams) {
+                        in_flight += 1;
+                    }
+                }
+                while in_flight > 0 {
+                    let (w, st, report) = pool
+                        .result_rx
+                        .recv()
+                        .expect("a campaign worker died mid-round");
+                    in_flight -= 1;
+                    let s = st.shard;
+                    reports.insert(s, report);
+                    streams[s] = Some(st);
+                    affinity[s] = w;
+                    if dispatch(w, &mut pending, &affinity, &mut streams) {
+                        in_flight += 1;
+                    }
+                }
+            }
+        }
+
+        // Merge in shard order: bug diagnoses first (first merge in
+        // (round, shard) order wins a title), then crash sightings into
+        // the database — every sighted title is guaranteed merged, because
+        // a fuzzer reports a bug no later than its first sighting delta.
+        for report in reports.values() {
+            for bug in &report.bugs {
+                found
+                    .entry(bug.title.clone())
+                    .or_insert_with(|| bug.clone());
+            }
+        }
+        for (&s, report) in &reports {
+            for (title, n) in &report.sightings {
+                let bug = found.get(title).expect("sighted title was merged");
+                crashdb.record(bug, s, round, &model_name, &switches_key, *n);
+            }
+        }
+        round += 1;
+        let stop = expected.iter().all(|t| found.contains_key(t));
+        if !stop {
+            // Broadcast the other shards' fresh corpus entries, in shard
+            // order; `import_corpus` dedups.
+            for &s in &live {
+                let st = streams[s].as_mut().expect("stream parked");
+                if st.done {
+                    continue;
+                }
+                let entries: Vec<Sti> = reports
+                    .iter()
+                    .filter(|(&r, _)| r != s)
+                    .flat_map(|(_, report)| report.corpus.iter().cloned())
+                    .collect();
+                st.fuzzer.import_corpus(&entries);
+                st.corpus_mark = st.fuzzer.corpus_len();
+            }
+        }
+
+        let over = stop || streams.iter().all(|st| st.as_ref().is_some_and(|s| s.done));
+        let halt = !over && ec.halt_after.is_some_and(|n| round >= n);
+        let due = ec.checkpoint_to.is_some() && (round % ec.checkpoint_every == 0 || over || halt);
+        if due || halt {
+            let ck = build_checkpoint(&ec, round, &found, &crashdb, &streams);
+            if let Some(path) = &ec.checkpoint_to {
+                ck.save(path).expect("campaign checkpoint write failed");
+            }
+            if halt {
+                checkpoint_out = Some(ck);
+            }
+        }
+        if halt {
+            halted = true;
+            break;
+        }
+        if over {
+            break;
+        }
+    }
+    if let Lanes::Threads(pool) = lanes {
+        pool.shutdown();
+    }
+
+    // Final accounting, computed from the parked streams at the quiescent
+    // end point (identical to what running tallies would have produced —
+    // coverage and stats only grow, and done streams never step again).
+    let mut coverage: HashSet<Iid> = HashSet::new();
+    let mut shard_stats = Vec::with_capacity(ec.shards);
+    for st in streams {
+        let st = st.expect("stream parked");
+        coverage.extend(st.fuzzer.coverage_iids());
+        let mut fuzz = st.fuzzer.stats().clone();
+        fuzz.stalled = fuzz.barren_stis >= STALL_LIMIT;
+        shard_stats.push(ShardStats {
+            shard: st.shard,
+            fuzz,
+            epochs: st.epoch,
+            steals: st.steals,
+            batch_micros: st.batch_micros,
+            done: st.done,
+        });
+    }
+    let stats = FuzzStats {
+        stis_run: shard_stats.iter().map(|s| s.fuzz.stis_run).sum(),
+        mtis_run: shard_stats.iter().map(|s| s.fuzz.mtis_run).sum(),
+        crashes_total: shard_stats.iter().map(|s| s.fuzz.crashes_total).sum(),
+        coverage: coverage.len(),
+        barren_stis: 0,
+        stalled: shard_stats.iter().all(|s| s.fuzz.stalled),
+    };
+    let mut coverage: Vec<Iid> = coverage.into_iter().collect();
+    coverage.sort_unstable();
+    CampaignReport {
+        found,
+        shard_stats,
+        stats,
+        coverage,
+        crashes: crashdb,
+        rounds: round,
+        checkpoint: checkpoint_out,
+        halted,
+    }
+}
+
+fn restore_stream(ec: &EngineConfig, shard: usize, sck: StreamCheckpoint) -> StreamState {
+    let cfg = FuzzConfig {
+        seed: shard_seed(ec.cfg.seed, shard),
+        ..ec.cfg.clone()
+    };
+    StreamState {
+        shard,
+        slice: slice(ec.budget, ec.shards, shard),
+        epoch: sck.epoch,
+        corpus_mark: sck.corpus_mark,
+        bugs_sent: sck.bugs_sent,
+        counts_sent: sck.counts_sent,
+        done: sck.done,
+        steals: 0,
+        batch_micros: Vec::new(),
+        fuzzer: Fuzzer::from_checkpoint(cfg, sck.fuzzer),
+    }
+}
+
+fn build_checkpoint(
+    ec: &EngineConfig,
+    round: u64,
+    found: &BTreeMap<String, FoundBug>,
+    crashdb: &CrashDb,
+    streams: &[Option<Box<StreamState>>],
+) -> CampaignCheckpoint {
+    CampaignCheckpoint {
+        seed: ec.cfg.seed,
+        shards: ec.shards,
+        budget: ec.budget,
+        epoch_mtis: ec.epoch_mtis,
+        round,
+        bugs: ec.cfg.bugs.clone(),
+        expected: ec.expected.clone(),
+        memory_model: ec.cfg.memory_model,
+        max_hints_per_pair: ec.cfg.max_hints_per_pair,
+        mutate_ratio: ec.cfg.mutate_ratio,
+        hint_order: ec.cfg.hint_order,
+        found: found.values().cloned().collect(),
+        crashdb: crashdb.clone(),
+        streams: streams
+            .iter()
+            .map(|st| {
+                let st = st.as_ref().expect("stream parked at quiescent point");
+                StreamCheckpoint {
+                    epoch: st.epoch,
+                    corpus_mark: st.corpus_mark,
+                    done: st.done,
+                    bugs_sent: st.bugs_sent.clone(),
+                    counts_sent: st.counts_sent.clone(),
+                    fuzzer: st.fuzzer.checkpoint(),
+                }
+            })
+            .collect(),
+    }
+}
+
+/// The merged outcome of a sharded campaign — now an alias of
+/// [`CampaignReport`].
+#[deprecated(note = "use ozz::campaign::CampaignReport")]
+pub type ParallelReport = CampaignReport;
+
+/// A sharded campaign over the all-bugs kernel.
+#[deprecated(note = "use ozz::campaign::CampaignBuilder")]
+pub struct ParallelCampaign {
+    builder: CampaignBuilder,
+}
+
+#[allow(deprecated)]
+impl ParallelCampaign {
+    /// A campaign of `budget` total MTIs split across `shards` workers.
+    pub fn new(seed: u64, shards: usize, budget: u64) -> Self {
+        ParallelCampaign {
+            builder: CampaignBuilder::new(seed).shards(shards).budget(budget),
+        }
+    }
+
+    /// Overrides the epoch length (MTIs per shard between rounds).
+    pub fn epoch_mtis(mut self, epoch_mtis: u64) -> Self {
+        self.builder = self.builder.epoch_mtis(epoch_mtis);
+        self
+    }
+
+    /// Overrides the kernel build and the crash titles the campaign hunts.
+    pub fn target(mut self, bugs: BugSwitches, expected: Vec<String>) -> Self {
+        self.builder = self.builder.target(bugs, expected);
+        self
+    }
+
+    /// Runs the campaign.
+    pub fn run(self) -> CampaignReport {
+        self.builder.run()
+    }
+}
+
+/// Runs a sharded Table 3-style campaign on the all-bugs kernel.
+#[deprecated(note = "use ozz::campaign::CampaignBuilder")]
+pub fn parallel_campaign(seed: u64, shards: usize, budget: u64) -> CampaignReport {
+    CampaignBuilder::new(seed)
+        .shards(shards)
+        .budget(budget)
+        .run()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fuzzer::campaign;
 
     #[test]
     fn slices_partition_the_budget_exactly() {
         for (shards, budget) in [(1usize, 100u64), (3, 100), (4, 7), (8, 0), (5, 5)] {
-            let c = ParallelCampaign::new(0, shards, budget);
-            let total: u64 = (0..shards).map(|s| c.slice(s)).sum();
+            let total: u64 = (0..shards).map(|s| slice(budget, shards, s)).sum();
             assert_eq!(total, budget, "shards={shards} budget={budget}");
             // Slices differ by at most one MTI.
-            let min = (0..shards).map(|s| c.slice(s)).min().unwrap();
-            let max = (0..shards).map(|s| c.slice(s)).max().unwrap();
+            let min = (0..shards).map(|s| slice(budget, shards, s)).min().unwrap();
+            let max = (0..shards).map(|s| slice(budget, shards, s)).max().unwrap();
             assert!(max - min <= 1);
         }
     }
@@ -420,40 +655,87 @@ mod tests {
     }
 
     #[test]
+    fn steal_assignment_prefers_affinity_then_lowest_pending() {
+        let affinity = vec![0, 1, 0, 1];
+        let mut pending: BTreeSet<usize> = [0, 1, 2, 3].into_iter().collect();
+        assert_eq!(pick_task(&mut pending, &affinity, 1), Some((1, false)));
+        assert_eq!(pick_task(&mut pending, &affinity, 1), Some((3, false)));
+        // No affinity matches left for worker 1: steal the lowest pending.
+        assert_eq!(pick_task(&mut pending, &affinity, 1), Some((0, true)));
+        assert_eq!(pick_task(&mut pending, &affinity, 1), Some((2, true)));
+        assert_eq!(pick_task(&mut pending, &affinity, 1), None);
+    }
+
+    #[test]
     fn two_runs_merge_identically() {
-        let render = || format!("{:#?}", parallel_campaign(3, 2, 600).found);
-        assert_eq!(render(), render());
+        let run = || {
+            CampaignBuilder::new(3)
+                .shards(2)
+                .workers(2)
+                .budget(600)
+                .run()
+        };
+        let render = |r: &CampaignReport| format!("{:#?}", r.found);
+        assert_eq!(render(&run()), render(&run()));
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_merge() {
+        let run = |workers: usize| {
+            let r = CampaignBuilder::new(5)
+                .shards(3)
+                .workers(workers)
+                .budget(450)
+                .run();
+            (
+                format!("{:#?}", r.found),
+                r.coverage,
+                r.shard_stats
+                    .iter()
+                    .map(|s| (s.fuzz.clone(), s.epochs, s.done))
+                    .collect::<Vec<_>>(),
+                r.crashes,
+            )
+        };
+        let inline = run(1);
+        assert_eq!(inline, run(2), "2 workers == inline");
+        assert_eq!(inline, run(3), "3 workers == inline");
     }
 
     #[test]
     fn aggregate_stats_sum_the_shards() {
-        let r = parallel_campaign(5, 3, 300);
+        let r = CampaignBuilder::new(5).shards(3).budget(300).run();
         assert_eq!(r.shard_stats.len(), 3);
         assert_eq!(
             r.stats.mtis_run,
-            r.shard_stats.iter().map(|s| s.mtis_run).sum::<u64>()
+            r.shard_stats.iter().map(|s| s.fuzz.mtis_run).sum::<u64>()
         );
         assert_eq!(
             r.stats.stis_run,
-            r.shard_stats.iter().map(|s| s.stis_run).sum::<u64>()
+            r.shard_stats.iter().map(|s| s.fuzz.stis_run).sum::<u64>()
         );
         assert!(r.stats.mtis_run >= 300 || !r.found.is_empty());
         // Union coverage can never exceed the per-shard sum.
-        assert!(r.stats.coverage <= r.shard_stats.iter().map(|s| s.coverage).sum::<usize>());
-        assert!(r.stats.coverage >= r.shard_stats.iter().map(|s| s.coverage).max().unwrap());
+        assert!(r.stats.coverage <= r.shard_stats.iter().map(|s| s.fuzz.coverage).sum::<usize>());
+        assert!(r.stats.coverage >= r.shard_stats.iter().map(|s| s.fuzz.coverage).max().unwrap());
+        assert_eq!(r.coverage.len(), r.stats.coverage);
+        // Per-shard observability: every shard ran rounds and finished.
+        assert!(r.shard_stats.iter().all(|s| s.epochs >= 1 && s.done));
     }
 
     #[test]
     fn zero_budget_returns_immediately_and_empty() {
-        let r = parallel_campaign(1, 4, 0);
+        let r = CampaignBuilder::new(1).shards(4).budget(0).run();
         assert!(r.found.is_empty());
         assert_eq!(r.stats.mtis_run, 0);
+        assert!(!r.halted);
     }
 
     #[test]
     fn single_shard_equals_serial_campaign() {
-        let serial = campaign(3, 500);
-        let parallel = parallel_campaign(3, 1, 500);
+        #[allow(deprecated)]
+        let serial = crate::fuzzer::campaign(3, 500);
+        let parallel = CampaignBuilder::new(3).budget(500).run();
         assert_eq!(
             format!("{:#?}", serial.found()),
             format!("{:#?}", parallel.found),
@@ -462,5 +744,22 @@ mod tests {
         assert_eq!(serial.stats().mtis_run, parallel.stats.mtis_run);
         assert_eq!(serial.stats().stis_run, parallel.stats.stis_run);
         assert_eq!(serial.stats().coverage, parallel.stats.coverage);
+    }
+
+    #[test]
+    fn deprecated_entry_points_still_run() {
+        #[allow(deprecated)]
+        let via_shim = parallel_campaign(3, 2, 200);
+        let via_builder = CampaignBuilder::new(3).shards(2).budget(200).run();
+        assert_eq!(
+            format!("{:#?}", via_shim.found),
+            format!("{:#?}", via_builder.found)
+        );
+        #[allow(deprecated)]
+        let via_struct = ParallelCampaign::new(3, 2, 200).run();
+        assert_eq!(
+            format!("{:#?}", via_struct.found),
+            format!("{:#?}", via_builder.found)
+        );
     }
 }

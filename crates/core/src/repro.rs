@@ -22,7 +22,7 @@
 //! crash title and the machine-state digest byte-for-byte.
 
 use kernelsim::{
-    run_concurrent_replay, run_one, BugId, BugSwitches, Kctx, MachinePool, ReorderType, RunOutcome,
+    execute, run_one, BugId, BugSwitches, ExecRequest, Kctx, MachinePool, ReorderType, RunOutcome,
     Syscall,
 };
 use kutil::fnv1a64;
@@ -151,7 +151,8 @@ pub fn replay_trace(
             run_one(&k, Tid(0), call);
         }
     }
-    let (outcome, report) = run_concurrent_replay(&k, trace, sti.calls[i], sti.calls[j]);
+    let (outcome, report) =
+        execute(&k, ExecRequest::replay(trace, sti.calls[i], sti.calls[j])).into_replayed();
     TraceReplay {
         outcome,
         digest: k.state_digest(),

@@ -277,6 +277,20 @@ impl StiGen {
     pub fn template_names() -> Vec<&'static str> {
         TEMPLATES.iter().map(|t| t.name).collect()
     }
+
+    /// Snapshot of the generator's RNG state, for campaign checkpoints.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Rebuilds a generator mid-stream from a checkpointed RNG state; the
+    /// resumed generator continues the exact sequence the snapshot
+    /// interrupted.
+    pub fn from_rng_state(s: [u64; 4]) -> StiGen {
+        StiGen {
+            rng: DetRng::from_state(s),
+        }
+    }
 }
 
 /// The directed reproduction inputs of §6.2 (Table 4): for each known bug,
@@ -348,6 +362,18 @@ mod tests {
             let sti = g.generate();
             assert!(!sti.calls.is_empty());
             assert!(sti.calls.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn generator_state_roundtrip_resumes_mid_stream() {
+        let mut g = StiGen::new(42);
+        for _ in 0..10 {
+            g.generate();
+        }
+        let mut resumed = StiGen::from_rng_state(g.rng_state());
+        for _ in 0..10 {
+            assert_eq!(g.generate(), resumed.generate());
         }
     }
 

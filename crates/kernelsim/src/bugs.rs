@@ -259,6 +259,50 @@ impl BugId {
             BugId::ExtUsbKillUrb => "kernel BUG at usb_kill_urb: URB killed while in flight",
         }
     }
+
+    /// Every seeded bug, paper order (new, known, extended).
+    pub fn all_ids() -> impl Iterator<Item = BugId> {
+        BugId::NEW
+            .into_iter()
+            .chain(BugId::KNOWN)
+            .chain(BugId::EXTENDED)
+    }
+
+    /// Stable single-word serialization token (the variant name). Part of
+    /// the checkpoint / crash-database text formats.
+    pub fn token(self) -> &'static str {
+        match self {
+            BugId::RdsClearBit => "RdsClearBit",
+            BugId::WatchQueueFilter => "WatchQueueFilter",
+            BugId::VmciQueuePair => "VmciQueuePair",
+            BugId::XskPoolPublish => "XskPoolPublish",
+            BugId::TlsGetsockopt => "TlsGetsockopt",
+            BugId::PsockSavedReady => "PsockSavedReady",
+            BugId::XskStateBound => "XskStateBound",
+            BugId::SmcClcsock => "SmcClcsock",
+            BugId::TlsSkProt => "TlsSkProt",
+            BugId::SmcFput => "SmcFput",
+            BugId::GsmDlci => "GsmDlci",
+            BugId::KnownVlan => "KnownVlan",
+            BugId::KnownWatchQueuePost => "KnownWatchQueuePost",
+            BugId::KnownXskUmem => "KnownXskUmem",
+            BugId::KnownXskState => "KnownXskState",
+            BugId::KnownFget => "KnownFget",
+            BugId::KnownSbitmap => "KnownSbitmap",
+            BugId::KnownNbd => "KnownNbd",
+            BugId::KnownTlsErr => "KnownTlsErr",
+            BugId::KnownUnix => "KnownUnix",
+            BugId::ExtBufferDoubleFree => "ExtBufferDoubleFree",
+            BugId::ExtRingBuffer => "ExtRingBuffer",
+            BugId::ExtFilemap => "ExtFilemap",
+            BugId::ExtUsbKillUrb => "ExtUsbKillUrb",
+        }
+    }
+
+    /// Parses a [`BugId::token`] back to the id.
+    pub fn from_token(s: &str) -> Option<BugId> {
+        BugId::all_ids().find(|id| id.token() == s)
+    }
 }
 
 impl fmt::Display for BugId {
@@ -286,6 +330,18 @@ impl fmt::Display for ReorderType {
             ReorderType::StoreStore => write!(f, "S-S"),
             ReorderType::StoreLoad => write!(f, "S-L"),
             ReorderType::LoadLoad => write!(f, "L-L"),
+        }
+    }
+}
+
+impl ReorderType {
+    /// Parses the `Display` form (`S-S` / `S-L` / `L-L`) back.
+    pub fn parse(s: &str) -> Option<ReorderType> {
+        match s {
+            "S-S" => Some(ReorderType::StoreStore),
+            "S-L" => Some(ReorderType::StoreLoad),
+            "L-L" => Some(ReorderType::LoadLoad),
+            _ => None,
         }
     }
 }
@@ -326,6 +382,41 @@ impl BugSwitches {
     pub fn has(&self, bug: BugId) -> bool {
         self.enabled.contains(&bug)
     }
+
+    /// The enabled bugs in sorted (BTreeSet) order.
+    pub fn iter(&self) -> impl Iterator<Item = BugId> + '_ {
+        self.enabled.iter().copied()
+    }
+
+    /// A stable single-word key naming this switch set, for serialization
+    /// and per-configuration triage stats: `none`, `all`, or the sorted
+    /// `+`-joined bug tokens.
+    pub fn key(&self) -> String {
+        if self.enabled.is_empty() {
+            return "none".into();
+        }
+        if *self == BugSwitches::all() {
+            return "all".into();
+        }
+        self.iter().map(BugId::token).collect::<Vec<_>>().join("+")
+    }
+
+    /// Parses a [`BugSwitches::key`] back into a switch set.
+    pub fn parse_key(s: &str) -> Result<BugSwitches, String> {
+        match s {
+            "none" => Ok(BugSwitches::none()),
+            "all" => Ok(BugSwitches::all()),
+            _ => {
+                let mut set = BugSwitches::none();
+                for tok in s.split('+') {
+                    let id = BugId::from_token(tok)
+                        .ok_or_else(|| format!("unknown bug token {tok:?}"))?;
+                    set.enabled.insert(id);
+                }
+                Ok(set)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -363,6 +454,42 @@ mod tests {
         let one = BugSwitches::only([BugId::RdsClearBit]);
         assert!(one.has(BugId::RdsClearBit));
         assert!(!one.has(BugId::TlsSkProt));
+    }
+
+    #[test]
+    fn tokens_roundtrip_for_every_bug() {
+        for id in BugId::all_ids() {
+            assert_eq!(BugId::from_token(id.token()), Some(id), "{id}");
+        }
+        assert_eq!(BugId::from_token("NoSuchBug"), None);
+        for rt in [
+            ReorderType::StoreStore,
+            ReorderType::StoreLoad,
+            ReorderType::LoadLoad,
+        ] {
+            assert_eq!(ReorderType::parse(&rt.to_string()), Some(rt));
+        }
+        assert_eq!(ReorderType::parse("X-X"), None);
+    }
+
+    #[test]
+    fn switch_keys_roundtrip() {
+        for set in [
+            BugSwitches::none(),
+            BugSwitches::all(),
+            BugSwitches::only([BugId::TlsSkProt]),
+            BugSwitches::only([BugId::GsmDlci, BugId::RdsClearBit]),
+        ] {
+            assert_eq!(BugSwitches::parse_key(&set.key()).as_ref(), Ok(&set));
+        }
+        assert_eq!(BugSwitches::none().key(), "none");
+        assert_eq!(BugSwitches::all().key(), "all");
+        assert_eq!(
+            BugSwitches::only([BugId::GsmDlci, BugId::RdsClearBit]).key(),
+            "RdsClearBit+GsmDlci",
+            "keys list bugs in BTreeSet (declaration) order"
+        );
+        assert!(BugSwitches::parse_key("Nope+GsmDlci").is_err());
     }
 
     #[test]

@@ -7,13 +7,20 @@
 //! CPU — its syscall returns [`ECRASH`] — while the other CPU keeps running,
 //! and the harvested crash reports come back in the [`RunOutcome`].
 //!
-//! Every `run_concurrent*` entry point dispatches on the machine's
-//! [`ExecMode`]: the *stepped* executor (default) runs both legs interleaved
-//! on the calling thread via [`ksched::StepScheduler`], while the *threaded*
-//! executor serialises two OS threads (spawned, or the machine pool's
-//! persistent workers) through [`ksched::Scheduler`]. The two produce
-//! byte-identical outcomes, traces, and state digests — pinned by
-//! `tests/exec_equivalence.rs` — and differ only in throughput.
+//! One pair execution is fully described by an [`ExecRequest`]: the two
+//! syscalls plus an [`ExecDrive`] saying what steers the interleaving — a
+//! live [`SchedulePlan`], the same plan in record mode, or a previously
+//! recorded [`ScheduleTrace`] to replay. [`execute`] is the single
+//! dispatch point; every mode/executor combination funnels through it, so
+//! the record/replay/model flags cannot be combined inconsistently.
+//!
+//! The dispatch honours the machine's [`ExecMode`]: the *stepped* executor
+//! (default) runs both legs interleaved on the calling thread via
+//! [`ksched::StepScheduler`], while the *threaded* executor serialises two
+//! OS threads (spawned, or the machine pool's persistent workers) through
+//! [`ksched::Scheduler`]. The two produce byte-identical outcomes, traces,
+//! and state digests — pinned by `tests/exec_equivalence.rs` — and differ
+//! only in throughput.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -21,7 +28,7 @@ use std::sync::Arc;
 use kmem::CrashReport;
 use ksched::{SchedulePlan, Scheduler, StepScheduler};
 use kutil::sync::Mutex;
-use oemu::{ScheduleTrace, Tid};
+use oemu::{ScheduleTrace, SwitchPoint, Tid};
 
 use crate::kctx::{CrashSignal, Kctx, ECRASH};
 use crate::pool::CpuWorkers;
@@ -82,7 +89,7 @@ impl RunOutcome {
     }
 }
 
-/// Fidelity report of a trace-replay run (see [`run_concurrent_replay`]).
+/// Fidelity report of a trace-replay run (see [`ExecDrive::Replay`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ReplayReport {
     /// The execution departed from the trace at some point.
@@ -91,6 +98,103 @@ pub struct ReplayReport {
     pub steps_consumed: usize,
     /// Engine steps in the trace.
     pub steps_total: usize,
+}
+
+/// What steers the interleaving decisions of one pair execution.
+#[derive(Clone, Debug)]
+pub enum ExecDrive<'t> {
+    /// A live run under a schedule plan, with whatever Table 2 reordering
+    /// controls the caller installed in the engine.
+    Live(SchedulePlan),
+    /// A live run under a plan with the full decision stream recorded;
+    /// the reply carries the resulting [`ScheduleTrace`].
+    Record(SchedulePlan),
+    /// A run slaved to a recorded trace (no control sets needed); the
+    /// reply carries a [`ReplayReport`].
+    Replay(&'t ScheduleTrace),
+}
+
+/// One concurrent pair execution, fully specified: the two syscalls and
+/// what drives their interleaving. Built with [`ExecRequest::live`],
+/// [`ExecRequest::recorded`], or [`ExecRequest::replay`] and run by
+/// [`execute`] (fresh/spawned) or [`crate::PooledMachine::execute`]
+/// (pooled) — the record/replay/model flags all travel together, so they
+/// cannot be combined inconsistently.
+#[derive(Clone, Debug)]
+pub struct ExecRequest<'t> {
+    /// Syscall on simulated CPU 0.
+    pub a: Syscall,
+    /// Syscall on simulated CPU 1.
+    pub b: Syscall,
+    /// Live / record / replay.
+    pub drive: ExecDrive<'t>,
+}
+
+impl ExecRequest<'static> {
+    /// A live run of `a` ∥ `b` under `plan`.
+    pub fn live(plan: SchedulePlan, a: Syscall, b: Syscall) -> Self {
+        ExecRequest {
+            a,
+            b,
+            drive: ExecDrive::Live(plan),
+        }
+    }
+
+    /// A recorded run of `a` ∥ `b` under `plan`.
+    pub fn recorded(plan: SchedulePlan, a: Syscall, b: Syscall) -> Self {
+        ExecRequest {
+            a,
+            b,
+            drive: ExecDrive::Record(plan),
+        }
+    }
+}
+
+impl<'t> ExecRequest<'t> {
+    /// A replay of `a` ∥ `b` slaved to `trace`.
+    pub fn replay(trace: &'t ScheduleTrace, a: Syscall, b: Syscall) -> Self {
+        ExecRequest {
+            a,
+            b,
+            drive: ExecDrive::Replay(trace),
+        }
+    }
+}
+
+/// Everything one pair execution can produce. Which optional parts are
+/// present is determined by the request's [`ExecDrive`]:
+/// `trace` is `Some` iff the drive was `Record`, `replay` is `Some` iff
+/// the drive was `Replay`.
+#[derive(Clone, Debug)]
+pub struct ExecReply {
+    /// Crash reports and per-CPU return values.
+    pub outcome: RunOutcome,
+    /// The recorded decision stream (`Record` drives only).
+    pub trace: Option<ScheduleTrace>,
+    /// Replay fidelity (`Replay` drives only).
+    pub replay: Option<ReplayReport>,
+}
+
+impl ExecReply {
+    /// Unpacks a `Record` reply into `(outcome, trace)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request's drive was not [`ExecDrive::Record`].
+    pub fn into_recorded(self) -> (RunOutcome, ScheduleTrace) {
+        let trace = self.trace.expect("reply to a Record request");
+        (self.outcome, trace)
+    }
+
+    /// Unpacks a `Replay` reply into `(outcome, report)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request's drive was not [`ExecDrive::Replay`].
+    pub fn into_replayed(self) -> (RunOutcome, ReplayReport) {
+        let report = self.replay.expect("reply to a Replay request");
+        (self.outcome, report)
+    }
 }
 
 /// Runs one syscall on CPU `t` with oops isolation and the syscall-exit
@@ -164,101 +268,173 @@ fn run_closures_with(
     }
 }
 
-/// Runs two syscalls concurrently on CPUs 0 and 1 under `plan` — the core
-/// of an MTI run. Dispatches on the machine's [`ExecMode`].
-pub fn run_concurrent(k: &Arc<Kctx>, plan: SchedulePlan, a: Syscall, b: Syscall) -> RunOutcome {
-    match k.exec_mode() {
-        ExecMode::Stepped => run_stepped_with(k, Arc::new(StepScheduler::new(2, plan)), a, b),
-        ExecMode::Threaded => run_concurrent_closures(
-            k,
-            plan,
-            move |k| dispatch(k, Tid(0), a),
-            move |k| dispatch(k, Tid(1), b),
-        ),
+/// Runs one [`ExecRequest`] on a fresh (non-pooled) machine — the single
+/// public dispatch point for concurrent pair execution. Spawns threads
+/// only when the machine's [`ExecMode`] is threaded; use
+/// [`crate::PooledMachine::execute`] to run on a pool's persistent
+/// workers instead.
+///
+/// For `Record` drives the reply's trace fully determines the outcome —
+/// scheduler switch points plus every engine delay/versioning decision —
+/// and replaying it (a `Replay` drive) against the same pre-run kernel
+/// state reproduces the identical outcome and `state_digest`.
+pub fn execute(k: &Arc<Kctx>, req: ExecRequest<'_>) -> ExecReply {
+    dispatch_request(k, Lanes::Spawn, req)
+}
+
+/// [`execute`] on the machine pool's persistent CPU workers (threaded
+/// mode only; a stepped-mode machine never touches the lanes).
+pub(crate) fn execute_on(k: &Arc<Kctx>, workers: &CpuWorkers, req: ExecRequest<'_>) -> ExecReply {
+    dispatch_request(k, Lanes::Workers(workers), req)
+}
+
+/// Where the threaded executor's two legs run.
+enum Lanes<'w> {
+    /// Scoped threads spawned for this one pair.
+    Spawn,
+    /// The machine pool's persistent parked workers.
+    Workers(&'w CpuWorkers),
+}
+
+/// The one place every mode combination is decided: drive × executor ×
+/// lanes. Engine-side record/replay bracketing lives here too, so a
+/// request can never, say, start replay consumption without the matching
+/// model check or leave a recording dangling.
+fn dispatch_request(k: &Arc<Kctx>, lanes: Lanes<'_>, req: ExecRequest<'_>) -> ExecReply {
+    let ExecRequest { a, b, drive } = req;
+    match drive {
+        ExecDrive::Live(plan) => {
+            let (outcome, _) = run_pair(k, lanes, PairSched::Live(plan), a, b);
+            ExecReply {
+                outcome,
+                trace: None,
+                replay: None,
+            }
+        }
+        ExecDrive::Record(plan) => {
+            let first = plan.first;
+            k.engine.start_trace_recording();
+            let (outcome, switches) = run_pair(k, lanes, PairSched::Record(plan), a, b);
+            let trace = ScheduleTrace {
+                model: k.engine.memory_model(),
+                first,
+                switches: switches.expect("record mode logs switches"),
+                steps: k.engine.take_recorded_trace(),
+            };
+            ExecReply {
+                outcome,
+                trace: Some(trace),
+                replay: None,
+            }
+        }
+        ExecDrive::Replay(trace) => {
+            check_replay_model(k, trace);
+            k.engine.start_trace_replay(trace.steps.clone());
+            let spec = PairSched::Replay {
+                first: trace.first,
+                switches: &trace.switches,
+            };
+            let (outcome, _) = run_pair(k, lanes, spec, a, b);
+            let status = k.engine.finish_trace_replay();
+            ExecReply {
+                outcome,
+                trace: None,
+                replay: Some(ReplayReport {
+                    diverged: status.diverged,
+                    steps_consumed: status.consumed,
+                    steps_total: status.total,
+                }),
+            }
+        }
     }
 }
 
-/// [`run_concurrent`] in record mode: also returns the [`ScheduleTrace`]
-/// that fully determines the outcome — scheduler switch points plus every
-/// engine delay/versioning decision. Replaying it via
-/// [`run_concurrent_replay`] against the same pre-run kernel state
-/// reproduces the identical outcome and `state_digest`.
-pub fn run_concurrent_recorded(
-    k: &Arc<Kctx>,
-    plan: SchedulePlan,
-    a: Syscall,
-    b: Syscall,
-) -> (RunOutcome, ScheduleTrace) {
-    let first = plan.first;
-    k.engine.start_trace_recording();
-    let (out, switches) = match k.exec_mode() {
-        ExecMode::Stepped => {
-            let sched = Arc::new(StepScheduler::recording(2, plan));
-            let out = run_stepped_with(k, Arc::clone(&sched), a, b);
-            (out, sched.take_switch_log())
-        }
-        ExecMode::Threaded => {
-            let sched = Arc::new(Scheduler::recording(2, plan));
-            let out = run_closures_with(
-                k,
-                Arc::clone(&sched),
-                move |k| dispatch(k, Tid(0), a),
-                move |k| dispatch(k, Tid(1), b),
-            );
-            (out, sched.take_switch_log())
-        }
-    };
-    let trace = ScheduleTrace {
-        model: k.engine.memory_model(),
-        first,
-        switches,
-        steps: k.engine.take_recorded_trace(),
-    };
-    (out, trace)
+/// Scheduler construction spec, shared between the two executors.
+enum PairSched<'t> {
+    Live(SchedulePlan),
+    Record(SchedulePlan),
+    Replay {
+        first: Tid,
+        switches: &'t [SwitchPoint],
+    },
 }
 
-/// Re-runs a pair slaved to a recorded trace instead of a live plan: the
-/// scheduler follows the recorded switch points and the engine imposes
-/// the recorded delay/versioning decisions (no control sets needed).
+/// Runs `a` ∥ `b` under the given scheduling spec, selecting the executor
+/// from the machine's [`ExecMode`]. Returns the switch log for record
+/// specs.
 ///
 /// A stepped-mode machine replays trace logs with more than one switch
 /// point on the threaded executor: non-LIFO resumption cannot be expressed
 /// as nested calls. Recorded logs never exceed one switch (the plan's
 /// single breakpoint disarms on firing), so this fallback only triggers on
 /// hand-written traces.
+fn run_pair(
+    k: &Arc<Kctx>,
+    lanes: Lanes<'_>,
+    spec: PairSched<'_>,
+    a: Syscall,
+    b: Syscall,
+) -> (RunOutcome, Option<Vec<SwitchPoint>>) {
+    let record = matches!(spec, PairSched::Record(_));
+    let stepped = k.exec_mode() == ExecMode::Stepped
+        && !matches!(&spec, PairSched::Replay { switches, .. } if switches.len() > 1);
+    if stepped {
+        let sched = Arc::new(match spec {
+            PairSched::Live(plan) => StepScheduler::new(2, plan),
+            PairSched::Record(plan) => StepScheduler::recording(2, plan),
+            PairSched::Replay { first, switches } => {
+                StepScheduler::replaying(2, first, switches.to_vec())
+            }
+        });
+        let out = run_stepped_with(k, Arc::clone(&sched), a, b);
+        (out, record.then(|| sched.take_switch_log()))
+    } else {
+        let sched = Arc::new(match spec {
+            PairSched::Live(plan) => Scheduler::new(2, plan),
+            PairSched::Record(plan) => Scheduler::recording(2, plan),
+            PairSched::Replay { first, switches } => {
+                Scheduler::replaying(2, first, switches.to_vec())
+            }
+        });
+        let out = match lanes {
+            Lanes::Spawn => run_closures_with(
+                k,
+                Arc::clone(&sched),
+                move |k| dispatch(k, Tid(0), a),
+                move |k| dispatch(k, Tid(1), b),
+            ),
+            Lanes::Workers(w) => run_on_workers_with(k, w, Arc::clone(&sched), a, b),
+        };
+        (out, record.then(|| sched.take_switch_log()))
+    }
+}
+
+/// Runs two syscalls concurrently on CPUs 0 and 1 under `plan`.
+#[deprecated(note = "build an ExecRequest::live and call execute()")]
+pub fn run_concurrent(k: &Arc<Kctx>, plan: SchedulePlan, a: Syscall, b: Syscall) -> RunOutcome {
+    execute(k, ExecRequest::live(plan, a, b)).outcome
+}
+
+/// Runs two syscalls under `plan` with the decision stream recorded.
+#[deprecated(note = "build an ExecRequest::recorded and call execute()")]
+pub fn run_concurrent_recorded(
+    k: &Arc<Kctx>,
+    plan: SchedulePlan,
+    a: Syscall,
+    b: Syscall,
+) -> (RunOutcome, ScheduleTrace) {
+    execute(k, ExecRequest::recorded(plan, a, b)).into_recorded()
+}
+
+/// Re-runs a pair slaved to a recorded trace instead of a live plan.
+#[deprecated(note = "build an ExecRequest::replay and call execute()")]
 pub fn run_concurrent_replay(
     k: &Arc<Kctx>,
     trace: &ScheduleTrace,
     a: Syscall,
     b: Syscall,
 ) -> (RunOutcome, ReplayReport) {
-    check_replay_model(k, trace);
-    k.engine.start_trace_replay(trace.steps.clone());
-    let out = if k.exec_mode() == ExecMode::Stepped && trace.switches.len() <= 1 {
-        let sched = Arc::new(StepScheduler::replaying(
-            2,
-            trace.first,
-            trace.switches.clone(),
-        ));
-        run_stepped_with(k, sched, a, b)
-    } else {
-        let sched = Arc::new(Scheduler::replaying(2, trace.first, trace.switches.clone()));
-        run_closures_with(
-            k,
-            sched,
-            move |k| dispatch(k, Tid(0), a),
-            move |k| dispatch(k, Tid(1), b),
-        )
-    };
-    let status = k.engine.finish_trace_replay();
-    (
-        out,
-        ReplayReport {
-            diverged: status.diverged,
-            steps_consumed: status.consumed,
-            steps_total: status.total,
-        },
-    )
+    execute(k, ExecRequest::replay(trace, a, b)).into_replayed()
 }
 
 /// A leg's result slot: filled by the leg closure, settled by the driver.
@@ -337,68 +513,6 @@ fn run_leg_stepped(
     };
     sched.leg_finish(t);
     out
-}
-
-/// Runs two syscalls concurrently on persistent CPU workers instead of
-/// spawning threads — the pooled equivalent of [`run_concurrent`], used by
-/// [`crate::PooledMachine::run_pair`].
-///
-/// The per-leg choreography (scheduler `thread_start`, oops isolation,
-/// syscall-exit flush, `thread_finish`) is byte-for-byte the spawned
-/// version's: both executors funnel through [`run_leg`], so a campaign's
-/// deterministic output is identical either way.
-pub(crate) fn run_concurrent_on(
-    k: &Arc<Kctx>,
-    workers: &CpuWorkers,
-    plan: SchedulePlan,
-    a: Syscall,
-    b: Syscall,
-) -> RunOutcome {
-    run_on_workers_with(k, workers, Arc::new(Scheduler::new(2, plan)), a, b)
-}
-
-/// [`run_concurrent_recorded`] on persistent CPU workers.
-pub(crate) fn run_concurrent_on_recorded(
-    k: &Arc<Kctx>,
-    workers: &CpuWorkers,
-    plan: SchedulePlan,
-    a: Syscall,
-    b: Syscall,
-) -> (RunOutcome, ScheduleTrace) {
-    let first = plan.first;
-    let sched = Arc::new(Scheduler::recording(2, plan));
-    k.engine.start_trace_recording();
-    let out = run_on_workers_with(k, workers, Arc::clone(&sched), a, b);
-    let trace = ScheduleTrace {
-        model: k.engine.memory_model(),
-        first,
-        switches: sched.take_switch_log(),
-        steps: k.engine.take_recorded_trace(),
-    };
-    (out, trace)
-}
-
-/// [`run_concurrent_replay`] on persistent CPU workers.
-pub(crate) fn run_concurrent_on_replay(
-    k: &Arc<Kctx>,
-    workers: &CpuWorkers,
-    trace: &ScheduleTrace,
-    a: Syscall,
-    b: Syscall,
-) -> (RunOutcome, ReplayReport) {
-    check_replay_model(k, trace);
-    let sched = Arc::new(Scheduler::replaying(2, trace.first, trace.switches.clone()));
-    k.engine.start_trace_replay(trace.steps.clone());
-    let out = run_on_workers_with(k, workers, sched, a, b);
-    let status = k.engine.finish_trace_replay();
-    (
-        out,
-        ReplayReport {
-            diverged: status.diverged,
-            steps_consumed: status.consumed,
-            steps_total: status.total,
-        },
-    )
 }
 
 /// A trace's decision stream only makes sense on a machine running the
@@ -531,12 +645,15 @@ mod tests {
     #[test]
     fn concurrent_sequential_plan_is_benign() {
         let k = Kctx::new(BugSwitches::all());
-        let out = run_concurrent(
+        let out = execute(
             &k,
-            SchedulePlan::sequential(Tid(0)),
-            Syscall::WqPost,
-            Syscall::PipeRead,
-        );
+            ExecRequest::live(
+                SchedulePlan::sequential(Tid(0)),
+                Syscall::WqPost,
+                Syscall::PipeRead,
+            ),
+        )
+        .outcome;
         assert!(!out.crashed(), "in-order execution never crashes: {out:?}");
         assert_eq!(out.ret_a, 0);
     }
@@ -569,7 +686,11 @@ mod tests {
                 hit: 1,
             }),
         };
-        let out = run_concurrent(&k, plan, Syscall::WqPost, Syscall::PipeRead);
+        let out = execute(
+            &k,
+            ExecRequest::live(plan, Syscall::WqPost, Syscall::PipeRead),
+        )
+        .outcome;
         assert!(out.crashed(), "Figure 1 bug must manifest: {out:?}");
         assert_eq!(
             out.title().unwrap(),
@@ -621,7 +742,11 @@ mod tests {
                 hit: 1,
             }),
         };
-        let out = run_concurrent(&k, plan, Syscall::WqPost, Syscall::PipeRead);
+        let out = execute(
+            &k,
+            ExecRequest::live(plan, Syscall::WqPost, Syscall::PipeRead),
+        )
+        .outcome;
         assert!(!out.crashed(), "patched kernel survives: {out:?}");
     }
 

@@ -13,8 +13,11 @@
 //!   cited upstream code/patches with the historical buggy variant behind a
 //!   [`BugId`] switch;
 //! - [`Syscall`]/[`dispatch`]: the system-call surface the fuzzer drives;
-//! - [`run_sti`]/[`run_concurrent`]: STI (sequential) and MTI (concurrent,
-//!   scheduler-controlled) execution with oops isolation.
+//! - [`run_sti`]/[`execute`]: STI (sequential) and MTI (concurrent,
+//!   scheduler-controlled) execution with oops isolation. One MTI run is
+//!   an [`ExecRequest`] (pair + live/record/replay drive) handed to the
+//!   single dispatch point [`execute`] (or
+//!   [`PooledMachine::execute`] for pooled machines).
 //!
 //! The design invariant, verified by the subsystem test suites: **in-order
 //! execution never crashes, even with every bug switch enabled** — the
@@ -37,9 +40,11 @@ pub use bitops::{
 };
 pub use bugs::{BugId, BugSwitches, ReorderType};
 pub use exec::{
-    run_concurrent, run_concurrent_closures, run_concurrent_recorded, run_concurrent_replay,
-    run_one, run_sti, ExecMode, ReplayReport, RunOutcome,
+    execute, run_concurrent_closures, run_one, run_sti, ExecDrive, ExecMode, ExecReply,
+    ExecRequest, ReplayReport, RunOutcome,
 };
+#[allow(deprecated)]
+pub use exec::{run_concurrent, run_concurrent_recorded, run_concurrent_replay};
 pub use kctx::{
     CrashSignal, FnFrame, Globals, Kctx, MachineSnapshot, EAGAIN, EBADF, EBUSY, ECRASH, EINVAL,
     MAX_CPUS,

@@ -27,8 +27,7 @@ use kutil::sync::Mutex;
 
 use crate::bugs::BugSwitches;
 use crate::exec::{
-    run_concurrent, run_concurrent_on, run_concurrent_on_recorded, run_concurrent_on_replay,
-    run_concurrent_recorded, run_concurrent_replay, ExecMode, ReplayReport, RunOutcome,
+    execute, execute_on, ExecMode, ExecReply, ExecRequest, ReplayReport, RunOutcome,
 };
 use crate::kctx::Kctx;
 use crate::syscalls::Syscall;
@@ -112,10 +111,10 @@ impl Drop for CpuWorkers {
 /// A booted machine plus its (lazily spawned) persistent CPU workers,
 /// ready to run MTIs without booting or spawning anything.
 ///
-/// The `run_pair*` methods dispatch on the machine's [`ExecMode`]: in
-/// stepped mode (the default) both legs run on the calling thread and the
-/// worker lanes are never spawned; in threaded mode the first run spawns
-/// the two persistent workers and every later run reuses them.
+/// [`PooledMachine::execute`] dispatches on the machine's [`ExecMode`]:
+/// in stepped mode (the default) both legs run on the calling thread and
+/// the worker lanes are never spawned; in threaded mode the first run
+/// spawns the two persistent workers and every later run reuses them.
 pub struct PooledMachine {
     k: Arc<Kctx>,
     workers: OnceLock<CpuWorkers>,
@@ -145,41 +144,49 @@ impl PooledMachine {
         self.workers.get_or_init(|| CpuWorkers::new(2))
     }
 
-    /// Runs two syscalls concurrently — the pooled equivalent of
-    /// [`crate::run_concurrent`].
-    pub fn run_pair(&self, plan: SchedulePlan, a: Syscall, b: Syscall) -> RunOutcome {
+    /// Runs one [`ExecRequest`] on this machine — the pooled counterpart
+    /// of [`crate::execute`]. In threaded mode the legs run on the
+    /// machine's persistent workers (spawned on first use); in stepped
+    /// mode everything stays on the calling thread and no worker threads
+    /// are ever created.
+    pub fn execute(&self, req: ExecRequest<'_>) -> ExecReply {
         match self.k.exec_mode() {
-            ExecMode::Stepped => run_concurrent(&self.k, plan, a, b),
-            ExecMode::Threaded => run_concurrent_on(&self.k, self.workers(), plan, a, b),
+            // Don't touch the lazy worker lanes in stepped mode: the
+            // stepped executor ignores them, and `workers()` would spawn
+            // two idle threads per machine for nothing.
+            ExecMode::Stepped => execute(&self.k, req),
+            ExecMode::Threaded => execute_on(&self.k, self.workers(), req),
         }
     }
 
-    /// [`run_pair`](PooledMachine::run_pair) in record mode — the pooled
-    /// equivalent of [`crate::run_concurrent_recorded`].
+    /// Runs two syscalls concurrently.
+    #[deprecated(note = "build an ExecRequest::live and call PooledMachine::execute()")]
+    pub fn run_pair(&self, plan: SchedulePlan, a: Syscall, b: Syscall) -> RunOutcome {
+        self.execute(ExecRequest::live(plan, a, b)).outcome
+    }
+
+    /// Runs two syscalls with the decision stream recorded.
+    #[deprecated(note = "build an ExecRequest::recorded and call PooledMachine::execute()")]
     pub fn run_pair_recorded(
         &self,
         plan: SchedulePlan,
         a: Syscall,
         b: Syscall,
     ) -> (RunOutcome, ScheduleTrace) {
-        match self.k.exec_mode() {
-            ExecMode::Stepped => run_concurrent_recorded(&self.k, plan, a, b),
-            ExecMode::Threaded => run_concurrent_on_recorded(&self.k, self.workers(), plan, a, b),
-        }
+        self.execute(ExecRequest::recorded(plan, a, b))
+            .into_recorded()
     }
 
-    /// Replays a recorded trace — the pooled equivalent of
-    /// [`crate::run_concurrent_replay`].
+    /// Replays a recorded trace.
+    #[deprecated(note = "build an ExecRequest::replay and call PooledMachine::execute()")]
     pub fn run_pair_replay(
         &self,
         trace: &ScheduleTrace,
         a: Syscall,
         b: Syscall,
     ) -> (RunOutcome, ReplayReport) {
-        match self.k.exec_mode() {
-            ExecMode::Stepped => run_concurrent_replay(&self.k, trace, a, b),
-            ExecMode::Threaded => run_concurrent_on_replay(&self.k, self.workers(), trace, a, b),
-        }
+        self.execute(ExecRequest::replay(trace, a, b))
+            .into_replayed()
     }
 }
 
@@ -248,7 +255,6 @@ impl MachinePool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::run_concurrent;
     use crate::kctx::ECRASH;
     use ksched::{BreakWhen, Breakpoint};
     use oemu::{AccessKind, Tid};
@@ -323,14 +329,24 @@ mod tests {
         for a in rest {
             k.engine.delay_store_at(Tid(0), a.iid);
         }
-        let spawned = run_concurrent(&k, plan(), crate::Syscall::WqPost, crate::Syscall::PipeRead);
+        let spawned = execute(
+            &k,
+            ExecRequest::live(plan(), crate::Syscall::WqPost, crate::Syscall::PipeRead),
+        )
+        .outcome;
 
         let pool = MachinePool::new();
         let m = pool.checkout(&BugSwitches::all());
         for a in rest {
             m.kctx().engine.delay_store_at(Tid(0), a.iid);
         }
-        let pooled = m.run_pair(plan(), crate::Syscall::WqPost, crate::Syscall::PipeRead);
+        let pooled = m
+            .execute(ExecRequest::live(
+                plan(),
+                crate::Syscall::WqPost,
+                crate::Syscall::PipeRead,
+            ))
+            .outcome;
 
         assert_eq!(spawned.title(), pooled.title());
         assert_eq!(spawned.title().unwrap(), pooled.title().unwrap());
@@ -344,11 +360,13 @@ mod tests {
         let bugs = BugSwitches::all();
         let mut m = pool.checkout(&bugs);
         for _ in 0..3 {
-            let out = m.run_pair(
-                SchedulePlan::sequential(Tid(0)),
-                crate::Syscall::WqPost,
-                crate::Syscall::PipeRead,
-            );
+            let out = m
+                .execute(ExecRequest::live(
+                    SchedulePlan::sequential(Tid(0)),
+                    crate::Syscall::WqPost,
+                    crate::Syscall::PipeRead,
+                ))
+                .outcome;
             assert!(!out.crashed(), "in-order run is benign: {out:?}");
             pool.checkin(m);
             m = pool.checkout(&bugs);

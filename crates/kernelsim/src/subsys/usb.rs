@@ -122,7 +122,7 @@ pub fn usb_complete(k: &Kctx, t: Tid) -> i64 {
 mod tests {
     use super::*;
     use crate::bugs::BugSwitches;
-    use crate::exec::run_concurrent;
+    use crate::exec::{execute, ExecRequest};
     use crate::syscalls::Syscall;
     use crate::testutil::{expect_no_crash, profile_store_iids};
     use ksched::{BreakWhen, Breakpoint, SchedulePlan};
@@ -198,7 +198,11 @@ mod tests {
                 hit: 1,
             }),
         };
-        run_concurrent(k, plan, Syscall::UsbKillUrb, Syscall::UsbSubmitUrb)
+        execute(
+            k,
+            ExecRequest::live(plan, Syscall::UsbKillUrb, Syscall::UsbSubmitUrb),
+        )
+        .outcome
     }
 
     #[test]

@@ -204,7 +204,7 @@ mod tests {
         // barrier (present when only Bug #4 is seeded) would flush the
         // delayed pool stores, so the reader must run right after the pool
         // publication — the Figure 5a schedule with a breakpoint.
-        use crate::exec::run_concurrent;
+        use crate::exec::{execute, ExecRequest};
         use crate::syscalls::Syscall;
         use crate::testutil::profile_store_iids;
         use ksched::{BreakWhen, Breakpoint, SchedulePlan};
@@ -226,12 +226,11 @@ mod tests {
                 hit: 1,
             }),
         };
-        let out = run_concurrent(
+        let out = execute(
             &k,
-            plan,
-            Syscall::XskBind { fd: 0 },
-            Syscall::XskPoll { fd: 0 },
-        );
+            ExecRequest::live(plan, Syscall::XskBind { fd: 0 }, Syscall::XskPoll { fd: 0 }),
+        )
+        .outcome;
         assert!(out.crashed(), "Bug #4 must manifest: {out:?}");
         assert_eq!(
             out.title().unwrap(),

@@ -248,6 +248,67 @@ impl Syscall {
     }
 }
 
+// Token serialization: `VariantName` for unit variants, `VariantName=N`
+// for the single-argument ones. The `to_token` match is exhaustive, so
+// adding a syscall without listing it here is a compile error — the
+// checkpoint format can never silently lag the syscall surface.
+macro_rules! syscall_tokens {
+    (
+        unit { $($u:ident),* $(,)? }
+        arg { $($v:ident { $field:ident }),* $(,)? }
+    ) => {
+        impl Syscall {
+            /// Serializes to a stable, whitespace-free text token
+            /// (`VariantName` or `VariantName=arg`) for checkpoints.
+            pub fn to_token(&self) -> String {
+                match *self {
+                    $(Syscall::$u => stringify!($u).to_string(),)*
+                    $(Syscall::$v { $field } =>
+                        format!(concat!(stringify!($v), "={}"), $field),)*
+                }
+            }
+
+            /// Parses a [`Syscall::to_token`] token back.
+            pub fn from_token(s: &str) -> Result<Syscall, String> {
+                if let Some((name, arg)) = s.split_once('=') {
+                    let n: u64 = arg
+                        .parse()
+                        .map_err(|e| format!("bad syscall arg {s:?}: {e}"))?;
+                    match name {
+                        $(stringify!($v) => Ok(Syscall::$v { $field: n }),)*
+                        _ => Err(format!("unknown syscall token {s:?}")),
+                    }
+                } else {
+                    match s {
+                        $(stringify!($u) => Ok(Syscall::$u),)*
+                        _ => Err(format!("unknown syscall token {s:?}")),
+                    }
+                }
+            }
+        }
+    };
+}
+
+syscall_tokens! {
+    unit {
+        WqPost, PipeRead, RdsSendXmit, RdsLoopXmit, VmciQpCreate,
+        VmciQpAttach, NbdAllocConfig, NbdIoctl, SbitmapClear, SbitmapGet,
+        BhReplace, BhEvict, RingBufferRead, FilemapRead, UsbSubmitUrb,
+        UsbComplete, UsbKillUrb,
+    }
+    arg {
+        WqSetFilter { nwords }, TlsInit { fd }, SetSockOpt { fd },
+        GetSockOpt { fd }, TlsErrAbort { fd }, TlsPollErr { fd },
+        XskRegUmem { fd }, XskBind { fd }, XskPoll { fd },
+        XskSendmsg { fd }, XskRx { fd }, PsockInit { fd },
+        SockRecvmsg { fd }, SmcConnect { fd }, SmcAccept { fd },
+        SmcFputWorker { fd }, GsmDlciAlloc { idx }, GsmDlciConfig { idx },
+        VlanAdd { id }, VlanGet { id }, FdInstall { fd },
+        FgetLight { fd }, UnixBind { fd }, UnixGetname { fd },
+        RingBufferWrite { data }, FilemapWrite { val },
+    }
+}
+
 /// The kernel entry point: dispatches one syscall on simulated CPU `t`.
 pub fn dispatch(k: &Kctx, t: Tid, sc: Syscall) -> i64 {
     match sc {
@@ -378,6 +439,25 @@ mod tests {
             run_one(&k, oemu::Tid(0), sc);
         }
         assert!(k.sink.is_empty());
+    }
+
+    #[test]
+    fn tokens_roundtrip_for_every_syscall() {
+        for sc in all_syscalls() {
+            let tok = sc.to_token();
+            assert!(
+                !tok.contains(char::is_whitespace),
+                "token {tok:?} must be whitespace-free"
+            );
+            assert_eq!(Syscall::from_token(&tok), Ok(sc), "{tok}");
+        }
+        assert_eq!(
+            Syscall::from_token("TlsInit=3"),
+            Ok(Syscall::TlsInit { fd: 3 })
+        );
+        assert!(Syscall::from_token("NoSuchCall").is_err());
+        assert!(Syscall::from_token("TlsInit=abc").is_err());
+        assert!(Syscall::from_token("WqPost=1").is_err());
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! Line-oriented text codec for durable campaign artifacts.
+//!
+//! Checkpoints and the crash database must survive the process that wrote
+//! them and re-load byte-identically in another one, with zero crates-io
+//! dependencies. This module is the shared serialization substrate: a
+//! self-describing, versioned, line-oriented text format in the same
+//! spirit as the `ozz-trace` format — human-inspectable with `less`,
+//! diffable, and deliberately boring.
+//!
+//! Format rules:
+//!
+//! - The first line is a header: `<magic> v<version>`.
+//! - Every subsequent line is `<key> <value>` (value may be empty) or a
+//!   structural line: `begin <name>` / `end` for nesting, `eof` as the
+//!   explicit terminator (truncated files are detected, not silently
+//!   accepted).
+//! - String values are escaped (`\\`, `\n`, `\r`) so arbitrary bug titles
+//!   and barrier locations stay on one line.
+//! - Embedded documents that have their own format (e.g. an `ozz-trace`
+//!   text) are carried as *blobs*: a `<key> <line-count>` line followed by
+//!   exactly that many raw, unescaped lines. Blob lines are copied
+//!   verbatim, so nesting a whole trace file costs nothing and round-trips
+//!   exactly.
+//!
+//! [`TextWriter`] and [`TextReader`] enforce the structure; parse errors
+//! carry the 1-based line number of the offending line.
+
+use std::fmt::Display;
+
+/// Escapes a string value onto a single line (`\\`, `\n`, `\r`).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape`]. Returns `None` on a malformed escape sequence.
+pub fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Serializes one document in the workspace text format.
+///
+/// The writer is append-only; [`TextWriter::finish`] seals the document
+/// with the `eof` terminator and asserts every `begin` was matched by an
+/// `end`, so a writer bug produces a panic at save time rather than an
+/// unreadable artifact.
+pub struct TextWriter {
+    out: String,
+    depth: usize,
+}
+
+impl TextWriter {
+    /// Starts a document with header `<magic> v<version>`.
+    pub fn new(magic: &str, version: u32) -> TextWriter {
+        debug_assert!(!magic.contains(char::is_whitespace));
+        TextWriter {
+            out: format!("{magic} v{version}\n"),
+            depth: 0,
+        }
+    }
+
+    /// Writes `<key> <value>` using the value's `Display` form.
+    ///
+    /// The rendered value must not contain newlines; use
+    /// [`TextWriter::str_field`] for arbitrary strings.
+    pub fn field(&mut self, key: &str, value: impl Display) {
+        debug_assert!(!key.contains(char::is_whitespace));
+        let v = value.to_string();
+        debug_assert!(!v.contains('\n'), "field {key}: use str_field");
+        self.out.push_str(key);
+        self.out.push(' ');
+        self.out.push_str(&v);
+        self.out.push('\n');
+    }
+
+    /// Writes a `u64` as fixed-width hex (for digests and RNG state).
+    pub fn hex_field(&mut self, key: &str, value: u64) {
+        self.field(key, format_args!("{value:016x}"));
+    }
+
+    /// Writes an arbitrary string, escaped onto one line.
+    pub fn str_field(&mut self, key: &str, value: &str) {
+        self.field(key, escape(value));
+    }
+
+    /// Writes an embedded document verbatim as a line-counted blob.
+    pub fn blob(&mut self, key: &str, text: &str) {
+        let body = text.strip_suffix('\n').unwrap_or(text);
+        let count = if body.is_empty() {
+            0
+        } else {
+            body.lines().count()
+        };
+        self.field(key, count);
+        if count > 0 {
+            self.out.push_str(body);
+            self.out.push('\n');
+        }
+    }
+
+    /// Opens a nested section: `begin <name>`.
+    pub fn begin(&mut self, name: &str) {
+        self.field("begin", name);
+        self.depth += 1;
+    }
+
+    /// Closes the innermost section.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no section is open.
+    pub fn end(&mut self) {
+        assert!(self.depth > 0, "TextWriter: end without begin");
+        self.out.push_str("end\n");
+        self.depth -= 1;
+    }
+
+    /// Seals the document with `eof` and returns the full text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a section is still open.
+    pub fn finish(mut self) -> String {
+        assert_eq!(self.depth, 0, "TextWriter: unclosed section");
+        self.out.push_str("eof\n");
+        self.out
+    }
+}
+
+/// Parses one document written by [`TextWriter`].
+///
+/// Every accessor returns `Err` with the 1-based line number on a
+/// structural mismatch, so a hand-edited or truncated artifact reports
+/// *where* it broke.
+pub struct TextReader<'a> {
+    lines: Vec<&'a str>,
+    pos: usize,
+}
+
+/// A structured parse error: what was expected, what was found, where.
+pub type ParseError = String;
+
+impl<'a> TextReader<'a> {
+    /// Opens a document, validating the `<magic> v<version>` header.
+    ///
+    /// Returns the reader positioned after the header, plus the version
+    /// number so callers can branch on format revisions.
+    pub fn new(text: &'a str, magic: &str) -> Result<(TextReader<'a>, u32), ParseError> {
+        let lines: Vec<&str> = text.lines().collect();
+        let header = lines
+            .first()
+            .ok_or_else(|| format!("{magic}: empty document"))?;
+        let version = header
+            .strip_prefix(magic)
+            .and_then(|rest| rest.strip_prefix(" v"))
+            .and_then(|v| v.parse::<u32>().ok())
+            .ok_or_else(|| format!("{magic}: bad header {header:?}"))?;
+        Ok((TextReader { lines, pos: 1 }, version))
+    }
+
+    fn line_no(&self) -> usize {
+        self.pos + 1
+    }
+
+    fn next_line(&mut self) -> Result<&'a str, ParseError> {
+        let line = self
+            .lines
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of document".to_string())?;
+        self.pos += 1;
+        Ok(line)
+    }
+
+    /// The key of the next line without consuming it (`None` at EOF).
+    pub fn peek_key(&self) -> Option<&'a str> {
+        let line = self.lines.get(self.pos)?;
+        Some(line.split(' ').next().unwrap_or(line))
+    }
+
+    /// Consumes `<key> <value>` and returns the raw value text.
+    pub fn field(&mut self, key: &str) -> Result<&'a str, ParseError> {
+        let at = self.line_no();
+        let line = self.next_line()?;
+        match line.split_once(' ') {
+            Some((k, v)) if k == key => Ok(v),
+            _ if line == key => Ok(""),
+            _ => Err(format!("line {at}: expected `{key} ...`, got {line:?}")),
+        }
+    }
+
+    /// Consumes a field and parses it with `FromStr`.
+    pub fn parse_field<T: std::str::FromStr>(&mut self, key: &str) -> Result<T, ParseError> {
+        let at = self.line_no();
+        let v = self.field(key)?;
+        v.parse()
+            .map_err(|_| format!("line {at}: bad value {v:?} for `{key}`"))
+    }
+
+    /// Consumes a fixed-width hex `u64` field written by
+    /// [`TextWriter::hex_field`].
+    pub fn hex_field(&mut self, key: &str) -> Result<u64, ParseError> {
+        let at = self.line_no();
+        let v = self.field(key)?;
+        u64::from_str_radix(v, 16).map_err(|_| format!("line {at}: bad hex {v:?} for `{key}`"))
+    }
+
+    /// Consumes an escaped string field written by
+    /// [`TextWriter::str_field`].
+    pub fn str_field(&mut self, key: &str) -> Result<String, ParseError> {
+        let at = self.line_no();
+        let v = self.field(key)?;
+        unescape(v).ok_or_else(|| format!("line {at}: bad escape in `{key}` value {v:?}"))
+    }
+
+    /// Consumes a line-counted blob and returns the embedded document
+    /// (with a trailing newline when non-empty).
+    pub fn blob(&mut self, key: &str) -> Result<String, ParseError> {
+        let count: usize = self.parse_field(key)?;
+        let mut out = String::new();
+        for _ in 0..count {
+            out.push_str(self.next_line()?);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Consumes `begin <name>`.
+    pub fn begin(&mut self, name: &str) -> Result<(), ParseError> {
+        let at = self.line_no();
+        let v = self.field("begin")?;
+        if v == name {
+            Ok(())
+        } else {
+            Err(format!(
+                "line {at}: expected `begin {name}`, got `begin {v}`"
+            ))
+        }
+    }
+
+    /// Consumes the `end` of the innermost section.
+    pub fn end(&mut self) -> Result<(), ParseError> {
+        let at = self.line_no();
+        let line = self.next_line()?;
+        if line == "end" {
+            Ok(())
+        } else {
+            Err(format!("line {at}: expected `end`, got {line:?}"))
+        }
+    }
+
+    /// Consumes the `eof` terminator and asserts nothing follows it.
+    pub fn expect_eof(mut self) -> Result<(), ParseError> {
+        let at = self.line_no();
+        let line = self.next_line()?;
+        if line != "eof" {
+            return Err(format!("line {at}: expected `eof`, got {line:?}"));
+        }
+        if self.pos < self.lines.len() {
+            return Err(format!("line {}: trailing data after eof", self.line_no()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_roundtrip() {
+        for s in ["", "plain", "a\nb", "tab\tkept", "back\\slash", "\r\n\\n"] {
+            assert_eq!(unescape(&escape(s)).as_deref(), Some(s));
+        }
+        assert!(unescape("dangling\\").is_none());
+        assert!(unescape("bad\\q").is_none());
+    }
+
+    #[test]
+    fn document_roundtrip() {
+        let mut w = TextWriter::new("ozz-test", 1);
+        w.field("count", 3u64);
+        w.hex_field("digest", 0xdead_beef);
+        w.str_field("title", "multi\nline \\ title");
+        w.str_field("empty", "");
+        w.begin("section");
+        w.field("inner", 42u32);
+        w.blob("trace", "ozz-trace v1\nstore a\nend\n");
+        w.blob("nothing", "");
+        w.end();
+        let text = w.finish();
+
+        let (mut r, version) = TextReader::new(&text, "ozz-test").unwrap();
+        assert_eq!(version, 1);
+        assert_eq!(r.parse_field::<u64>("count").unwrap(), 3);
+        assert_eq!(r.hex_field("digest").unwrap(), 0xdead_beef);
+        assert_eq!(r.str_field("title").unwrap(), "multi\nline \\ title");
+        assert_eq!(r.str_field("empty").unwrap(), "");
+        r.begin("section").unwrap();
+        assert_eq!(r.parse_field::<u32>("inner").unwrap(), 42);
+        assert_eq!(r.blob("trace").unwrap(), "ozz-trace v1\nstore a\nend\n");
+        assert_eq!(r.blob("nothing").unwrap(), "");
+        r.end().unwrap();
+        r.expect_eof().unwrap();
+    }
+
+    #[test]
+    fn blob_lines_are_verbatim() {
+        // Blob content must not be escaped or trimmed: embedded trace
+        // lines can contain spaces and backslash-free escapes.
+        let mut w = TextWriter::new("t", 1);
+        w.blob("b", "  indented \\ raw\nsecond line");
+        let text = w.finish();
+        let (mut r, _) = TextReader::new(&text, "t").unwrap();
+        assert_eq!(r.blob("b").unwrap(), "  indented \\ raw\nsecond line\n");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "t v1\ncount 3\neof\n";
+        let (mut r, _) = TextReader::new(text, "t").unwrap();
+        let err = r.field("other").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+
+        let (r2, _) = TextReader::new("t v1\nextra x\n", "t").unwrap();
+        assert!(r2.expect_eof().unwrap_err().contains("expected `eof`"));
+
+        assert!(TextReader::new("wrong v1\n", "t").is_err());
+        assert!(TextReader::new("t vx\n", "t").is_err());
+        assert!(TextReader::new("", "t").is_err());
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut w = TextWriter::new("t", 1);
+        w.field("a", 1);
+        w.blob("b", "one\ntwo\n");
+        let full = w.finish();
+        // Drop the eof line and one blob line: both must fail loudly.
+        let no_eof = full.strip_suffix("eof\n").unwrap();
+        let (mut r, _) = TextReader::new(no_eof, "t").unwrap();
+        r.field("a").unwrap();
+        r.blob("b").unwrap();
+        assert!(r.expect_eof().is_err());
+
+        let cut = "t v1\na 1\nb 2\none\n";
+        let (mut r, _) = TextReader::new(cut, "t").unwrap();
+        r.field("a").unwrap();
+        assert!(r.blob("b").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed section")]
+    fn unbalanced_sections_panic_at_finish() {
+        let mut w = TextWriter::new("t", 1);
+        w.begin("s");
+        let _ = w.finish();
+    }
+}

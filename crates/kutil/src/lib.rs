@@ -19,11 +19,14 @@
 //! - [`chan`] — a poison-tolerant MPSC channel replacing `std::sync::mpsc`
 //!   for the sharded campaign runner (epoch reports worker→coordinator,
 //!   corpus broadcasts coordinator→worker).
+//! - [`codec`] — a versioned line-oriented text codec replacing `serde`
+//!   for durable artifacts (campaign checkpoints, the crash database).
 
 #![deny(missing_docs)]
 
 pub mod bench;
 pub mod chan;
+pub mod codec;
 pub mod rng;
 pub mod sync;
 

@@ -99,6 +99,50 @@ impl Iid {
             None => format!("iid#{:016x}", self.0),
         }
     }
+
+    /// Serializes the id to the stable single-token text form used by
+    /// every durable artifact (`ozz-trace` files, campaign checkpoints):
+    /// `file:line:col` when the location is known, `@synthetic` for
+    /// [`Iid::SYNTHETIC`], `@<hex>` for an unregistered raw hash.
+    ///
+    /// Tokens never contain whitespace (Rust source paths have none), so
+    /// they can be embedded in whitespace-separated line formats.
+    pub fn to_token(self) -> String {
+        match self.location() {
+            Some(loc) => format!("{}:{}:{}", loc.file, loc.line, loc.column),
+            None if self == Iid::SYNTHETIC => "@synthetic".into(),
+            None => format!("@{:016x}", self.0),
+        }
+    }
+
+    /// Parses a token produced by [`Iid::to_token`].
+    ///
+    /// A `file:line:col` token is *re-registered*, so the parsed id
+    /// resolves to its source location again in this process — that is
+    /// what keeps golden traces and checkpoints portable across builds
+    /// whose hash registry starts empty. Tokens are parsed rarely, so
+    /// leaking the interned file path is fine.
+    pub fn from_token(s: &str) -> Result<Iid, String> {
+        if s == "@synthetic" {
+            return Ok(Iid::SYNTHETIC);
+        }
+        if let Some(hex) = s.strip_prefix('@') {
+            let raw =
+                u64::from_str_radix(hex, 16).map_err(|e| format!("bad raw iid {s:?}: {e}"))?;
+            return Ok(Iid(raw));
+        }
+        // `file:line:col` — split from the right; file paths contain no ':'.
+        let mut parts = s.rsplitn(3, ':');
+        let col = parts.next().ok_or_else(|| format!("bad iid {s:?}"))?;
+        let line = parts.next().ok_or_else(|| format!("bad iid {s:?}"))?;
+        let file = parts.next().ok_or_else(|| format!("bad iid {s:?}"))?;
+        let line: u32 = line
+            .parse()
+            .map_err(|e| format!("bad iid line {s:?}: {e}"))?;
+        let col: u32 = col.parse().map_err(|e| format!("bad iid col {s:?}: {e}"))?;
+        let file: &'static str = Box::leak(file.to_string().into_boxed_str());
+        Ok(Iid::register(file, line, col))
+    }
 }
 
 impl fmt::Debug for Iid {
@@ -177,5 +221,29 @@ mod tests {
         let a = Iid::register("bar.rs", 1, 1);
         let b = Iid::register("bar.rs", 1, 1);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn token_roundtrip_for_all_three_forms() {
+        let registered = Iid::register("baz.rs", 42, 9);
+        assert_eq!(registered.to_token(), "baz.rs:42:9");
+        assert_eq!(Iid::from_token("baz.rs:42:9"), Ok(registered));
+        assert_eq!(Iid::SYNTHETIC.to_token(), "@synthetic");
+        assert_eq!(Iid::from_token("@synthetic"), Ok(Iid::SYNTHETIC));
+        let raw = Iid(0xdead_beef);
+        assert_eq!(Iid::from_token(&raw.to_token()), Ok(raw));
+        assert!(Iid::from_token("@xyzzy").is_err());
+        assert!(Iid::from_token("no-colons").is_err());
+    }
+
+    /// Parsing re-registers the location, so a token read in a process
+    /// with an empty registry resolves back to `file:line:col`.
+    #[test]
+    fn parsed_tokens_resolve_to_locations() {
+        let iid = Iid::from_token("qux.rs:7:3").expect("parse");
+        assert_eq!(
+            iid.location().expect("registered").to_string(),
+            "qux.rs:7:3"
+        );
     }
 }

@@ -113,35 +113,15 @@ pub struct ReplayStatus {
     pub total: usize,
 }
 
+// Trace serialization of instruction ids is the workspace-wide token form
+// (`Iid::to_token` / `Iid::from_token`); these aliases keep the format
+// code below compact.
 fn fmt_iid(iid: Iid) -> String {
-    match iid.location() {
-        Some(loc) => format!("{}:{}:{}", loc.file, loc.line, loc.column),
-        None if iid == Iid::SYNTHETIC => "@synthetic".into(),
-        None => format!("@{:016x}", iid.0),
-    }
+    iid.to_token()
 }
 
 fn parse_iid(s: &str) -> Result<Iid, String> {
-    if s == "@synthetic" {
-        return Ok(Iid::SYNTHETIC);
-    }
-    if let Some(hex) = s.strip_prefix('@') {
-        let raw = u64::from_str_radix(hex, 16).map_err(|e| format!("bad raw iid {s:?}: {e}"))?;
-        return Ok(Iid(raw));
-    }
-    // `file:line:col` — split from the right; file paths contain no ':'.
-    let mut parts = s.rsplitn(3, ':');
-    let col = parts.next().ok_or_else(|| format!("bad iid {s:?}"))?;
-    let line = parts.next().ok_or_else(|| format!("bad iid {s:?}"))?;
-    let file = parts.next().ok_or_else(|| format!("bad iid {s:?}"))?;
-    let line: u32 = line
-        .parse()
-        .map_err(|e| format!("bad iid line {s:?}: {e}"))?;
-    let col: u32 = col.parse().map_err(|e| format!("bad iid col {s:?}: {e}"))?;
-    // Re-register so the parsed iid resolves to a location again; golden
-    // traces are read rarely, so leaking the interned path is fine.
-    let file: &'static str = Box::leak(file.to_string().into_boxed_str());
-    Ok(Iid::register(file, line, col))
+    Iid::from_token(s)
 }
 
 fn fmt_barrier(kind: BarrierKind) -> &'static str {

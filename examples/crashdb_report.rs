@@ -1,0 +1,107 @@
+//! Crash-database triage CLI: run a campaign (or load a saved database)
+//! and query its deduplicated crashes.
+//!
+//! Every crash occurrence a campaign observes is recorded in its
+//! [`ozz::crashdb::CrashDb`], keyed by the diagnosis digest, with
+//! sighting counts, first/last-seen rounds, the sighting shard, and
+//! per-memory-model / per-kernel-build tallies. This example is the
+//! query surface:
+//!
+//! ```text
+//! # fuzz, print the triage table, and save the database
+//! cargo run --release --example crashdb_report -- --budget 4000 --shards 4 --save crashes.db
+//!
+//! # reload and filter it later, without re-fuzzing
+//! cargo run --release --example crashdb_report -- --load crashes.db --title watch_queue
+//! cargo run --release --example crashdb_report -- --load crashes.db --reorder S-S --min-count 2
+//! ```
+
+use ozz::campaign::CampaignBuilder;
+use ozz::crashdb::{CrashDb, CrashQuery};
+
+fn main() {
+    let mut budget: u64 = 4000;
+    let mut shards: usize = 4;
+    let mut seed: u64 = 2024;
+    let mut save: Option<String> = None;
+    let mut load: Option<String> = None;
+    let mut query = CrashQuery::default();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+                .clone()
+        };
+        match flag.as_str() {
+            "--budget" => budget = value().parse().expect("--budget takes a number"),
+            "--shards" => shards = value().parse().expect("--shards takes a number"),
+            "--seed" => seed = value().parse().expect("--seed takes a number"),
+            "--save" => save = Some(value()),
+            "--load" => load = Some(value()),
+            "--title" => query.title_contains = Some(value()),
+            "--model" => query.model = Some(value()),
+            "--reorder" => {
+                let v = value();
+                query.reorder = Some(
+                    kernelsim::ReorderType::parse(&v)
+                        .unwrap_or_else(|| panic!("unknown reorder type {v:?} (S-S, S-L or L-L)")),
+                )
+            }
+            "--min-count" => query.min_count = value().parse().expect("--min-count takes a number"),
+            "--since-epoch" => {
+                query.seen_since_epoch =
+                    Some(value().parse().expect("--since-epoch takes a number"))
+            }
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+
+    let db = match load {
+        Some(path) => {
+            println!("loading crash database from {path}\n");
+            CrashDb::load(std::path::Path::new(&path)).expect("readable crash database")
+        }
+        None => {
+            println!("=== campaign: seed {seed}, {shards} shards, {budget} MTIs ===\n");
+            let report = CampaignBuilder::new(seed)
+                .shards(shards)
+                .budget(budget)
+                .run();
+            println!(
+                "{} unique crashes | {} sightings | {} rounds\n",
+                report.crashes.len(),
+                report.crashes.records().map(|r| r.count).sum::<u64>(),
+                report.rounds
+            );
+            report.crashes
+        }
+    };
+
+    let hits = db.query(&query);
+    println!("{} of {} records match the query:\n", hits.len(), db.len());
+    print!("{}", db.report());
+    if !hits.is_empty() && hits.len() < db.len() {
+        println!("\nfiltered:");
+        for r in hits {
+            println!(
+                "  {:016x} {:>5}x [{}] shard {} rounds {}..{} {}",
+                r.digest_fnv,
+                r.count,
+                r.reorder_type,
+                r.first_seen_shard,
+                r.first_seen_epoch,
+                r.last_seen_epoch,
+                r.title
+            );
+        }
+    }
+
+    if let Some(path) = save {
+        db.save(std::path::Path::new(&path))
+            .expect("writable database path");
+        println!("\nsaved {} records to {path}", db.len());
+    }
+}

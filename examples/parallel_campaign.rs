@@ -1,24 +1,34 @@
 //! A sharded fuzzing campaign over the all-bugs kernel: the Table 3
-//! workflow of `examples/fuzz_campaign.rs`, split across worker threads.
+//! workflow of `examples/fuzz_campaign.rs`, scaled out through the
+//! unified campaign service.
 //!
 //! Each shard owns a private fuzzer seeded from `(seed, shard)`; shards
-//! exchange new-coverage corpus entries at epoch barriers and the
-//! coordinator merges every shard's crashes into one deduplicated report.
-//! The merged bug list is a pure function of `(seed, shards, budget)` —
-//! rerun with the same arguments and the output is byte-identical, no
-//! matter how the OS schedules the threads.
+//! exchange new-coverage corpus entries at round boundaries and the
+//! coordinator merges every shard's crashes into one deduplicated report
+//! plus a crash database. Batches are dealt to a work-stealing worker
+//! pool, yet the merged bug list is a pure function of
+//! `(seed, shards, budget)` — rerun with the same arguments and the
+//! output is byte-identical, no matter how many workers run it or how
+//! the OS schedules them.
 //!
-//! Run with: `cargo run --release --example parallel_campaign [shards] [budget]`
+//! Run with: `cargo run --release --example parallel_campaign [shards] [budget] [workers]`
 
-use ozz::parallel::parallel_campaign;
+use ozz::campaign::CampaignBuilder;
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let shards: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
     let budget: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(4000);
-    println!("=== OZZ sharded campaign: {shards} shards, {budget} MTIs total ===\n");
+    let workers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(shards);
+    println!(
+        "=== OZZ sharded campaign: {shards} shards x {workers} workers, {budget} MTIs total ===\n"
+    );
 
-    let report = parallel_campaign(2024, shards, budget);
+    let report = CampaignBuilder::new(2024)
+        .shards(shards)
+        .workers(workers)
+        .budget(budget)
+        .run();
 
     for (title, info) in &report.found {
         println!("[shard test {:>6}] {title}", info.tests_to_find);
@@ -30,19 +40,24 @@ fn main() {
     }
 
     println!("\nper-shard:");
-    for (shard, s) in report.shard_stats.iter().enumerate() {
+    for s in &report.shard_stats {
         println!(
-            "  shard {shard}: {} STIs | {} MTIs | {} coverage sites{}",
-            s.stis_run,
-            s.mtis_run,
-            s.coverage,
-            if s.stalled { " | stalled" } else { "" }
+            "  shard {}: {} STIs | {} MTIs | {} coverage sites | {} rounds | {} steals{}",
+            s.shard,
+            s.fuzz.stis_run,
+            s.fuzz.mtis_run,
+            s.fuzz.coverage,
+            s.epochs,
+            s.steals,
+            if s.fuzz.stalled { " | stalled" } else { "" }
         );
     }
     let stats = &report.stats;
     println!(
-        "\ncampaign done: {} unique crashes | {} STIs | {} MTIs | {} union coverage sites",
+        "\ncampaign done in {} rounds: {} unique crashes ({} deduped sightings) | {} STIs | {} MTIs | {} union coverage sites",
+        report.rounds,
         report.found.len(),
+        report.crashes.records().map(|r| r.count).sum::<u64>(),
         stats.stis_run,
         stats.mtis_run,
         stats.coverage

@@ -15,7 +15,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use kernelsim::{run_concurrent, run_one, BugId, BugSwitches, Kctx, Syscall};
+use kernelsim::{execute, run_one, BugId, BugSwitches, ExecRequest, Kctx, Syscall};
 use ksched::{BreakWhen, Breakpoint, SchedulePlan};
 use oemu::{AccessKind, Tid};
 
@@ -61,7 +61,11 @@ fn store_store_reordering() {
         }),
     };
     println!("  schedule_at(after {})", head_store.iid);
-    let out = run_concurrent(&k, plan, Syscall::WqPost, Syscall::PipeRead);
+    let out = execute(
+        &k,
+        ExecRequest::live(plan, Syscall::WqPost, Syscall::PipeRead),
+    )
+    .outcome;
     println!("  -> {}\n", out.title().unwrap_or("no crash (unexpected!)"));
     assert!(out.crashed());
 }
@@ -99,7 +103,11 @@ fn load_load_reordering() {
         }),
     };
     println!("  schedule_at(before {})", loads[0].iid);
-    let out = run_concurrent(&k, plan, Syscall::WqPost, Syscall::PipeRead);
+    let out = execute(
+        &k,
+        ExecRequest::live(plan, Syscall::WqPost, Syscall::PipeRead),
+    )
+    .outcome;
     println!("  -> {}\n", out.title().unwrap_or("no crash (unexpected!)"));
     assert!(out.crashed());
 }
@@ -126,7 +134,11 @@ fn patched_kernel_survives() {
             hit: 1,
         }),
     };
-    let out = run_concurrent(&k, plan, Syscall::WqPost, Syscall::PipeRead);
+    let out = execute(
+        &k,
+        ExecRequest::live(plan, Syscall::WqPost, Syscall::PipeRead),
+    )
+    .outcome;
     assert!(!out.crashed());
     println!(
         "  -> no crash: smp_wmb() flushed the store buffer before head moved (ret = {})",

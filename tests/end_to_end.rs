@@ -97,10 +97,10 @@ fn campaign_summary_shape_matches_table3() {
     // A bounded version of the table3_campaign binary: most of the Table 3
     // set is discoverable within a modest budget, and every found bug
     // carries a usable diagnosis.
-    let fuzzer = ozz::fuzzer::campaign(2024, 2000);
+    let report = ozz::campaign::CampaignBuilder::new(2024).budget(2000).run();
     let found: Vec<_> = BugId::NEW
         .iter()
-        .filter(|b| fuzzer.found().contains_key(b.expected_title()))
+        .filter(|b| report.found.contains_key(b.expected_title()))
         .collect();
     assert!(
         found.len() >= 8,
@@ -108,7 +108,7 @@ fn campaign_summary_shape_matches_table3() {
         found.len()
     );
     for b in found {
-        let info = &fuzzer.found()[b.expected_title()];
+        let info = &report.found[b.expected_title()];
         assert!(info.barrier_location.contains("missing"));
         // The triggering hint's mechanism usually matches the bug's class,
         // but crash titles do not uniquely map to root causes on the

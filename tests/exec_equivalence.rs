@@ -17,7 +17,7 @@
 
 use std::collections::BTreeSet;
 
-use kernelsim::{BugId, BugSwitches, ExecMode, Kctx, MachinePool, Syscall};
+use kernelsim::{BugId, BugSwitches, ExecMode, ExecRequest, Kctx, MachinePool, Syscall};
 use modelcheck::{explore_pair_with_mode, Bound};
 use ozz::fuzzer::{FuzzConfig, Fuzzer};
 use ozz::hints::calc_hints;
@@ -170,7 +170,9 @@ fn replays_match_across_executors() {
             m.kctx().set_exec_mode(mode);
             mti.run_setup(m.kctx());
             let (a, b) = mti.pair();
-            let (outcome, report) = m.run_pair_replay(&rec.trace, a, b);
+            let (outcome, report) = m
+                .execute(ExecRequest::replay(&rec.trace, a, b))
+                .into_replayed();
             (
                 format!("{outcome:?}"),
                 format!("{report:?}"),

@@ -1,29 +1,39 @@
-//! Sharded-campaign determinism: parallelism must not cost reproducibility.
+//! Campaign-service determinism: parallelism must not cost reproducibility.
 //!
-//! The sharded runner (`ozz::parallel`) spreads one campaign over N worker
+//! The work-stealing engine behind `ozz::campaign::CampaignBuilder`
+//! spreads one campaign over N logical shards executed by M worker
 //! threads, yet its merged `FoundBug` map is specified to be a pure
-//! function of `(seed, shards, budget)` — thread scheduling, core count,
-//! and machine load must not leak into the result. These tests pin that
-//! contract: byte-identical reruns at one and at four shards, exact
-//! agreement with the serial `campaign()` at one shard, and a multi-shard
-//! smoke test that actually finds the Figure 7 TLS bug.
+//! function of `(seed, shards, budget)` — worker count, thread
+//! scheduling, core count, and machine load must not leak into the
+//! result. These tests pin that contract: byte-identical reruns at one
+//! and at four shards, worker-count invariance (1 worker vs one per
+//! shard), exact agreement with the serial `campaign()` at one shard,
+//! kill/resume transparency, and a multi-shard smoke test that actually
+//! finds the Figure 7 TLS bug.
 
 use kernelsim::BugId;
-use ozz::fuzzer::campaign;
-use ozz::parallel::parallel_campaign;
+use ozz::campaign::{CampaignBuilder, CampaignReport};
 
 /// Renders the merged found-bug map to bytes (titles, diagnoses, pairs,
 /// counters — the full Debug serialization), as `tests/determinism.rs`
 /// does for the serial campaign.
-fn parallel_bytes(seed: u64, shards: usize, budget: u64) -> Vec<u8> {
-    format!("{:#?}", parallel_campaign(seed, shards, budget).found).into_bytes()
+fn found_bytes(r: &CampaignReport) -> Vec<u8> {
+    format!("{:#?}", r.found).into_bytes()
+}
+
+fn run(seed: u64, shards: usize, workers: usize, budget: u64) -> CampaignReport {
+    CampaignBuilder::new(seed)
+        .shards(shards)
+        .workers(workers)
+        .budget(budget)
+        .run()
 }
 
 #[test]
 fn reruns_are_byte_identical_at_one_and_four_shards() {
     for shards in [1usize, 4] {
-        let a = parallel_bytes(7, shards, 800);
-        let b = parallel_bytes(7, shards, 800);
+        let a = found_bytes(&run(7, shards, shards, 800));
+        let b = found_bytes(&run(7, shards, shards, 800));
         assert!(!a.is_empty(), "shards={shards}: the budget finds something");
         assert_eq!(
             a, b,
@@ -34,12 +44,41 @@ fn reruns_are_byte_identical_at_one_and_four_shards() {
 }
 
 #[test]
+fn worker_count_is_invisible_in_the_merge() {
+    // Workers are a pure throughput knob: stealing batches across threads
+    // must not change diagnoses, statistics, coverage, or the crash
+    // database. (Steal counts and batch timings are observability-only
+    // and deliberately excluded.)
+    let render = |r: &CampaignReport| {
+        (
+            found_bytes(r),
+            r.stats.clone(),
+            r.coverage.clone(),
+            r.crashes.to_text(),
+            r.shard_stats
+                .iter()
+                .map(|s| (s.shard, s.fuzz.clone(), s.epochs, s.done))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let inline = render(&run(7, 4, 1, 800));
+    for workers in [2usize, 4, 8] {
+        assert_eq!(
+            inline,
+            render(&run(7, 4, workers, 800)),
+            "workers={workers} changed the merged campaign"
+        );
+    }
+}
+
+#[test]
 fn one_shard_reproduces_the_serial_campaign() {
-    let serial = campaign(7, 800);
-    let sharded = parallel_campaign(7, 1, 800);
+    #[allow(deprecated)]
+    let serial = ozz::fuzzer::campaign(7, 800);
+    let sharded = run(7, 1, 1, 800);
     assert_eq!(
         format!("{:#?}", serial.found()).into_bytes(),
-        format!("{:#?}", sharded.found).into_bytes(),
+        found_bytes(&sharded),
         "a one-shard campaign must replay the serial schedule byte-for-byte"
     );
     assert_eq!(serial.stats().mtis_run, sharded.stats.mtis_run);
@@ -48,12 +87,35 @@ fn one_shard_reproduces_the_serial_campaign() {
 }
 
 #[test]
+fn kill_and_resume_are_invisible_in_the_merge() {
+    // An in-memory kill/resume round trip: halting at a round boundary
+    // and resuming from the attached checkpoint must land on the exact
+    // campaign an uninterrupted run produces.
+    let full = run(7, 3, 2, 700);
+    let halted = CampaignBuilder::new(7)
+        .shards(3)
+        .workers(2)
+        .budget(700)
+        .halt_after_epochs(2)
+        .run();
+    assert!(halted.halted, "the campaign halts mid-budget");
+    let resumed = CampaignBuilder::new(0)
+        .resume(halted.checkpoint.expect("halt attaches a checkpoint"))
+        .run();
+    assert_eq!(found_bytes(&full), found_bytes(&resumed));
+    assert_eq!(full.stats, resumed.stats);
+    assert_eq!(full.coverage, resumed.coverage);
+    assert_eq!(full.crashes, resumed.crashes);
+    assert_eq!(full.rounds, resumed.rounds);
+}
+
+#[test]
 fn multi_shard_campaign_finds_the_figure7_tls_bug() {
     // Table 3 smoke test on the all-bugs kernel: four shards sharing a
     // budget comparable to the serial tests' must surface the TLS
     // sk_proto reordering (Figure 7), and the merged diagnosis carries a
     // store-barrier location like the serial one does.
-    let report = parallel_campaign(7, 4, 6000);
+    let report = run(7, 4, 4, 6000);
     let bug = report
         .found
         .get(BugId::TlsSkProt.expected_title())
@@ -68,4 +130,9 @@ fn multi_shard_campaign_finds_the_figure7_tls_bug() {
     for b in report.found.values() {
         assert!(b.tests_to_find <= 6000 / 4 + 1);
     }
+    // The crash database deduplicated at least as many sightings as there
+    // are diagnoses, and per-shard stats surface the campaign's shape.
+    assert!(report.crashes.len() >= report.found.len());
+    assert_eq!(report.shard_stats.len(), 4);
+    assert!(report.shard_stats.iter().all(|s| s.epochs >= 1));
 }
