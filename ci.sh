@@ -34,6 +34,9 @@ for m in tso pso arm; do
     OZZ_MEMMODEL=$m cargo test -q --offline --test lkmm_properties
 done
 
+echo "== restore differential (incremental == full, all models/executors) =="
+cargo test -q --offline --test restore_differential
+
 echo "== rustdoc (all crates, no warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace -q
 
@@ -48,10 +51,14 @@ cargo build --release --offline -p bench --bin parallel_scaling
 ./target/release/parallel_scaling
 cat BENCH_parallel_scaling.json
 
-echo "== mti throughput smoke (fresh vs pooled vs stepped) =="
+echo "== mti throughput smoke (fresh vs pooled vs stepped vs dirty) =="
 cargo build --release --offline -p bench --bin mti_throughput
 ./target/release/mti_throughput 200 1
 cat BENCH_mti_throughput.json
+grep -q '"stepped_dirty_mtis_per_sec"' BENCH_mti_throughput.json \
+    || { echo "error: dirty-restore arm missing from BENCH_mti_throughput.json" >&2; exit 1; }
+grep -q '"restore_full_fallbacks": 0' BENCH_mti_throughput.json \
+    || { echo "error: dirty-restore arm took a full-restore fallback" >&2; exit 1; }
 
 echo "== record/replay fidelity + oracle matrix + golden traces =="
 cargo test -q --offline --test trace_replay --test oracle_matrix --test golden_trace
@@ -66,6 +73,12 @@ cat BENCH_trace_replay.json
 
 echo "== formatting =="
 cargo fmt --check
+
+echo "== deprecation gate (workspace builds clean with -D deprecated) =="
+# Last build step on purpose: changing RUSTFLAGS re-keys every compilation
+# unit, so running this mid-script would force a second full rebuild of
+# everything after it.
+RUSTFLAGS="-D deprecated" cargo build --workspace --all-targets --offline
 
 echo "== hermeticity: no crates-io dependencies declared =="
 if grep -rn 'rand = \|parking_lot\|crossbeam\|proptest\|criterion =' \

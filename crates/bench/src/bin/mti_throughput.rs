@@ -10,11 +10,20 @@
 //! - **fresh**: boot a machine and spawn two threads per test;
 //! - **pooled**: reset pooled machines, persistent CPU workers
 //!   (threaded executor);
-//! - **stepped**: reset pooled machines, threadless stepped executor.
+//! - **stepped**: reset pooled machines, threadless stepped executor,
+//!   `force_full_restore` on — every reset pays the full `clone_from`
+//!   cost, preserving this arm's historical meaning as the full-restore
+//!   baseline;
+//! - **stepped_dirty**: identical campaign with the default incremental
+//!   restore — resets roll back the dirty-set undo journal instead of
+//!   copying the machine, so reset cost is proportional to state touched.
+//!   Its `restore_*` / `journal_*` counters are emitted alongside; a
+//!   healthy run takes zero full-restore fallbacks.
 //!
 //! All arms produce byte-identical campaign results (pinned by
-//! `tests/pool_fidelity.rs` and `tests/exec_equivalence.rs`); only the
-//! throughput differs. A fourth dimension reruns the stepped arm under the
+//! `tests/pool_fidelity.rs`, `tests/exec_equivalence.rs`, and
+//! `tests/restore_differential.rs`); only the throughput differs. A
+//! further dimension reruns the (incremental) stepped arm under the
 //! PSO and Arm-like memory models: the model is a per-access branch in the
 //! engine, so those rates must stay in the same band as TSO.
 //!
@@ -24,24 +33,33 @@
 
 use std::time::Instant;
 
-use kernelsim::{BugSwitches, ExecMode, MemoryModel};
+use kernelsim::{BugSwitches, ExecMode, MemoryModel, RestoreCounters};
 use ozz::fuzzer::{FuzzConfig, Fuzzer};
 
-/// One campaign to `budget` MTIs; returns MTIs/second.
-fn run_arm(reuse_machines: bool, exec_mode: ExecMode, model: MemoryModel, budget: u64) -> f64 {
+/// One campaign to `budget` MTIs; returns MTIs/second and the pool's
+/// restore-path counters (meaningful only for the pooled arms).
+fn run_arm(
+    reuse_machines: bool,
+    exec_mode: ExecMode,
+    model: MemoryModel,
+    force_full_restore: bool,
+    budget: u64,
+) -> (f64, RestoreCounters) {
     let mut fuzzer = Fuzzer::new(FuzzConfig {
         seed: 2024,
         bugs: BugSwitches::all(),
         reuse_machines,
         exec_mode,
         memory_model: model,
+        force_full_restore,
         ..FuzzConfig::default()
     });
     let start = Instant::now();
     while fuzzer.stats().mtis_run < budget {
         fuzzer.step();
     }
-    fuzzer.stats().mtis_run as f64 / start.elapsed().as_secs_f64()
+    let rate = fuzzer.stats().mtis_run as f64 / start.elapsed().as_secs_f64();
+    (rate, fuzzer.restore_counters())
 }
 
 fn median(mut rates: Vec<f64>) -> f64 {
@@ -63,50 +81,89 @@ fn main() {
     let mut fresh_rates = Vec::with_capacity(reps);
     let mut pooled_rates = Vec::with_capacity(reps);
     let mut stepped_rates = Vec::with_capacity(reps);
+    let mut dirty_rates = Vec::with_capacity(reps);
     let mut pso_rates = Vec::with_capacity(reps);
     let mut arm_rates = Vec::with_capacity(reps);
+    let mut dirty_counters = RestoreCounters::default();
     for rep in 0..reps {
         let tso = MemoryModel::Tso;
-        let fresh = run_arm(false, ExecMode::Threaded, tso, budget);
-        let pooled = run_arm(true, ExecMode::Threaded, tso, budget);
-        let stepped = run_arm(true, ExecMode::Stepped, tso, budget);
-        let pso = run_arm(true, ExecMode::Stepped, MemoryModel::Pso, budget);
-        let arm = run_arm(true, ExecMode::Stepped, MemoryModel::Arm, budget);
+        let (fresh, _) = run_arm(false, ExecMode::Threaded, tso, false, budget);
+        let (pooled, _) = run_arm(true, ExecMode::Threaded, tso, false, budget);
+        let (stepped, _) = run_arm(true, ExecMode::Stepped, tso, true, budget);
+        let (dirty, counters) = run_arm(true, ExecMode::Stepped, tso, false, budget);
+        let (pso, _) = run_arm(true, ExecMode::Stepped, MemoryModel::Pso, false, budget);
+        let (arm, _) = run_arm(true, ExecMode::Stepped, MemoryModel::Arm, false, budget);
         println!(
             "rep {rep}: fresh {fresh:>9.1} MTIs/s | pooled {pooled:>9.1} MTIs/s | \
-             stepped {stepped:>9.1} MTIs/s | pso {pso:>9.1} MTIs/s | arm {arm:>9.1} MTIs/s"
+             stepped {stepped:>9.1} MTIs/s | dirty {dirty:>9.1} MTIs/s | \
+             pso {pso:>9.1} MTIs/s | arm {arm:>9.1} MTIs/s"
         );
         fresh_rates.push(fresh);
         pooled_rates.push(pooled);
         stepped_rates.push(stepped);
+        dirty_rates.push(dirty);
         pso_rates.push(pso);
         arm_rates.push(arm);
+        // The campaign is deterministic, so the counters are identical
+        // across reps — keeping the last rep's is keeping all of them.
+        dirty_counters = counters;
     }
 
     let fresh = median(fresh_rates);
     let pooled = median(pooled_rates);
     let stepped = median(stepped_rates);
+    let dirty = median(dirty_rates);
     let pso = median(pso_rates);
     let arm = median(arm_rates);
     let speedup = pooled / fresh;
-    let stepped_speedup = stepped / pooled;
+    // The executor gain, measured on the common (incremental) restore
+    // path; the restore-path gain is `dirty_speedup`, measured on the
+    // common (stepped) executor. Each ratio isolates one mechanism.
+    let stepped_speedup = dirty / pooled;
+    let dirty_speedup = dirty / stepped;
+    let words_per_restore = if dirty_counters.incremental > 0 {
+        dirty_counters.words_replayed as f64 / dirty_counters.incremental as f64
+    } else {
+        0.0
+    };
     println!("\nmedian fresh:   {fresh:>9.1} MTIs/s (boot + thread spawn per test)");
     println!("median pooled:  {pooled:>9.1} MTIs/s (reset + persistent workers)");
-    println!("median stepped: {stepped:>9.1} MTIs/s (reset + threadless executor)");
-    println!("median pso:     {pso:>9.1} MTIs/s (stepped, PSO model)");
-    println!("median arm:     {arm:>9.1} MTIs/s (stepped, Arm-like model)");
+    println!("median stepped: {stepped:>9.1} MTIs/s (reset + threadless executor, full restore)");
+    println!("median dirty:   {dirty:>9.1} MTIs/s (stepped, incremental dirty-journal restore)");
+    println!("median pso:     {pso:>9.1} MTIs/s (stepped dirty, PSO model)");
+    println!("median arm:     {arm:>9.1} MTIs/s (stepped dirty, Arm-like model)");
     println!("pooled/fresh:   {speedup:.2}x");
-    println!("stepped/pooled: {stepped_speedup:.2}x");
+    println!("dirty/pooled:   {stepped_speedup:.2}x (executor gain, both incremental)");
+    println!("dirty/stepped:  {dirty_speedup:.2}x (restore-path gain, both stepped)");
+    println!(
+        "dirty restores: {} incremental ({:.1} words replayed each, journal peak {} words), \
+         {} full fallbacks",
+        dirty_counters.incremental,
+        words_per_restore,
+        dirty_counters.journal_peak_words,
+        dirty_counters.full_fallbacks
+    );
 
     let json = format!(
         "{{\n  \"budget\": {budget},\n  \"reps\": {reps},\n  \
          \"fresh_mtis_per_sec\": {fresh:.1},\n  \
          \"pooled_mtis_per_sec\": {pooled:.1},\n  \
          \"stepped_mtis_per_sec\": {stepped:.1},\n  \
+         \"stepped_dirty_mtis_per_sec\": {dirty:.1},\n  \
          \"stepped_pso_mtis_per_sec\": {pso:.1},\n  \
          \"stepped_arm_mtis_per_sec\": {arm:.1},\n  \
          \"speedup\": {speedup:.2},\n  \
-         \"stepped_speedup\": {stepped_speedup:.2}\n}}\n"
+         \"stepped_speedup\": {stepped_speedup:.2},\n  \
+         \"stepped_dirty_speedup\": {dirty_speedup:.2},\n  \
+         \"restores_incremental\": {inc},\n  \
+         \"restore_words_replayed\": {words},\n  \
+         \"restore_words_per_restore\": {words_per_restore:.1},\n  \
+         \"restore_full_fallbacks\": {falls},\n  \
+         \"journal_peak_words\": {peak}\n}}\n",
+        inc = dirty_counters.incremental,
+        words = dirty_counters.words_replayed,
+        falls = dirty_counters.full_fallbacks,
+        peak = dirty_counters.journal_peak_words,
     );
     std::fs::write("BENCH_mti_throughput.json", json).expect("write BENCH_mti_throughput.json");
     println!("\nwrote BENCH_mti_throughput.json");

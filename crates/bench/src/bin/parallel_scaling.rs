@@ -15,9 +15,15 @@
 //!    byte-identical to the 1-worker run (the determinism contract), and
 //!    its steal counters are reported alongside the model.
 //!
-//! Wall-clock keys (`wall_*`) are also emitted for the two real runs, but
-//! on a single-core container both serialize onto one CPU — the modeled
-//! keys are the scaling signal; the wall keys are the honesty check.
+//! Wall-clock keys (`wall_*`) are also emitted for the two real runs and
+//! are strictly *measured* numbers: `wall_speedup_8w` is the real ratio,
+//! `host_cores` says how many CPUs the host actually offers, and
+//! `wall_8w_oversubscribed` flags when 8 workers exceed `host_cores` —
+//! in that regime the measured speedup is expected to be ≤ 1 (thread
+//! overhead with no parallelism to buy), which is exactly what the keys
+//! report. The modeled keys (`modeled_*`) are the scaling signal a
+//! machine with free cores realises; they never masquerade as wall
+//! measurements.
 //!
 //! The campaign targets the *patched* kernel with an unfindable sentinel
 //! title so no early-stop shortens the measured work: every configuration
@@ -83,8 +89,17 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let budget: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3200);
     let shards: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(32);
-    println!("Campaign scaling: {budget} MTIs over {shards} shards\n");
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("Campaign scaling: {budget} MTIs over {shards} shards ({host_cores} host cores)\n");
 
+    // Discarded warm-up: the first campaign in a fresh process pays all
+    // the cold-start costs (pool boots installing the resident image,
+    // page faults, allocator growth), which would otherwise be billed
+    // entirely to whichever timed arm runs first and skew
+    // `wall_speedup_8w` by run order rather than worker count.
+    let _ = campaign(budget, shards, 1);
     let (one, wall_1w) = campaign(budget, shards, 1);
     let (eight, wall_8w) = campaign(budget, shards, 8);
     assert_eq!(
@@ -122,10 +137,17 @@ fn main() {
         );
         modeled.push((w, mtis_per_sec, speedup));
     }
+    let wall_speedup_8w = wall_1w / wall_8w;
+    let oversubscribed = host_cores < 8;
     println!(
-        "\nwall: 1w {:.1} MTIs/s | 8w {:.1} MTIs/s (single-core container: expect ~flat)",
+        "\nwall (measured): 1w {:.1} MTIs/s | 8w {:.1} MTIs/s | speedup {wall_speedup_8w:.2}x{}",
         budget as f64 / wall_1w,
-        budget as f64 / wall_8w
+        budget as f64 / wall_8w,
+        if oversubscribed {
+            format!(" (8 workers on {host_cores} cores: oversubscribed, <=1x expected)")
+        } else {
+            String::new()
+        }
     );
     println!(
         "steals: real 8w run stole {steal_total_8w}/{total_batches} batches (max {steal_max_shard_8w} on one shard)"
@@ -135,9 +157,11 @@ fn main() {
     let steal_modeled_8w = model_dispatch(&batches, 8).1;
     let json = format!(
         "{{\n  \"bench\": \"parallel_scaling\",\n  \"seed\": {SEED},\n  \"budget\": {budget},\n  \
-         \"shards\": {shards},\n  \"rounds\": {rounds},\n  \
+         \"shards\": {shards},\n  \"rounds\": {rounds},\n  \"host_cores\": {host_cores},\n  \
          \"wall_mtis_per_sec_1w\": {w1:.1},\n  \"wall_mtis_per_sec_8w\": {w8:.1},\n  \
-         {modeled_keys},\n  \"speedup_8w\": {speedup_8w:.2},\n  \
+         \"wall_speedup_8w\": {wall_speedup_8w:.2},\n  \
+         \"wall_8w_oversubscribed\": {oversubscribed},\n  \
+         {modeled_keys},\n  \"modeled_speedup_8w\": {speedup_8w:.2},\n  \
          {efficiency_keys},\n  \
          \"steal_total_8w\": {steal_total_8w},\n  \"steal_max_shard_8w\": {steal_max_shard_8w},\n  \
          \"steal_rate_8w\": {steal_rate:.3},\n  \"steal_modeled_8w\": {steal_modeled_8w},\n  \

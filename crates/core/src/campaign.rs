@@ -59,8 +59,9 @@ use crate::parallel::{run_engine, EngineConfig, DEFAULT_EPOCH_MTIS};
 /// One shard's contribution to a campaign, with scheduling observability.
 ///
 /// `fuzz` is deterministic (a pure function of the campaign's semantic
-/// settings); `steals` and `batch_micros` depend on thread timing and are
-/// excluded from determinism-pinned comparisons.
+/// settings); `steals`, `batch_micros`, and the restore counters depend on
+/// thread timing and machine-pool history and are excluded from
+/// determinism-pinned comparisons.
 #[derive(Clone, Debug)]
 pub struct ShardStats {
     /// The shard id.
@@ -73,6 +74,12 @@ pub struct ShardStats {
     pub steals: u64,
     /// Wall time of each batch, in microseconds.
     pub batch_micros: Vec<u64>,
+    /// Memory pre-images replayed by the shard's incremental machine
+    /// restores (undo-journal work; see `EngineStats::restore_words_replayed`).
+    pub restore_words_replayed: u64,
+    /// Machine restores that fell back to the full `clone_from` path.
+    /// Zero on the happy path — every reset rolls back incrementally.
+    pub restore_full_fallbacks: u64,
     /// Whether the shard finished (slice exhausted, target found, or
     /// stalled) rather than being cut short by an early stop or halt.
     pub done: bool,

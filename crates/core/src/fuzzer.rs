@@ -12,7 +12,8 @@ use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
 use kernelsim::{
-    BugSwitches, ExecMode, Kctx, MachinePool, MachineSnapshot, MemoryModel, ReorderType, Syscall,
+    BugSwitches, ExecMode, Kctx, MachinePool, MachineSnapshot, MemoryModel, ReorderType,
+    RestoreCounters, Syscall,
 };
 use kutil::{fnv1a64, splitmix64};
 use oemu::{Iid, ScheduleTrace};
@@ -86,6 +87,14 @@ pub struct FuzzConfig {
     /// Defaults to [`MemoryModel::from_env`] (`OZZ_MEMMODEL=pso`/`arm`
     /// selects a weaker model; unset means TSO).
     pub memory_model: MemoryModel,
+    /// Benchmark baseline knob: force every machine restore down the full
+    /// `clone_from` path and disable undo journaling entirely, reproducing
+    /// the pre-journal reset cost (including zero journaling overhead on
+    /// the write path). Campaign output is byte-identical either way —
+    /// the incremental path is semantically invisible — only restore cost
+    /// differs. Not serialized into checkpoints: like `exec_mode`, it is a
+    /// perf knob, not campaign state.
+    pub force_full_restore: bool,
 }
 
 impl Default for FuzzConfig {
@@ -99,6 +108,7 @@ impl Default for FuzzConfig {
             reuse_machines: true,
             exec_mode: ExecMode::from_env(),
             memory_model: MemoryModel::from_env(),
+            force_full_restore: false,
         }
     }
 }
@@ -247,6 +257,9 @@ impl Fuzzer {
             // The executor choice is per-config, not per-machine: stamp it
             // on every checkout (reset() deliberately leaves it alone).
             m.kctx().set_exec_mode(self.cfg.exec_mode);
+            if self.cfg.force_full_restore {
+                m.kctx().set_force_full_restore(true);
+            }
         }
         let traces = match &machine {
             Some(m) => profile_sti_on(m.kctx(), &sti),
@@ -443,6 +456,14 @@ impl Fuzzer {
     /// Campaign statistics.
     pub fn stats(&self) -> &FuzzStats {
         &self.stats
+    }
+
+    /// Machine-restore observability: incremental-vs-fallback counts summed
+    /// over this fuzzer's shelved machines (all of them, between steps).
+    /// Excluded from determinism comparisons and checkpoints — like wall
+    /// times, these measure *how* the campaign ran, not what it found.
+    pub fn restore_counters(&self) -> RestoreCounters {
+        self.pool.restore_counters()
     }
 
     /// Corpus size.

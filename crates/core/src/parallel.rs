@@ -486,12 +486,15 @@ pub(crate) fn run_engine(mut ec: EngineConfig) -> CampaignReport {
         coverage.extend(st.fuzzer.coverage_iids());
         let mut fuzz = st.fuzzer.stats().clone();
         fuzz.stalled = fuzz.barren_stis >= STALL_LIMIT;
+        let restores = st.fuzzer.restore_counters();
         shard_stats.push(ShardStats {
             shard: st.shard,
             fuzz,
             epochs: st.epoch,
             steals: st.steals,
             batch_micros: st.batch_micros,
+            restore_words_replayed: restores.words_replayed,
+            restore_full_fallbacks: restores.full_fallbacks,
             done: st.done,
         });
     }
@@ -731,10 +734,31 @@ mod tests {
         assert!(!r.halted);
     }
 
+    /// The serial Table 3 loop on the plain [`Fuzzer`] surface — what the
+    /// retired `fuzzer::campaign()` shim did, inlined so the comparison
+    /// stays on non-deprecated API.
+    fn serial_campaign(seed: u64, max_tests: u64) -> crate::fuzzer::Fuzzer {
+        let expected: Vec<&str> = kernelsim::BugId::NEW
+            .iter()
+            .map(|b| b.expected_title())
+            .collect();
+        let mut fuzzer = crate::fuzzer::Fuzzer::new(crate::fuzzer::FuzzConfig {
+            seed,
+            bugs: BugSwitches::all(),
+            ..crate::fuzzer::FuzzConfig::default()
+        });
+        while fuzzer.stats().mtis_run < max_tests {
+            fuzzer.step();
+            if expected.iter().all(|t| fuzzer.found().contains_key(*t)) {
+                break;
+            }
+        }
+        fuzzer
+    }
+
     #[test]
     fn single_shard_equals_serial_campaign() {
-        #[allow(deprecated)]
-        let serial = crate::fuzzer::campaign(3, 500);
+        let serial = serial_campaign(3, 500);
         let parallel = CampaignBuilder::new(3).budget(500).run();
         assert_eq!(
             format!("{:#?}", serial.found()),

@@ -19,8 +19,8 @@ use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use kmem::{
-    CrashReport, Fault, FnRegistry, FnRegistrySnapshot, Kmem, KmemSnapshot, LockId, Lockdep,
-    LockdepSnapshot, OracleSink,
+    Fault, FnRegistry, FnRegistrySnapshot, Kmem, KmemSnapshot, LockId, Lockdep, LockdepSnapshot,
+    OracleSink, SinkSnapshot,
 };
 use ksched::{Scheduler, StepScheduler};
 use kutil::sync::Mutex;
@@ -32,6 +32,18 @@ use crate::subsys;
 
 /// Number of simulated CPUs per machine (the paper's VMs have four vCPUs).
 pub const MAX_CPUS: usize = 4;
+
+/// Base address of the boot-time resident image (see
+/// [`oemu::Engine::install_resident_image`]). Reserved: far above the kmem
+/// heap (`0x1_0000_0000`+), the function registry (`0x4000_0000`..), and
+/// every subsystem global — no emulated code addresses into it.
+pub const RESIDENT_BASE: u64 = 0xba11_0000_0000;
+
+/// Size of the resident image in 8-byte words (128 KiB). Large enough that
+/// a full restore's `clone_from` visibly costs machine size — the honest
+/// stand-in for reverting a VM snapshot — while keeping boot and the
+/// per-pair snapshot clone affordable.
+pub const RESIDENT_IMAGE_WORDS: u64 = 16384;
 
 /// `EBADF`-style error returns used by the syscall layer.
 pub const EBADF: i64 = -9;
@@ -106,7 +118,7 @@ pub struct MachineSnapshot {
     kmem: KmemSnapshot,
     fns: FnRegistrySnapshot,
     lockdep: LockdepSnapshot,
-    sink: Vec<CrashReport>,
+    sink: SinkSnapshot,
     raw: bool,
     migration_override: bool,
     frames: [Vec<&'static str>; MAX_CPUS],
@@ -116,7 +128,8 @@ impl MachineSnapshot {
     /// Deterministic rendering of the captured machine state, for
     /// byte-comparing a reset machine against a fresh boot. Purely
     /// observational counters (engine/allocator stats) are excluded — they
-    /// never influence execution.
+    /// never influence execution — and so are the snapshot generation ids,
+    /// which name snapshots rather than state.
     pub fn digest(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
@@ -129,7 +142,7 @@ impl MachineSnapshot {
         for (cpu, frames) in self.frames.iter().enumerate() {
             writeln!(out, "frames cpu={cpu} {frames:?}").unwrap();
         }
-        for r in &self.sink {
+        for r in self.sink.reports() {
             writeln!(out, "report {}", r.title).unwrap();
         }
         self.engine.digest(&mut out);
@@ -137,6 +150,13 @@ impl MachineSnapshot {
         self.fns.digest(&mut out);
         self.lockdep.digest(&mut out);
         out
+    }
+
+    /// The engine snapshot's undo-journal generation id — the machine-level
+    /// name of this snapshot (each subsystem snapshot carries its own id;
+    /// the engine's stands for the set in diagnostics).
+    pub fn generation(&self) -> u64 {
+        self.engine.generation()
     }
 }
 
@@ -207,6 +227,18 @@ impl Kctx {
             globals: OnceLock::new(),
             boot: OnceLock::new(),
         });
+        // The resident image goes in first: the boot-time ballast standing
+        // in for the static data, slab pools, and page metadata a real
+        // kernel carries. It makes a full machine restore cost what
+        // reverting a VM snapshot costs — proportional to machine size —
+        // which is the baseline the dirty-set undo journal beats. The
+        // content is deterministic and identical on every machine; the
+        // range is reserved (no subsystem addresses into it) and excluded
+        // from semantic digests.
+        let image: Vec<u64> = (0..RESIDENT_IMAGE_WORDS)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xba11)
+            .collect();
+        k.engine.install_resident_image(RESIDENT_BASE, &image);
         let globals = Globals {
             wq: subsys::watch_queue::boot(&k),
             tls: subsys::tls::boot(&k),
@@ -238,14 +270,16 @@ impl Kctx {
     // Snapshot / restore / reset.
     // ------------------------------------------------------------------
 
-    /// Captures the machine's full mutable state.
+    /// Captures the machine's full mutable state. Each subsystem arms an
+    /// undo-journal frame under the snapshot, so a later [`Kctx::restore`]
+    /// to it rolls back only the state mutated in between.
     pub fn snapshot(&self) -> MachineSnapshot {
         MachineSnapshot {
             engine: self.engine.snapshot(),
             kmem: self.kmem.snapshot(),
             fns: self.fns.snapshot(),
             lockdep: self.lockdep.snapshot(),
-            sink: self.sink.snapshot(),
+            sink: self.sink.capture(),
             raw: self.raw.load(Ordering::Relaxed),
             migration_override: self.migration_override.load(Ordering::Relaxed),
             frames: self.frames.lock().clone(),
@@ -255,13 +289,19 @@ impl Kctx {
     /// Restores a previously captured state, reusing the machine's existing
     /// allocations. Any installed scheduler is removed — snapshots are only
     /// taken between runs, never mid-concurrent-phase.
+    ///
+    /// Each subsystem takes its own incremental path when the snapshot's
+    /// generation is still armed in its undo journal (the common case: the
+    /// campaign loop restores the snapshot it just took) and falls back to
+    /// the full `clone_from` otherwise; `engine.stats()` counts both
+    /// outcomes for the machine's dominant subsystem.
     pub fn restore(&self, snap: &MachineSnapshot) {
         self.set_scheduler(None);
         self.engine.restore(&snap.engine);
         self.kmem.restore(&snap.kmem);
         self.fns.restore(&snap.fns);
         self.lockdep.restore(&snap.lockdep);
-        self.sink.restore(&snap.sink);
+        self.sink.restore_from(&snap.sink);
         self.raw.store(snap.raw, Ordering::Relaxed);
         self.migration_override
             .store(snap.migration_override, Ordering::Relaxed);
@@ -278,9 +318,44 @@ impl Kctx {
 
     /// Deterministic rendering of the machine's current semantic state;
     /// two machines with equal digests behave identically on any future
-    /// input. See [`MachineSnapshot::digest`].
+    /// input. Byte-identical to [`MachineSnapshot::digest`] of a snapshot
+    /// taken at this instant, but streams over live state — no map is
+    /// cloned, no undo-journal frame is armed (the recorded-run paths call
+    /// this after every execution; a snapshot here would push stray frames
+    /// mid-campaign).
     pub fn state_digest(&self) -> String {
-        self.snapshot().digest()
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "machine raw={} migration_override={}",
+            self.raw.load(Ordering::Relaxed),
+            self.migration_override.load(Ordering::Relaxed)
+        )
+        .unwrap();
+        for (cpu, frames) in self.frames.lock().iter().enumerate() {
+            writeln!(out, "frames cpu={cpu} {frames:?}").unwrap();
+        }
+        for r in self.sink.snapshot() {
+            writeln!(out, "report {}", r.title).unwrap();
+        }
+        self.engine.digest_live(&mut out);
+        self.kmem.digest_live(&mut out);
+        self.fns.digest_live(&mut out);
+        self.lockdep.digest_live(&mut out);
+        out
+    }
+
+    /// Forces every subsequent restore of every subsystem down the full
+    /// `clone_from` path and disables undo journaling entirely (benchmark
+    /// baseline / diagnostics knob — reproduces the pre-journal restore
+    /// cost exactly, including zero journaling overhead on the write path).
+    pub fn set_force_full_restore(&self, on: bool) {
+        self.engine.set_force_full_restore(on);
+        self.kmem.set_force_full_restore(on);
+        self.fns.set_force_full_restore(on);
+        self.lockdep.set_force_full_restore(on);
+        self.sink.set_force_full_restore(on);
     }
 
     /// Boot-time globals.
@@ -732,6 +807,68 @@ mod tests {
         // And the reset machine behaves like the fresh one.
         assert_eq!(k.cpu_of(Tid(1)), 1, "migration override cleared");
         assert!(!k.is_raw(), "raw mode cleared");
+    }
+
+    #[test]
+    fn state_digest_streams_byte_identical_to_snapshot_digest() {
+        let k = Kctx::new(BugSwitches::all());
+        let t = Tid(0);
+        // Dirty several dimensions so the digest is non-trivial.
+        let obj = k.kzalloc(32, "digest");
+        k.write(t, iid!(), obj, 7);
+        k.lock(t, LockId(0x11));
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _f = k.enter(t, "digest_fn");
+            k.read(t, iid!(), 0);
+        }));
+        let live = k.state_digest();
+        assert_eq!(live, k.snapshot().digest());
+        // And streaming must not have armed a journal frame of its own
+        // (one boot frame + the snapshot above are expected).
+        assert_eq!(k.engine.journal_depth(), 2);
+    }
+
+    #[test]
+    fn reset_takes_the_incremental_path_and_counts_it() {
+        let k = Kctx::new(BugSwitches::all());
+        let boot_digest = k.state_digest();
+        let t = Tid(0);
+        for round in 0..3u64 {
+            let obj = k.kzalloc(32, "round");
+            k.write(t, iid!(), obj, round);
+            k.lock(t, LockId(0x33));
+            k.unlock(t, LockId(0x33));
+            k.reset();
+            assert_eq!(k.state_digest(), boot_digest);
+        }
+        let s = k.engine.stats();
+        assert_eq!(s.restores_incremental, 3, "every reset was incremental");
+        assert_eq!(s.restore_full_fallbacks, 0);
+        assert!(s.restore_words_replayed > 0);
+    }
+
+    #[test]
+    fn force_full_restore_reproduces_the_pre_journal_path() {
+        let k = Kctx::new(BugSwitches::all());
+        let boot_digest = k.state_digest();
+        k.set_force_full_restore(true);
+        let t = Tid(0);
+        let obj = k.kzalloc(32, "forced");
+        k.write(t, iid!(), obj, 1);
+        k.reset();
+        assert_eq!(k.state_digest(), boot_digest);
+        let s = k.engine.stats();
+        assert_eq!(s.restores_incremental, 0);
+        assert_eq!(s.restore_full_fallbacks, 1);
+        assert_eq!(k.engine.journal_depth(), 0, "journal disarmed");
+        // Turning the knob back on re-arms on the next snapshot/restore.
+        k.set_force_full_restore(false);
+        k.reset(); // fallback (boot generation no longer armed) + re-arm
+        k.kzalloc(8, "x");
+        k.reset(); // incremental again
+        let s = k.engine.stats();
+        assert_eq!(s.restores_incremental, 1);
+        assert_eq!(s.restore_full_fallbacks, 2);
     }
 
     #[test]

@@ -50,5 +50,5 @@ pub use kctx::{
     MAX_CPUS,
 };
 pub use oemu::MemoryModel;
-pub use pool::{CpuWorkers, MachinePool, PooledMachine};
+pub use pool::{CpuWorkers, MachinePool, PooledMachine, RestoreCounters};
 pub use syscalls::{dispatch, Syscall};

@@ -250,6 +250,38 @@ impl MachinePool {
     pub fn boots(&self) -> u64 {
         *self.boots.lock()
     }
+
+    /// Restore-path counters summed over every *shelved* machine (a
+    /// machine's engine carries them across resets). Call between steps —
+    /// while a machine is checked out its counts are not visible here.
+    pub fn restore_counters(&self) -> RestoreCounters {
+        let shelves = self.shelves.lock();
+        let mut total = RestoreCounters::default();
+        for m in shelves.values().flatten() {
+            let s = m.k.engine.stats();
+            total.incremental += s.restores_incremental;
+            total.words_replayed += s.restore_words_replayed;
+            total.full_fallbacks += s.restore_full_fallbacks;
+            total.journal_peak_words = total.journal_peak_words.max(s.journal_peak_words);
+        }
+        total
+    }
+}
+
+/// Machine-restore observability rolled up by [`MachinePool::restore_counters`]:
+/// how often resets took the incremental undo-journal path versus the full
+/// `clone_from` fallback, and how much replay work the journal did.
+#[derive(Default, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreCounters {
+    /// Restores that rolled back via the undo journal.
+    pub incremental: u64,
+    /// Memory pre-images replayed by those incremental restores.
+    pub words_replayed: u64,
+    /// Restores that fell back to the full `clone_from` path.
+    pub full_fallbacks: u64,
+    /// Deepest memory undo journal observed on any one machine (words),
+    /// i.e. the worst-case replay a single restore could have faced.
+    pub journal_peak_words: u64,
 }
 
 #[cfg(test)]

@@ -57,10 +57,52 @@ pub struct KmemStats {
     pub checks: u64,
 }
 
+/// One undo frame: `(base, pre-image)` pairs in mutation order. `None`
+/// means the object did not exist before the mutation (a `kzalloc`);
+/// `Some` carries the object's metadata before a `kfree` flipped its state.
+/// Rollback replays entries backwards, so the oldest pre-image of an
+/// address wins and no dedup set is needed on the allocation path.
+struct KmemFrame {
+    generation: u64,
+    entries: Vec<(u64, Option<Object>)>,
+}
+
+/// Deepest snapshot nesting the undo journal tracks; mirrors the engine's
+/// frame cap so the whole machine arms and evicts in lockstep.
+const MAX_FRAMES: usize = 8;
+
 struct Inner {
     next: u64,
     objects: BTreeMap<u64, Object>,
     stats: KmemStats,
+    /// Armed undo frames, oldest first — one per live snapshot.
+    frames: Vec<KmemFrame>,
+    /// Diagnostics/benchmark knob: disable journaling entirely so restores
+    /// reproduce the pre-journal full-`clone_from` cost exactly.
+    force_full_restore: bool,
+}
+
+impl Inner {
+    fn journal(&mut self, base: u64, pre: Option<Object>) {
+        if let Some(frame) = self.frames.last_mut() {
+            frame.entries.push((base, pre));
+        }
+    }
+}
+
+/// Replays one frame's pre-images backwards so the oldest entry per
+/// address is applied last and wins.
+fn replay(objects: &mut BTreeMap<u64, Object>, entries: Vec<(u64, Option<Object>)>) {
+    for (base, pre) in entries.into_iter().rev() {
+        match pre {
+            Some(obj) => {
+                objects.insert(base, obj);
+            }
+            None => {
+                objects.remove(&base);
+            }
+        }
+    }
 }
 
 /// A full copy of the allocator's state: bump pointer, every object's
@@ -73,6 +115,10 @@ pub struct KmemSnapshot {
     next: u64,
     objects: BTreeMap<u64, Object>,
     stats: KmemStats,
+    /// Undo-journal generation id ([`kutil::next_generation`]): a restore
+    /// whose generation is armed rolls back incrementally. Not part of the
+    /// digest — it names the snapshot, it is not state.
+    generation: u64,
 }
 
 impl KmemSnapshot {
@@ -80,11 +126,23 @@ impl KmemSnapshot {
     /// (BTreeMap iteration is already address-ordered). Stats counters are
     /// excluded — diagnostics only.
     pub fn digest(&self, out: &mut String) {
-        use std::fmt::Write;
-        writeln!(out, "kmem next={:#x}", self.next).unwrap();
-        for o in self.objects.values() {
-            writeln!(out, "obj {o:?}").unwrap();
-        }
+        digest_state(out, self.next, self.objects.values());
+    }
+
+    /// The snapshot's undo-journal generation id.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+/// The one rendering of heap state both digests share: a snapshot's
+/// [`KmemSnapshot::digest`] and the live [`Kmem::digest_live`] must be
+/// byte-identical for the same state.
+fn digest_state<'a>(out: &mut String, next: u64, objects: impl Iterator<Item = &'a Object>) {
+    use std::fmt::Write;
+    writeln!(out, "kmem next={next:#x}").unwrap();
+    for o in objects {
+        writeln!(out, "obj {o:?}").unwrap();
     }
 }
 
@@ -107,6 +165,8 @@ impl Kmem {
                 next: HEAP_BASE,
                 objects: BTreeMap::new(),
                 stats: KmemStats::default(),
+                frames: Vec::new(),
+                force_full_restore: false,
             }),
         }
     }
@@ -122,7 +182,7 @@ impl Kmem {
         let size = size.max(8);
         let base = inner.next;
         inner.next = base + ((size + REDZONE + 7) & !7);
-        inner.objects.insert(
+        let prev = inner.objects.insert(
             base,
             Object {
                 base,
@@ -131,6 +191,7 @@ impl Kmem {
                 tag,
             },
         );
+        inner.journal(base, prev);
         inner.stats.allocs += 1;
         base
     }
@@ -141,7 +202,9 @@ impl Kmem {
         let mut inner = self.inner.lock();
         match inner.objects.get_mut(&addr) {
             Some(obj) if obj.state == AllocState::Allocated => {
+                let pre = obj.clone();
                 obj.state = AllocState::Freed;
+                inner.journal(addr, Some(pre));
                 inner.stats.frees += 1;
                 Ok(())
             }
@@ -269,23 +332,95 @@ impl Kmem {
             .filter(|o| addr < o.base + o.size + REDZONE)
     }
 
-    /// Captures the allocator's full state.
+    /// Captures the allocator's full state and arms an undo frame under the
+    /// snapshot's fresh generation id, so a later [`restore`](Kmem::restore)
+    /// to it rolls back only the objects touched in between.
     pub fn snapshot(&self) -> KmemSnapshot {
-        let inner = self.inner.lock();
+        let mut inner = self.inner.lock();
+        let generation = kutil::next_generation();
+        if !inner.force_full_restore {
+            if inner.frames.len() == MAX_FRAMES {
+                inner.frames.remove(0);
+            }
+            inner.frames.push(KmemFrame {
+                generation,
+                entries: Vec::new(),
+            });
+        }
         KmemSnapshot {
             next: inner.next,
             objects: inner.objects.clone(),
             stats: inner.stats,
+            generation,
         }
     }
 
-    /// Restores a previously captured state, reusing allocations where the
-    /// containers support it.
-    pub fn restore(&self, snap: &KmemSnapshot) {
+    /// Restores a previously captured state. When the snapshot's generation
+    /// is armed in the undo journal the object map rolls back incrementally
+    /// (pre-images replay backwards); otherwise the full `clone_from` path
+    /// runs and the journal is re-armed at the restored generation. The
+    /// bump pointer and counters are scalars, restored either way. Returns
+    /// `true` when the incremental path was taken.
+    pub fn restore(&self, snap: &KmemSnapshot) -> bool {
         let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let armed = (!inner.force_full_restore)
+            .then(|| {
+                inner
+                    .frames
+                    .iter()
+                    .position(|f| f.generation == snap.generation)
+            })
+            .flatten();
+        let incremental = match armed {
+            Some(k) => {
+                while inner.frames.len() > k + 1 {
+                    let frame = inner.frames.pop().expect("len > k+1");
+                    replay(&mut inner.objects, frame.entries);
+                }
+                let entries = std::mem::take(&mut inner.frames[k].entries);
+                replay(&mut inner.objects, entries);
+                true
+            }
+            None => {
+                inner.objects.clone_from(&snap.objects);
+                inner.frames.clear();
+                if !inner.force_full_restore {
+                    // The heap now *is* the snapshot: re-arm at its
+                    // generation so the next restore to it is incremental.
+                    inner.frames.push(KmemFrame {
+                        generation: snap.generation,
+                        entries: Vec::new(),
+                    });
+                }
+                false
+            }
+        };
         inner.next = snap.next;
-        inner.objects.clone_from(&snap.objects);
         inner.stats = snap.stats;
+        incremental
+    }
+
+    /// Forces every subsequent restore down the full `clone_from` path and
+    /// stops journaling (benchmark baseline / diagnostics knob).
+    pub fn set_force_full_restore(&self, on: bool) {
+        let mut inner = self.inner.lock();
+        inner.force_full_restore = on;
+        if on {
+            inner.frames.clear();
+        }
+    }
+
+    /// Armed undo-frame count (diagnostics).
+    pub fn journal_depth(&self) -> usize {
+        self.inner.lock().frames.len()
+    }
+
+    /// Live-state digest, byte-identical to [`KmemSnapshot::digest`] of a
+    /// snapshot taken at this instant — without cloning the object map.
+    pub fn digest_live(&self, out: &mut String) {
+        let inner = self.inner.lock();
+        digest_state(out, inner.next, inner.objects.values());
     }
 
     /// Allocator counters.
@@ -408,6 +543,58 @@ mod tests {
         k.kfree(a, "kfree").unwrap();
         let b = k.kzalloc(16, "b");
         assert_ne!(a, b, "quarantine forbids address reuse");
+    }
+
+    fn live_digest(k: &Kmem) -> String {
+        let mut out = String::new();
+        k.digest_live(&mut out);
+        out
+    }
+
+    #[test]
+    fn incremental_restore_rolls_back_allocs_and_frees() {
+        let k = Kmem::new();
+        let a = k.kzalloc(16, "kept");
+        let snap = k.snapshot();
+        let mut before = String::new();
+        snap.digest(&mut before);
+        assert_eq!(live_digest(&k), before, "live digest matches snapshot");
+        let _b = k.kzalloc(32, "rolled-back");
+        k.kfree(a, "kfree").unwrap();
+        assert!(k.restore(&snap), "incremental path taken");
+        assert_eq!(live_digest(&k), before);
+        assert_eq!(k.live_objects(), 1);
+        // Frame stays armed: restore-after-restore is incremental too.
+        let _c = k.kzalloc(8, "again");
+        assert!(k.restore(&snap));
+        assert_eq!(live_digest(&k), before);
+    }
+
+    #[test]
+    fn unarmed_generation_falls_back_to_full_then_rearms() {
+        let a = Kmem::new();
+        a.kzalloc(16, "obj");
+        let snap = a.snapshot();
+        let b = Kmem::new();
+        assert!(!b.restore(&snap), "cross-machine restore is a fallback");
+        let mut d = String::new();
+        snap.digest(&mut d);
+        assert_eq!(live_digest(&b), d);
+        // Re-armed at the restored generation.
+        b.kzalloc(64, "extra");
+        assert!(b.restore(&snap), "re-armed restore is incremental");
+        assert_eq!(live_digest(&b), d);
+    }
+
+    #[test]
+    fn force_full_restore_disarms_journal() {
+        let k = Kmem::new();
+        k.set_force_full_restore(true);
+        let snap = k.snapshot();
+        assert_eq!(k.journal_depth(), 0);
+        k.kzalloc(16, "x");
+        assert!(!k.restore(&snap));
+        assert_eq!(k.journal_depth(), 0, "forced restore does not re-arm");
     }
 
     #[test]

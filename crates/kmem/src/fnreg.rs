@@ -32,7 +32,21 @@ struct FnRegistryInner {
     by_addr: HashMap<u64, &'static str>,
     by_name: HashMap<&'static str, u64>,
     next: u64,
+    /// Armed undo frames, oldest first. Registration is append-only
+    /// (addresses are `FN_BASE + index * 16`, never removed), so a frame
+    /// only needs the `next` counter at its push: rollback removes the
+    /// registrations `base..next` and nothing can ever invalidate a frame.
+    frames: Vec<FnFrame>,
+    force_full_restore: bool,
 }
+
+struct FnFrame {
+    generation: u64,
+    next: u64,
+}
+
+/// Deepest snapshot nesting tracked; mirrors the engine's frame cap.
+const MAX_FRAMES: usize = 8;
 
 /// A full copy of the registry's name↔address tables. Registration order
 /// decides addresses, so a reset machine must replay the boot-time table
@@ -42,39 +56,120 @@ pub struct FnRegistrySnapshot {
     by_addr: HashMap<u64, &'static str>,
     by_name: HashMap<&'static str, u64>,
     next: u64,
+    /// Undo-journal generation id; not part of the digest.
+    generation: u64,
 }
 
 impl FnRegistrySnapshot {
     /// Appends a deterministic rendering of the captured table to `out`
     /// (sorted by address).
     pub fn digest(&self, out: &mut String) {
-        use std::fmt::Write;
-        writeln!(out, "fnreg next={}", self.next).unwrap();
-        let mut fns: Vec<_> = self.by_addr.iter().collect();
-        fns.sort_unstable();
-        for (addr, name) in fns {
-            writeln!(out, "fn {addr:#x}={name}").unwrap();
-        }
+        digest_state(out, self.next, &self.by_addr);
+    }
+
+    /// The snapshot's undo-journal generation id.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+/// The one rendering of registry state both digests share: a snapshot's
+/// [`FnRegistrySnapshot::digest`] and the live [`FnRegistry::digest_live`]
+/// must be byte-identical for the same state.
+fn digest_state(out: &mut String, next: u64, by_addr: &HashMap<u64, &'static str>) {
+    use std::fmt::Write;
+    writeln!(out, "fnreg next={next}").unwrap();
+    let mut fns: Vec<_> = by_addr.iter().collect();
+    fns.sort_unstable();
+    for (addr, name) in fns {
+        writeln!(out, "fn {addr:#x}={name}").unwrap();
     }
 }
 
 impl FnRegistry {
-    /// Captures the registry's full state.
+    /// Captures the registry's full state and arms an undo frame under the
+    /// snapshot's fresh generation id.
     pub fn snapshot(&self) -> FnRegistrySnapshot {
-        let inner = self.inner.lock();
+        let mut inner = self.inner.lock();
+        let generation = kutil::next_generation();
+        if !inner.force_full_restore {
+            if inner.frames.len() == MAX_FRAMES {
+                inner.frames.remove(0);
+            }
+            let next = inner.next;
+            inner.frames.push(FnFrame { generation, next });
+        }
         FnRegistrySnapshot {
             by_addr: inner.by_addr.clone(),
             by_name: inner.by_name.clone(),
             next: inner.next,
+            generation,
         }
     }
 
-    /// Restores a previously captured state.
-    pub fn restore(&self, snap: &FnRegistrySnapshot) {
+    /// Restores a previously captured state. When the snapshot's generation
+    /// is armed, only the registrations made since it are removed (their
+    /// addresses are exactly `FN_BASE + idx * 16` for `idx` in
+    /// `frame.next..next`); otherwise both tables `clone_from` and the
+    /// journal is re-armed at the restored generation. Returns `true` when
+    /// the incremental path was taken.
+    pub fn restore(&self, snap: &FnRegistrySnapshot) -> bool {
         let mut inner = self.inner.lock();
-        inner.by_addr.clone_from(&snap.by_addr);
-        inner.by_name.clone_from(&snap.by_name);
-        inner.next = snap.next;
+        let inner = &mut *inner;
+        let armed = (!inner.force_full_restore)
+            .then(|| {
+                inner
+                    .frames
+                    .iter()
+                    .position(|f| f.generation == snap.generation)
+            })
+            .flatten();
+        match armed {
+            Some(k) => {
+                debug_assert_eq!(inner.frames[k].next, snap.next);
+                for idx in inner.frames[k].next..inner.next {
+                    let addr = FN_BASE + idx * 16;
+                    let name = inner
+                        .by_addr
+                        .remove(&addr)
+                        .expect("append-only table holds every index below next");
+                    inner.by_name.remove(name);
+                }
+                inner.next = snap.next;
+                inner.frames.truncate(k + 1);
+                true
+            }
+            None => {
+                inner.by_addr.clone_from(&snap.by_addr);
+                inner.by_name.clone_from(&snap.by_name);
+                inner.next = snap.next;
+                inner.frames.clear();
+                if !inner.force_full_restore {
+                    inner.frames.push(FnFrame {
+                        generation: snap.generation,
+                        next: snap.next,
+                    });
+                }
+                false
+            }
+        }
+    }
+
+    /// Forces every subsequent restore down the full `clone_from` path
+    /// (benchmark baseline / diagnostics knob).
+    pub fn set_force_full_restore(&self, on: bool) {
+        let mut inner = self.inner.lock();
+        inner.force_full_restore = on;
+        if on {
+            inner.frames.clear();
+        }
+    }
+
+    /// Live-state digest, byte-identical to [`FnRegistrySnapshot::digest`]
+    /// of a snapshot taken at this instant — without cloning the tables.
+    pub fn digest_live(&self, out: &mut String) {
+        let inner = self.inner.lock();
+        digest_state(out, inner.next, &inner.by_addr);
     }
 
     /// Creates an empty registry.
@@ -167,5 +262,50 @@ mod tests {
     fn distinct_names_distinct_addrs() {
         let reg = FnRegistry::new();
         assert_ne!(reg.register("a"), reg.register("b"));
+    }
+
+    fn live_digest(reg: &FnRegistry) -> String {
+        let mut out = String::new();
+        reg.digest_live(&mut out);
+        out
+    }
+
+    #[test]
+    fn incremental_restore_unregisters_exactly() {
+        let reg = FnRegistry::new();
+        reg.register("boot_fn");
+        let snap = reg.snapshot();
+        let mut before = String::new();
+        snap.digest(&mut before);
+        assert_eq!(live_digest(&reg), before);
+        reg.register("test_fn_a");
+        reg.register("test_fn_b");
+        assert!(reg.restore(&snap), "incremental path taken");
+        assert_eq!(live_digest(&reg), before);
+        assert_eq!(reg.lookup("test_fn_a"), None);
+        assert_eq!(reg.lookup("boot_fn"), snap_lookup(&reg, "boot_fn"));
+        // Re-registering after rollback hands out the same address again.
+        let a1 = reg.register("test_fn_a");
+        assert!(reg.restore(&snap));
+        assert_eq!(reg.register("test_fn_a"), a1);
+    }
+
+    fn snap_lookup(reg: &FnRegistry, name: &str) -> Option<u64> {
+        reg.lookup(name)
+    }
+
+    #[test]
+    fn cross_registry_restore_falls_back_to_full() {
+        let a = FnRegistry::new();
+        a.register("f");
+        let snap = a.snapshot();
+        let b = FnRegistry::new();
+        assert!(!b.restore(&snap));
+        let mut d = String::new();
+        snap.digest(&mut d);
+        assert_eq!(live_digest(&b), d);
+        b.register("g");
+        assert!(b.restore(&snap), "re-armed after fallback");
+        assert_eq!(live_digest(&b), d);
     }
 }

@@ -27,4 +27,4 @@ pub use alloc::{
 };
 pub use fnreg::{FnRegistry, FnRegistrySnapshot, FN_BASE, FN_LIMIT};
 pub use lockdep::{LockId, Lockdep, LockdepSnapshot};
-pub use report::{CrashReport, Fault, FaultKind, OracleSink};
+pub use report::{CrashReport, Fault, FaultKind, OracleSink, SinkSnapshot};

@@ -138,7 +138,48 @@ impl CrashReport {
 /// Collector of crash reports for one simulated machine run.
 #[derive(Default)]
 pub struct OracleSink {
-    reports: Mutex<Vec<CrashReport>>,
+    inner: Mutex<SinkInner>,
+}
+
+#[derive(Default)]
+struct SinkInner {
+    reports: Vec<CrashReport>,
+    /// Armed undo frames, oldest first. The report list is append-only
+    /// between snapshots except for [`OracleSink::take`], which drains it
+    /// wholesale — so a frame records only the list length at its push and
+    /// a validity bit that `take` clears for frames with a non-empty
+    /// baseline (an empty baseline survives a drain: truncating to zero is
+    /// still exact).
+    frames: Vec<SinkFrame>,
+    force_full_restore: bool,
+}
+
+struct SinkFrame {
+    generation: u64,
+    base_len: usize,
+    valid: bool,
+}
+
+/// Deepest snapshot nesting tracked; mirrors the engine's frame cap.
+const MAX_FRAMES: usize = 8;
+
+/// The sink's captured state plus its undo-journal generation id.
+#[derive(Clone)]
+pub struct SinkSnapshot {
+    reports: Vec<CrashReport>,
+    generation: u64,
+}
+
+impl SinkSnapshot {
+    /// The captured reports (machine digest support).
+    pub fn reports(&self) -> &[CrashReport] {
+        &self.reports
+    }
+
+    /// The snapshot's undo-journal generation id.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
 }
 
 impl OracleSink {
@@ -149,41 +190,129 @@ impl OracleSink {
 
     /// Records a detected fault.
     pub fn record(&self, fault: Fault) {
-        self.reports.lock().push(CrashReport::from_fault(fault));
+        self.inner
+            .lock()
+            .reports
+            .push(CrashReport::from_fault(fault));
     }
 
     /// Takes all reports recorded so far.
     pub fn take(&self) -> Vec<CrashReport> {
-        std::mem::take(&mut self.reports.lock())
+        let mut inner = self.inner.lock();
+        // Draining destroys every non-empty baseline a frame might need to
+        // truncate back to; empty baselines stay trivially intact.
+        for frame in &mut inner.frames {
+            if frame.base_len > 0 {
+                frame.valid = false;
+            }
+        }
+        std::mem::take(&mut inner.reports)
     }
 
     /// Copies the reports recorded so far without draining them (machine
     /// snapshot support).
     pub fn snapshot(&self) -> Vec<CrashReport> {
-        self.reports.lock().clone()
+        self.inner.lock().reports.clone()
     }
 
     /// Replaces the recorded reports with a previously captured copy,
     /// reusing the sink's allocation.
     pub fn restore(&self, reports: &[CrashReport]) {
-        let mut held = self.reports.lock();
-        held.clear();
-        held.extend_from_slice(reports);
+        let mut inner = self.inner.lock();
+        inner.frames.clear();
+        inner.reports.clear();
+        inner.reports.extend_from_slice(reports);
+    }
+
+    /// Captures the sink's state and arms an undo frame under the
+    /// snapshot's fresh generation id.
+    pub fn capture(&self) -> SinkSnapshot {
+        let mut inner = self.inner.lock();
+        let generation = kutil::next_generation();
+        if !inner.force_full_restore {
+            if inner.frames.len() == MAX_FRAMES {
+                inner.frames.remove(0);
+            }
+            let base_len = inner.reports.len();
+            inner.frames.push(SinkFrame {
+                generation,
+                base_len,
+                valid: true,
+            });
+        }
+        SinkSnapshot {
+            reports: inner.reports.clone(),
+            generation,
+        }
+    }
+
+    /// Restores a previously captured state. When the snapshot's generation
+    /// is armed and its baseline survived (no intervening [`take`] of a
+    /// non-empty list), the list merely truncates back; otherwise it is
+    /// rebuilt by `clear` + `extend` and the journal re-arms at the
+    /// restored generation. Returns `true` when the truncate path was
+    /// taken. Either way is cheap — the sink is almost always empty — so
+    /// the fallback is *not* a machine-level full restore.
+    ///
+    /// [`take`]: OracleSink::take
+    pub fn restore_from(&self, snap: &SinkSnapshot) -> bool {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let armed = (!inner.force_full_restore)
+            .then(|| {
+                inner
+                    .frames
+                    .iter()
+                    .position(|f| f.generation == snap.generation)
+            })
+            .flatten();
+        match armed {
+            Some(k) if inner.frames[k].valid && inner.reports.len() >= inner.frames[k].base_len => {
+                debug_assert_eq!(inner.frames[k].base_len, snap.reports.len());
+                let base = inner.frames[k].base_len;
+                inner.reports.truncate(base);
+                inner.frames.truncate(k + 1);
+                true
+            }
+            _ => {
+                inner.reports.clear();
+                inner.reports.extend_from_slice(&snap.reports);
+                inner.frames.clear();
+                if !inner.force_full_restore {
+                    inner.frames.push(SinkFrame {
+                        generation: snap.generation,
+                        base_len: snap.reports.len(),
+                        valid: true,
+                    });
+                }
+                false
+            }
+        }
+    }
+
+    /// Forces every subsequent restore down the rebuild path (benchmark
+    /// baseline / diagnostics knob).
+    pub fn set_force_full_restore(&self, on: bool) {
+        let mut inner = self.inner.lock();
+        inner.force_full_restore = on;
+        if on {
+            inner.frames.clear();
+        }
     }
 
     /// Whether any fault was recorded.
     pub fn has_reports(&self) -> bool {
-        !self.reports.lock().is_empty()
+        !self.inner.lock().reports.is_empty()
     }
 
     /// Number of reports recorded so far.
     pub fn len(&self) -> usize {
-        self.reports.lock().len()
+        self.inner.lock().reports.len()
     }
 
     /// Whether no report was recorded.
     pub fn is_empty(&self) -> bool {
-        self.reports.lock().is_empty()
+        self.inner.lock().reports.is_empty()
     }
 }
 
@@ -219,6 +348,49 @@ mod tests {
             f(FaultKind::Wild { write: false }).title(),
             "general protection fault in tls_setsockopt"
         );
+    }
+
+    fn some_fault() -> Fault {
+        Fault {
+            kind: FaultKind::DoubleFree { object: 0x100 },
+            addr: 0x100,
+            in_fn: "kfree",
+        }
+    }
+
+    #[test]
+    fn capture_restore_truncates_when_baseline_intact() {
+        let sink = OracleSink::new();
+        sink.record(some_fault());
+        let snap = sink.capture();
+        sink.record(some_fault());
+        sink.record(some_fault());
+        assert!(sink.restore_from(&snap), "truncate path");
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.snapshot(), snap.reports());
+    }
+
+    #[test]
+    fn take_invalidates_nonempty_baselines_only() {
+        let sink = OracleSink::new();
+        let empty = sink.capture();
+        sink.record(some_fault());
+        let nonempty = sink.capture();
+        let _ = sink.take();
+        // The non-empty baseline is gone: rebuild path.
+        assert!(!sink.restore_from(&nonempty));
+        assert_eq!(sink.len(), 1);
+        let _ = sink.take();
+        // An empty baseline survives a drain: truncate(0) is exact. The
+        // restore_from above re-armed only `nonempty`, so restore to the
+        // empty snapshot is a (cheap) rebuild too — but restoring to a
+        // freshly captured empty one after a take stays valid:
+        assert!(!sink.restore_from(&empty));
+        assert!(sink.is_empty());
+        let empty2 = sink.capture();
+        let _ = sink.take();
+        assert!(sink.restore_from(&empty2), "empty baseline survives take");
+        assert!(sink.is_empty());
     }
 
     #[test]

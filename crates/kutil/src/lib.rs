@@ -32,6 +32,23 @@ pub mod sync;
 
 pub use rng::{splitmix64, DetRng};
 
+/// Process-wide snapshot generation counter.
+///
+/// Every snapshot taken anywhere in the workspace (engine, kmem, fnreg,
+/// lockdep, crash sink, machine) draws its generation id from this single
+/// counter, so a generation names exactly one snapshot ever taken in this
+/// process. Incremental restore keys its undo journal on these ids: a
+/// restore whose generation is armed in the journal rolls back just the
+/// mutations since that snapshot; any other generation (cross-machine
+/// restore, superseded snapshot) is unambiguously a full-restore fallback —
+/// two machines can never collide on an id. Generation 0 is reserved as
+/// "never armed".
+pub fn next_generation() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
 /// FNV-1a over a byte slice: the workspace's stable content fingerprint.
 ///
 /// Used to pin machine-state digests inside serialized artifacts (golden

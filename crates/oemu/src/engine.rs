@@ -60,6 +60,22 @@ pub struct EngineStats {
     /// dropped. Cumulative across resets (a machine-lifetime counter, not
     /// per-run state).
     pub profile_bufs_recycled: u64,
+    /// Restores served by the undo journal — only the state mutated since
+    /// the target snapshot was rolled back. Machine-lifetime counter.
+    pub restores_incremental: u64,
+    /// Memory pre-images replayed by incremental restores: the exact work
+    /// the journal paid where a full restore would have re-cloned the whole
+    /// word table. Machine-lifetime counter.
+    pub restore_words_replayed: u64,
+    /// Restores that took the full `clone_from` path: the target's
+    /// generation was not armed in the journal (cross-machine restore,
+    /// superseded snapshot, invalidated journal) or full restore was
+    /// forced. Machine-lifetime counter.
+    pub restore_full_fallbacks: u64,
+    /// Deepest memory undo journal observed at a restore, in entries —
+    /// how much reset debt the machine ever accumulated. Machine-lifetime
+    /// counter.
+    pub journal_peak_words: u64,
 }
 
 /// Whether the engine is recording or replaying a schedule trace.
@@ -84,6 +100,48 @@ struct TraceState {
     /// Replay departed from the script; decisions fell back to in-order.
     diverged: bool,
 }
+
+/// Per-thread dirty tracking within one undo-journal frame. Flags are set
+/// unconditionally on the mutation paths (a plain store, no branch or hash
+/// cost); a restore `clone_from`s a collection only when some armed frame
+/// at or above the target saw it mutated, and skips it entirely otherwise.
+#[derive(Default, Clone)]
+struct ThreadFrame {
+    /// The store buffer gained or drained entries.
+    buffer_dirty: bool,
+    /// The per-location coherence floor moved (set on nearly every load —
+    /// which is exactly why the floor is flag-tracked, not entry-journaled).
+    floor_dirty: bool,
+    /// `delay_store_at`/`clear_controls` touched the delay set.
+    delay_dirty: bool,
+    /// `read_old_value_at`/`clear_controls` touched the read-old set.
+    read_old_dirty: bool,
+    /// Profile event count when the frame was pushed. Profiling appends
+    /// events in order, so rolling back truncates to this length —
+    /// unless the buffer was swapped out ([`Engine::take_profile`]), which
+    /// sets `profile_replaced` below.
+    profile_len: usize,
+    /// `take_profile` swapped this thread's event buffer while the frame
+    /// held a non-empty baseline: the baseline content is gone, so restore
+    /// must `clone_from` the snapshot's events instead of truncating.
+    profile_replaced: bool,
+}
+
+/// One frame of the engine's undo journal, armed by [`Engine::snapshot`]
+/// and keyed by the snapshot's generation id. The memory pre-image frame
+/// lives inside [`Memory`] at the same stack position.
+struct EngineFrame {
+    generation: u64,
+    /// Store-history length at the frame push; restore truncates back to it
+    /// (the history is append-only between snapshots).
+    hist_len: usize,
+    threads: Vec<ThreadFrame>,
+}
+
+/// Deepest snapshot nesting the undo journal tracks. The campaign loop
+/// needs two (boot + post-setup); pushing past the cap drops the oldest
+/// frame, whose generation then restores via the full fallback path.
+const MAX_FRAMES: usize = 8;
 
 #[derive(Default, Clone)]
 struct ThreadState {
@@ -119,11 +177,28 @@ struct Inner {
     spare_events: Vec<Vec<TraceEvent>>,
     /// Schedule-trace record/replay state (see [`TraceState`]).
     trace: TraceState,
+    /// Armed undo-journal frames, oldest first — one per live snapshot,
+    /// aligned index-for-index with the memory journal's frames.
+    /// Deliberately *not* part of [`EngineSnapshot`]: the journal describes
+    /// how to get *back* to snapshots, it is not machine state itself.
+    frames: Vec<EngineFrame>,
+    /// Diagnostics/benchmark knob: every restore takes the full
+    /// `clone_from` path and no frames are armed, reproducing the
+    /// pre-journal cost model exactly.
+    force_full_restore: bool,
     /// The memory model this engine emulates. Machine identity, not
     /// mutable state: fixed at construction, deliberately excluded from
     /// [`EngineSnapshot`] and its digest (machines of different models are
     /// never digest-compared; the pool keys shelves on the model instead).
     model: MemoryModel,
+    /// `[base, end)` of the boot-time resident image installed by
+    /// [`Engine::install_resident_image`], if any. The image is constant
+    /// ballast (the analog of a kernel's static image and slab pools): it
+    /// rides through snapshot/restore like any other memory — full
+    /// restores pay to copy it, which is exactly the machine-size cost the
+    /// undo journal avoids — but its words are excluded from digests,
+    /// since identical-by-construction state carries no information.
+    resident: Option<(u64, u64)>,
 }
 
 /// A full copy of one engine's semantic state — memory words, store
@@ -142,6 +217,15 @@ pub struct EngineSnapshot {
     profiling: bool,
     threads: Vec<ThreadState>,
     stats: EngineStats,
+    /// Process-unique id ([`kutil::next_generation`]) keying the undo
+    /// journal: a restore whose generation is armed rolls back
+    /// incrementally; any other falls back to the full `clone_from`.
+    /// Not part of the digest — it names the snapshot, it is not state.
+    generation: u64,
+    /// The resident-image range captured with the state (see
+    /// [`Engine::install_resident_image`]); carried so the snapshot's
+    /// digest excludes the same words the live digest does.
+    resident: Option<(u64, u64)>,
 }
 
 impl EngineSnapshot {
@@ -153,38 +237,68 @@ impl EngineSnapshot {
     /// influence execution, and the recycle counter is defined to survive
     /// resets.
     pub fn digest(&self, out: &mut String) {
-        use std::fmt::Write;
-        writeln!(
+        digest_state(
             out,
-            "engine clock={} seq={} profiling={}",
-            self.clock, self.seq, self.profiling
-        )
-        .unwrap();
-        for (addr, value) in self.mem.sorted_words() {
-            writeln!(out, "mem {addr:#x}={value:#x}").unwrap();
+            self.clock,
+            self.seq,
+            self.profiling,
+            &self.mem,
+            &self.history,
+            &self.threads,
+            self.resident,
+        );
+    }
+
+    /// The snapshot's undo-journal generation id.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+/// The one rendering of engine state both digests share: a snapshot's
+/// [`EngineSnapshot::digest`] and the live [`Engine::digest_live`] must be
+/// byte-identical for equal state, so they funnel through this function.
+fn digest_state(
+    out: &mut String,
+    clock: u64,
+    seq: u64,
+    profiling: bool,
+    mem: &Memory,
+    history: &StoreHistory,
+    threads: &[ThreadState],
+    resident: Option<(u64, u64)>,
+) {
+    use std::fmt::Write;
+    writeln!(out, "engine clock={clock} seq={seq} profiling={profiling}").unwrap();
+    for (addr, value) in mem.sorted_words() {
+        if let Some((base, end)) = resident {
+            if addr >= base && addr < end {
+                continue;
+            }
         }
-        for r in self.history.records() {
-            writeln!(out, "hist {r:?}").unwrap();
+        writeln!(out, "mem {addr:#x}={value:#x}").unwrap();
+    }
+    for r in history.records() {
+        writeln!(out, "hist {r:?}").unwrap();
+    }
+    for (i, t) in threads.iter().enumerate() {
+        writeln!(out, "thread {i} window_start={}", t.window_start).unwrap();
+        for e in t.buffer.entries() {
+            writeln!(out, "  buffered {e:?}").unwrap();
         }
-        for (i, t) in self.threads.iter().enumerate() {
-            writeln!(out, "thread {i} window_start={}", t.window_start).unwrap();
-            for e in t.buffer.entries() {
-                writeln!(out, "  buffered {e:?}").unwrap();
-            }
-            let mut floors: Vec<_> = t.obs_floor.iter().collect();
-            floors.sort_unstable();
-            for (addr, ts) in floors {
-                writeln!(out, "  floor {addr:#x}@{ts}").unwrap();
-            }
-            let mut delays: Vec<_> = t.delay_set.iter().collect();
-            delays.sort_unstable();
-            writeln!(out, "  delay_set {delays:?}").unwrap();
-            let mut read_olds: Vec<_> = t.read_old_set.iter().collect();
-            read_olds.sort_unstable();
-            writeln!(out, "  read_old_set {read_olds:?}").unwrap();
-            for ev in &t.profile.events {
-                writeln!(out, "  profiled {ev:?}").unwrap();
-            }
+        let mut floors: Vec<_> = t.obs_floor.iter().collect();
+        floors.sort_unstable();
+        for (addr, ts) in floors {
+            writeln!(out, "  floor {addr:#x}@{ts}").unwrap();
+        }
+        let mut delays: Vec<_> = t.delay_set.iter().collect();
+        delays.sort_unstable();
+        writeln!(out, "  delay_set {delays:?}").unwrap();
+        let mut read_olds: Vec<_> = t.read_old_set.iter().collect();
+        read_olds.sort_unstable();
+        writeln!(out, "  read_old_set {read_olds:?}").unwrap();
+        for ev in &t.profile.events {
+            writeln!(out, "  profiled {ev:?}").unwrap();
         }
     }
 }
@@ -225,7 +339,10 @@ impl Engine {
                 stats: EngineStats::default(),
                 spare_events: Vec::new(),
                 trace: TraceState::default(),
+                frames: Vec::new(),
+                force_full_restore: false,
                 model,
+                resident: None,
             }),
         }
     }
@@ -239,9 +356,17 @@ impl Engine {
     // Snapshot / restore (machine reset support).
     // ------------------------------------------------------------------
 
-    /// Captures the engine's full semantic state.
+    /// Captures the engine's full semantic state and arms an undo-journal
+    /// frame under the snapshot's fresh generation id, so a later
+    /// [`restore`](Engine::restore) to it rolls back only the state mutated
+    /// in between. With [`set_force_full_restore`](Engine::set_force_full_restore)
+    /// active no frame is armed (the pre-journal cost model).
     pub fn snapshot(&self) -> EngineSnapshot {
-        let inner = self.inner.lock();
+        let mut inner = self.inner.lock();
+        let generation = kutil::next_generation();
+        if !inner.force_full_restore {
+            inner.push_frame(generation);
+        }
         EngineSnapshot {
             mem: inner.mem.clone(),
             history: inner.history.clone(),
@@ -250,33 +375,78 @@ impl Engine {
             profiling: inner.profiling,
             threads: inner.threads.clone(),
             stats: inner.stats,
+            generation,
+            resident: inner.resident,
         }
     }
 
     /// Restores a previously captured state, reusing the engine's existing
     /// allocations (memory table, history log, per-thread sets and event
     /// buffers keep their capacity). The spare-buffer pool and the
-    /// cumulative `profile_bufs_recycled` counter survive the restore.
+    /// machine-lifetime counters (`profile_bufs_recycled` and the restore/
+    /// journal diagnostics) survive the restore.
+    ///
+    /// When the snapshot's generation is armed in the undo journal the
+    /// restore is *incremental*: memory pre-images replay backwards, the
+    /// store history truncates to its frame baseline, and per-thread
+    /// collections are copied only if some armed frame saw them mutated.
+    /// Otherwise — cross-machine restore, superseded or pre-journal
+    /// snapshot, invalidated journal, or forced — the full `clone_from`
+    /// path runs and `restore_full_fallbacks` counts it; the journal is
+    /// then re-armed at the restored generation (the machine now *is* that
+    /// snapshot), so repeat restores to it become incremental.
     pub fn restore(&self, snap: &EngineSnapshot) {
         let mut inner = self.inner.lock();
-        inner.mem.clone_from(&snap.mem);
-        inner.history.clone_from(&snap.history);
-        inner.clock = snap.clock;
-        inner.seq = snap.seq;
-        inner.profiling = snap.profiling;
-        debug_assert_eq!(inner.threads.len(), snap.threads.len());
-        for (t, s) in inner.threads.iter_mut().zip(&snap.threads) {
-            t.buffer.clone_from(&s.buffer);
-            t.window_start = s.window_start;
-            t.obs_floor.clone_from(&s.obs_floor);
-            t.delay_set.clone_from(&s.delay_set);
-            t.read_old_set.clone_from(&s.read_old_set);
-            t.profile.tid = s.profile.tid;
-            t.profile.events.clone_from(&s.profile.events);
+        let inner = &mut *inner;
+        let depth = inner.mem.journal_entries();
+        inner.stats.journal_peak_words = inner.stats.journal_peak_words.max(depth);
+        let armed = (!inner.force_full_restore)
+            .then(|| {
+                inner
+                    .frames
+                    .iter()
+                    .position(|f| f.generation == snap.generation)
+            })
+            .flatten();
+        match armed {
+            Some(k) => inner.restore_incremental(k, snap),
+            None => inner.restore_full(snap),
         }
-        let recycled = inner.stats.profile_bufs_recycled;
-        inner.stats = snap.stats;
-        inner.stats.profile_bufs_recycled = recycled;
+    }
+
+    /// Forces every subsequent restore down the full `clone_from` path and
+    /// disarms the undo journal (no frames are pushed while set) — the
+    /// pre-journal cost model, for differential tests and the benchmark's
+    /// comparison arm. Semantically invisible either way.
+    pub fn set_force_full_restore(&self, on: bool) {
+        let mut inner = self.inner.lock();
+        inner.force_full_restore = on;
+        if on {
+            inner.frames.clear();
+            inner.mem.journal_clear();
+        }
+    }
+
+    /// Armed undo-journal frames (diagnostics for tests and benches).
+    pub fn journal_depth(&self) -> usize {
+        self.inner.lock().frames.len()
+    }
+
+    /// Live-state digest, byte-identical to [`EngineSnapshot::digest`] of a
+    /// snapshot taken at this instant — without cloning any state or
+    /// arming a journal frame.
+    pub fn digest_live(&self, out: &mut String) {
+        let inner = self.inner.lock();
+        digest_state(
+            out,
+            inner.clock,
+            inner.seq,
+            inner.profiling,
+            &inner.mem,
+            &inner.history,
+            &inner.threads,
+            inner.resident,
+        );
     }
 
     /// Hands a used profile event buffer back for reuse by a later
@@ -341,21 +511,31 @@ impl Engine {
     /// `delay_store_at(I)`: when thread `tid` executes instruction `iid`, its
     /// store operation will be held in the virtual store buffer.
     pub fn delay_store_at(&self, tid: Tid, iid: Iid) {
-        self.inner.lock().threads[tid.0].delay_set.insert(iid);
+        let mut inner = self.inner.lock();
+        inner.threads[tid.0].delay_set.insert(iid);
+        inner.mark_frame(tid, |f| f.delay_dirty = true);
     }
 
     /// `read_old_value_at(I)`: when thread `tid` executes instruction `iid`,
     /// its load operation will read an old value from the store history (if
     /// one is valid within the versioning window).
     pub fn read_old_value_at(&self, tid: Tid, iid: Iid) {
-        self.inner.lock().threads[tid.0].read_old_set.insert(iid);
+        let mut inner = self.inner.lock();
+        inner.threads[tid.0].read_old_set.insert(iid);
+        inner.mark_frame(tid, |f| f.read_old_dirty = true);
     }
 
     /// Removes all reordering instructions for `tid` (back to in-order).
     pub fn clear_controls(&self, tid: Tid) {
         let mut inner = self.inner.lock();
-        inner.threads[tid.0].delay_set.clear();
-        inner.threads[tid.0].read_old_set.clear();
+        if !inner.threads[tid.0].delay_set.is_empty() {
+            inner.threads[tid.0].delay_set.clear();
+            inner.mark_frame(tid, |f| f.delay_dirty = true);
+        }
+        if !inner.threads[tid.0].read_old_set.is_empty() {
+            inner.threads[tid.0].read_old_set.clear();
+            inner.mark_frame(tid, |f| f.read_old_dirty = true);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -479,6 +659,7 @@ impl Engine {
                 // loads may re-read it but nothing older.
                 let floor = inner.threads[tid.0].obs_floor.entry(addr).or_insert(0);
                 *floor = (*floor).max(ts.saturating_sub(1));
+                inner.mark_frame(tid, |f| f.floor_dirty = true);
                 old
             }
             Source::Memory => {
@@ -486,6 +667,7 @@ impl Engine {
                 let v = inner.mem.read(addr);
                 let floor = inner.threads[tid.0].obs_floor.entry(addr).or_insert(0);
                 *floor = (*floor).max(clock);
+                inner.mark_frame(tid, |f| f.floor_dirty = true);
                 v
             }
         };
@@ -566,6 +748,7 @@ impl Engine {
                 size,
                 iid,
             });
+            inner.mark_frame(tid, |f| f.buffer_dirty = true);
         } else {
             inner.commit(tid, iid, addr, value);
         }
@@ -678,6 +861,16 @@ impl Engine {
     /// is available, so steady-state profiling allocates nothing.
     pub fn take_profile(&self, tid: Tid) -> Profile {
         let mut inner = self.inner.lock();
+        // The swap discards the thread's current event buffer. A frame
+        // whose baseline was non-empty loses its truncate target (those
+        // events are gone); one with an empty baseline stays consistent —
+        // the fresh buffer is exactly the baseline again.
+        for frame in &mut inner.frames {
+            let tf = &mut frame.threads[tid.0];
+            if tf.profile_len > 0 {
+                tf.profile_replaced = true;
+            }
+        }
         let mut replacement = Profile::new(tid);
         if let Some(buf) = inner.spare_events.pop() {
             debug_assert!(buf.is_empty());
@@ -705,6 +898,38 @@ impl Engine {
     /// Zeroes a freshly-allocated object's words (`kzalloc` semantics).
     pub fn raw_zero(&self, addr: u64, words: u64) {
         self.inner.lock().mem.zero_range(addr, words);
+    }
+
+    /// Installs the machine's boot-time resident image: `words` committed
+    /// directly at `base..base + 8*words.len()` under one lock, bypassing
+    /// buffers, history, and profiling, exactly like [`raw_store`]
+    /// (boot-time initialisation, not emulated execution).
+    ///
+    /// The image models the state a real kernel carries that tests never
+    /// touch — static data, slab pools, page metadata — so full-restore
+    /// cost is honestly proportional to machine size, the way reverting a
+    /// VM snapshot is. Its words ride through snapshot/restore like all
+    /// memory, but are excluded from [`EngineSnapshot::digest`] and
+    /// [`digest_live`](Engine::digest_live): the content is fixed at boot
+    /// and identical on every machine by construction, so it carries no
+    /// semantic information. The range is reserved — emulated code must
+    /// not address into it (nothing enforces this; callers pick a range no
+    /// subsystem uses).
+    ///
+    /// Call once, before the first snapshot.
+    ///
+    /// [`raw_store`]: Engine::raw_store
+    pub fn install_resident_image(&self, base: u64, words: &[u64]) {
+        let mut inner = self.inner.lock();
+        for (i, w) in words.iter().enumerate() {
+            inner.mem.write(base + 8 * i as u64, *w);
+        }
+        inner.resident = Some((base, base + 8 * words.len() as u64));
+    }
+
+    /// The `[base, end)` resident-image range, if one is installed.
+    pub fn resident_image(&self) -> Option<(u64, u64)> {
+        self.inner.lock().resident
     }
 
     // ------------------------------------------------------------------
@@ -741,10 +966,158 @@ impl Engine {
             .min()
             .unwrap_or(0);
         inner.history.truncate_before(horizon);
+        // Truncation rewrote record positions, so armed frames' history
+        // baselines are meaningless now. Invalidate the whole journal:
+        // affected generations simply fall back to a full restore.
+        inner.frames.clear();
+        inner.mem.journal_clear();
     }
 }
 
 impl Inner {
+    // ------------------------------------------------------------------
+    // Undo-journal plumbing.
+    // ------------------------------------------------------------------
+
+    /// Arms a fresh top frame under `generation`, evicting the oldest
+    /// frame if the stack is at capacity (its generation becomes a
+    /// full-restore fallback).
+    fn push_frame(&mut self, generation: u64) {
+        if self.frames.len() == MAX_FRAMES {
+            self.frames.remove(0);
+            self.mem.journal_drop_oldest();
+        }
+        self.mem.journal_push();
+        self.frames.push(EngineFrame {
+            generation,
+            hist_len: self.history.len(),
+            threads: self
+                .threads
+                .iter()
+                .map(|t| ThreadFrame {
+                    profile_len: t.profile.events.len(),
+                    ..ThreadFrame::default()
+                })
+                .collect(),
+        });
+    }
+
+    /// Marks the top frame's per-thread dirty state; a no-op while no
+    /// frame is armed.
+    #[inline]
+    fn mark_frame(&mut self, tid: Tid, f: impl FnOnce(&mut ThreadFrame)) {
+        if let Some(frame) = self.frames.last_mut() {
+            f(&mut frame.threads[tid.0]);
+        }
+    }
+
+    /// Rolls back to frame `k` (whose generation matched the snapshot):
+    /// replay memory pre-images, truncate the history, copy only the
+    /// dirty per-thread collections, pop the frames above `k` and leave
+    /// frame `k` armed and clean.
+    fn restore_incremental(&mut self, k: usize, snap: &EngineSnapshot) {
+        debug_assert_eq!(self.frames[k].hist_len, snap.history.len());
+        let words = self.mem.journal_rollback_to(k);
+        self.history.truncate_to(self.frames[k].hist_len);
+        self.clock = snap.clock;
+        self.seq = snap.seq;
+        self.profiling = snap.profiling;
+        debug_assert_eq!(self.threads.len(), snap.threads.len());
+        for (tid, (t, s)) in self.threads.iter_mut().zip(&snap.threads).enumerate() {
+            // A collection is copied back iff some frame at or above the
+            // target saw it mutated; clean collections still equal the
+            // snapshot and are skipped entirely.
+            let mut dirty = ThreadFrame::default();
+            for frame in &self.frames[k..] {
+                let tf = &frame.threads[tid];
+                dirty.buffer_dirty |= tf.buffer_dirty;
+                dirty.floor_dirty |= tf.floor_dirty;
+                dirty.delay_dirty |= tf.delay_dirty;
+                dirty.read_old_dirty |= tf.read_old_dirty;
+                dirty.profile_replaced |= tf.profile_replaced;
+            }
+            if dirty.buffer_dirty {
+                t.buffer.clone_from(&s.buffer);
+            }
+            if dirty.floor_dirty {
+                t.obs_floor.clone_from(&s.obs_floor);
+            }
+            if dirty.delay_dirty {
+                t.delay_set.clone_from(&s.delay_set);
+            }
+            if dirty.read_old_dirty {
+                t.read_old_set.clone_from(&s.read_old_set);
+            }
+            t.window_start = s.window_start;
+            t.profile.tid = s.profile.tid;
+            if dirty.profile_replaced {
+                t.profile.events.clone_from(&s.profile.events);
+            } else {
+                // Profiling appended in order since the frame push; drop
+                // the tail. The baseline length was captured at the same
+                // instant as the snapshot, so this is exact.
+                debug_assert!(t.profile.events.len() >= self.frames[k].threads[tid].profile_len);
+                t.profile
+                    .events
+                    .truncate(self.frames[k].threads[tid].profile_len);
+            }
+        }
+        self.frames.truncate(k + 1);
+        let top = self.frames.last_mut().expect("frame k kept");
+        for tf in &mut top.threads {
+            let profile_len = tf.profile_len;
+            *tf = ThreadFrame {
+                profile_len,
+                ..ThreadFrame::default()
+            };
+        }
+        self.restore_stats(snap.stats);
+        self.stats.restores_incremental += 1;
+        self.stats.restore_words_replayed += words;
+    }
+
+    /// The original whole-machine `clone_from` restore; afterwards the
+    /// journal is re-armed at the restored snapshot's generation so the
+    /// *next* restore to it takes the incremental path.
+    fn restore_full(&mut self, snap: &EngineSnapshot) {
+        self.mem.clone_from(&snap.mem); // clears the memory journal
+        self.history.clone_from(&snap.history);
+        self.clock = snap.clock;
+        self.seq = snap.seq;
+        self.profiling = snap.profiling;
+        debug_assert_eq!(self.threads.len(), snap.threads.len());
+        for (t, s) in self.threads.iter_mut().zip(&snap.threads) {
+            t.buffer.clone_from(&s.buffer);
+            t.window_start = s.window_start;
+            t.obs_floor.clone_from(&s.obs_floor);
+            t.delay_set.clone_from(&s.delay_set);
+            t.read_old_set.clone_from(&s.read_old_set);
+            t.profile.tid = s.profile.tid;
+            t.profile.events.clone_from(&s.profile.events);
+        }
+        self.resident = snap.resident;
+        self.frames.clear();
+        if !self.force_full_restore {
+            // The machine now *is* the snapshot: re-arm the journal at its
+            // generation so the next restore to it is incremental.
+            self.push_frame(snap.generation);
+        }
+        self.restore_stats(snap.stats);
+        self.stats.restore_full_fallbacks += 1;
+    }
+
+    /// Adopts the snapshot's per-run counters while preserving the
+    /// machine-lifetime ones (they survive restores by definition).
+    fn restore_stats(&mut self, snap: EngineStats) {
+        let keep = self.stats;
+        self.stats = snap;
+        self.stats.profile_bufs_recycled = keep.profile_bufs_recycled;
+        self.stats.restores_incremental = keep.restores_incremental;
+        self.stats.restore_words_replayed = keep.restore_words_replayed;
+        self.stats.restore_full_fallbacks = keep.restore_full_fallbacks;
+        self.stats.journal_peak_words = keep.journal_peak_words;
+    }
+
     fn next_seq(&mut self) -> u64 {
         self.seq += 1;
         self.seq
@@ -838,6 +1211,9 @@ impl Inner {
 
     fn flush_buffer(&mut self, tid: Tid) {
         let drained = self.threads[tid.0].buffer.drain();
+        if !drained.is_empty() {
+            self.mark_frame(tid, |f| f.buffer_dirty = true);
+        }
         self.commit_drained(tid, drained);
     }
 
@@ -846,6 +1222,9 @@ impl Inner {
     /// flight.
     fn flush_overlapping(&mut self, tid: Tid, addr: u64, size: u8) {
         let drained = self.threads[tid.0].buffer.drain_overlapping(addr, size);
+        if !drained.is_empty() {
+            self.mark_frame(tid, |f| f.buffer_dirty = true);
+        }
         self.commit_drained(tid, drained);
     }
 
@@ -1311,5 +1690,145 @@ mod tests {
         assert_eq!(s.forwards, 1);
         assert_eq!(s.commits, 1);
         assert_eq!(s.barriers, 1);
+    }
+
+    fn live_digest(e: &Engine) -> String {
+        let mut out = String::new();
+        e.digest_live(&mut out);
+        out
+    }
+
+    fn snap_digest(s: &EngineSnapshot) -> String {
+        let mut out = String::new();
+        s.digest(&mut out);
+        out
+    }
+
+    /// Exercises every journalled subsystem: memory, history, store buffer,
+    /// delay/read-old sets, observation floors, and the profile buffer.
+    fn mutate_everything(e: &Engine, salt: u64) {
+        let delayed = iid!();
+        e.delay_store_at(Tid(0), delayed);
+        e.read_old_value_at(Tid(1), iid!());
+        e.store(Tid(0), delayed, X, salt, StoreAnn::Plain); // buffered
+        e.store(Tid(0), iid!(), Y, salt + 1, StoreAnn::Plain);
+        e.store(Tid(1), iid!(), Z, salt + 2, StoreAnn::Plain);
+        e.load(Tid(1), iid!(), Y, LoadAnn::Plain); // floor update
+        e.smp_rmb(Tid(1), iid!()); // window move
+    }
+
+    #[test]
+    fn incremental_restore_round_trips_digest() {
+        let e = Engine::new(2);
+        e.set_profiling(true);
+        mutate_everything(&e, 10);
+        let snap = e.snapshot();
+        let before = live_digest(&e);
+        assert_eq!(before, snap_digest(&snap), "live digest matches snapshot");
+        mutate_everything(&e, 20);
+        e.smp_mb(Tid(0), iid!());
+        assert_ne!(live_digest(&e), before);
+        e.restore(&snap);
+        assert_eq!(live_digest(&e), before, "incremental restore is exact");
+        let s = e.stats();
+        assert_eq!(s.restores_incremental, 1);
+        assert_eq!(s.restore_full_fallbacks, 0);
+        assert!(s.restore_words_replayed > 0);
+        // The frame stays armed: restore-after-restore is incremental too.
+        mutate_everything(&e, 30);
+        e.restore(&snap);
+        assert_eq!(live_digest(&e), before);
+        assert_eq!(e.stats().restores_incremental, 2);
+    }
+
+    #[test]
+    fn nested_snapshots_restore_through_each_other() {
+        let e = Engine::new(2);
+        mutate_everything(&e, 1);
+        let boot = e.snapshot();
+        let boot_d = snap_digest(&boot);
+        mutate_everything(&e, 40);
+        let post = e.snapshot();
+        let post_d = snap_digest(&post);
+        assert_eq!(e.journal_depth(), 2);
+        mutate_everything(&e, 50);
+        e.restore(&post);
+        assert_eq!(live_digest(&e), post_d);
+        assert_eq!(e.journal_depth(), 2);
+        // Restoring the *outer* snapshot pops the inner frame.
+        e.restore(&boot);
+        assert_eq!(live_digest(&e), boot_d);
+        assert_eq!(e.journal_depth(), 1);
+        assert_eq!(e.stats().restore_full_fallbacks, 0);
+        // The inner generation is no longer armed: full fallback, then
+        // re-armed so the next restore to it is incremental again.
+        e.restore(&post);
+        assert_eq!(live_digest(&e), post_d);
+        assert_eq!(e.stats().restore_full_fallbacks, 1);
+        mutate_everything(&e, 60);
+        e.restore(&post);
+        assert_eq!(live_digest(&e), post_d);
+        assert_eq!(e.stats().restore_full_fallbacks, 1, "re-armed");
+    }
+
+    #[test]
+    fn cross_machine_restore_falls_back_to_full() {
+        let a = Engine::new(2);
+        mutate_everything(&a, 7);
+        let snap = a.snapshot();
+        let b = Engine::new(2);
+        b.restore(&snap);
+        assert_eq!(live_digest(&b), snap_digest(&snap));
+        assert_eq!(b.stats().restore_full_fallbacks, 1);
+        assert_eq!(b.stats().restores_incremental, 0);
+    }
+
+    #[test]
+    fn force_full_restore_disarms_journal() {
+        let e = Engine::new(2);
+        e.set_force_full_restore(true);
+        let snap = e.snapshot();
+        assert_eq!(e.journal_depth(), 0, "no frame armed while forced");
+        mutate_everything(&e, 3);
+        e.restore(&snap);
+        assert_eq!(live_digest(&e), snap_digest(&snap));
+        let s = e.stats();
+        assert_eq!(s.restore_full_fallbacks, 1);
+        assert_eq!(s.restores_incremental, 0);
+        assert_eq!(e.journal_depth(), 0, "forced restore does not re-arm");
+        // Turning the knob off restores incremental behaviour.
+        e.set_force_full_restore(false);
+        let snap2 = e.snapshot();
+        mutate_everything(&e, 4);
+        e.restore(&snap2);
+        assert_eq!(e.stats().restores_incremental, 1);
+    }
+
+    #[test]
+    fn take_profile_after_snapshot_still_restores_exactly() {
+        let e = Engine::new(2);
+        e.set_profiling(true);
+        e.store(Tid(0), iid!(), X, 1, StoreAnn::Plain); // profiled event
+        let snap = e.snapshot();
+        let before = snap_digest(&snap);
+        // Discard the buffer the snapshot's baseline points into.
+        let _ = e.take_profile(Tid(0));
+        e.store(Tid(0), iid!(), Y, 2, StoreAnn::Plain);
+        e.restore(&snap);
+        assert_eq!(live_digest(&e), before, "profile restored via clone_from");
+        assert_eq!(e.stats().restore_full_fallbacks, 0);
+    }
+
+    #[test]
+    fn gc_history_invalidates_the_journal() {
+        let e = Engine::new(1);
+        e.store(Tid(0), iid!(), X, 1, StoreAnn::Plain);
+        let snap = e.snapshot();
+        e.smp_rmb(Tid(0), iid!());
+        e.gc_history();
+        assert_eq!(e.journal_depth(), 0);
+        e.restore(&snap);
+        assert_eq!(live_digest(&e), snap_digest(&snap));
+        assert_eq!(e.stats().restore_full_fallbacks, 1);
     }
 }

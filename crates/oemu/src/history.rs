@@ -137,6 +137,35 @@ impl StoreHistory {
         self.records.is_empty()
     }
 
+    /// Rolls the append-only log back to its first `len` records — the
+    /// incremental-restore analog of `clone_from` against a snapshot taken
+    /// when the history held exactly `len` records. The per-address index
+    /// is unwound in step: each dropped record pops its (necessarily last)
+    /// position from its address list, and emptied lists are removed so the
+    /// result is key-for-key identical to a fresh clone of the snapshot.
+    ///
+    /// Only valid while the log's first `len` records are untouched since
+    /// that snapshot — i.e. records were only appended. A
+    /// [`truncate_before`](StoreHistory::truncate_before) in between breaks
+    /// that invariant, which is why the engine invalidates its whole undo
+    /// journal on garbage collection.
+    pub fn truncate_to(&mut self, len: usize) {
+        debug_assert!(len <= self.records.len());
+        for pos in (len..self.records.len()).rev() {
+            let addr = self.records[pos].addr;
+            let positions = self
+                .by_addr
+                .get_mut(&addr)
+                .expect("indexed record has a position list");
+            let last = positions.pop();
+            debug_assert_eq!(last, Some(pos), "positions ascend per address");
+            if positions.is_empty() {
+                self.by_addr.remove(&addr);
+            }
+        }
+        self.records.truncate(len);
+    }
+
     /// Discards records with `ts <= horizon`, bounding memory use during
     /// long fuzzing campaigns. Safe once every thread's versioning window
     /// starts at or after `horizon`.
@@ -249,7 +278,7 @@ mod tests {
     fn indexed_lookup_matches_linear_reference() {
         let mut rng = kutil::DetRng::new(0x0227);
         let mut h = StoreHistory::new();
-        let mut check = |h: &StoreHistory, rng: &mut kutil::DetRng| {
+        let check = |h: &StoreHistory, rng: &mut kutil::DetRng| {
             for _ in 0..200 {
                 let addr = 0x10 + 8 * rng.gen_range(0..12u64);
                 let reader = Tid(rng.gen_range(0..3usize));
@@ -272,6 +301,29 @@ mod tests {
         h.truncate_before(u64::MAX);
         assert!(h.is_empty());
         check(&h, &mut rng);
+    }
+
+    #[test]
+    fn truncate_to_unwinds_appends_exactly() {
+        let mut h = StoreHistory::new();
+        h.record(rec(0x10, 0, 1, 1, 0));
+        h.record(rec(0x18, 0, 2, 2, 0));
+        let baseline = h.clone();
+        h.record(rec(0x10, 1, 3, 3, 1));
+        h.record(rec(0x20, 0, 4, 4, 1)); // fresh address
+        h.truncate_to(2);
+        assert_eq!(h.records(), baseline.records());
+        assert_eq!(
+            format!("{h:?}"),
+            format!("{baseline:?}"),
+            "index must match a fresh clone key-for-key"
+        );
+        // Appending after the rollback keeps the index coherent.
+        h.record(rec(0x20, 0, 9, 9, 1));
+        assert_eq!(h.old_version_at(Tid(0), 0x20, 0), Some((0, 9)));
+        h.truncate_to(0);
+        assert!(h.is_empty());
+        assert_eq!(h.old_version_at(Tid(0), 0x10, 0), None);
     }
 
     #[test]
