@@ -63,6 +63,26 @@ grep -q '"restore_full_fallbacks": 0' BENCH_mti_throughput.json \
 echo "== record/replay fidelity + oracle matrix + golden traces =="
 cargo test -q --offline --test trace_replay --test oracle_matrix --test golden_trace
 
+echo "== triage battery (minimize + bisect, both executors x all models) =="
+# The workspace runs above already cover the default (tso/stepped) and
+# threaded cells; the loop pins the full matrix explicitly, including the
+# Arm cells where attribution degrades to a principled Inconclusive.
+for m in tso pso arm; do
+    echo "--  OZZ_MEMMODEL=$m"
+    OZZ_MEMMODEL=$m cargo test -q --offline --test triage_minimal
+    OZZ_MEMMODEL=$m OZZ_EXEC=threaded cargo test -q --offline --test triage_minimal
+done
+
+echo "== trace minimization bench (full corpus shrink + replay cost) =="
+cargo build --release --offline -p bench --bin trace_minimize
+./target/release/trace_minimize
+cat BENCH_trace_minimize.json
+for key in events_before_median events_after_median reduction_pct_median \
+    replays_median minimize_wall_ms_median; do
+    grep -q "\"$key\"" BENCH_trace_minimize.json \
+        || { echo "error: $key missing from BENCH_trace_minimize.json" >&2; exit 1; }
+done
+
 echo "== bounded exhaustive explorer smoke (hint-generator differential) =="
 cargo run -q --release --offline -p modelcheck --bin explore -- watch_queue
 

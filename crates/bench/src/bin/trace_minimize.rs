@@ -1,0 +1,102 @@
+//! Trace minimization cost and payoff over the full oracle-matrix corpus.
+//!
+//! For every seeded bug: record a reproducer (directed §6.2 sweep, campaign
+//! fallback), run the [`Triager`] minimization to its fixed point, and
+//! account the shrink — replayable events before/after, candidate replays
+//! spent, and wall time. The medians are the paper-style summary: how small
+//! a recorded schedule gets, and what a minimization costs.
+//!
+//! Usage: `trace_minimize [reps]` (default 1; extra reps re-run the whole
+//! corpus and keep per-bug median wall times). Writes
+//! `BENCH_trace_minimize.json` into the working directory.
+
+use std::time::Instant;
+
+use kernelsim::{BugId, BugSwitches};
+use ozz::triage::{record_reproducer, Triager};
+
+fn all_bugs() -> Vec<BugId> {
+    BugId::NEW
+        .iter()
+        .chain(BugId::KNOWN.iter())
+        .chain(BugId::EXTENDED.iter())
+        .copied()
+        .collect()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let bugs = all_bugs();
+    println!(
+        "Trace minimization over {} oracle-matrix bugs ({reps} rep(s))\n",
+        bugs.len()
+    );
+
+    let mut before = Vec::new();
+    let mut after = Vec::new();
+    let mut reduction = Vec::new();
+    let mut replays = Vec::new();
+    let mut wall = Vec::new();
+    let total = Instant::now();
+    for &bug in &bugs {
+        let r = record_reproducer(bug)
+            .unwrap_or_else(|| panic!("{bug}: no reproducer within the budget"));
+        let triager = Triager::new(BugSwitches::only([bug]));
+        let mut wall_ms = Vec::with_capacity(reps);
+        let mut min = triager.minimize(&r);
+        wall_ms.push(min.stats.wall_ms);
+        for _ in 1..reps {
+            min = triager.minimize(&r);
+            wall_ms.push(min.stats.wall_ms);
+        }
+        let s = &min.stats;
+        println!(
+            "{:<22} {:>3} -> {:>2} events ({:>4.1}% smaller) | {:>3} replays | {:>7.2} ms",
+            bug.to_string(),
+            s.events_before,
+            s.events_after,
+            s.reduction_pct(),
+            s.replays,
+            median(wall_ms.clone()),
+        );
+        before.push(s.events_before as f64);
+        after.push(s.events_after as f64);
+        reduction.push(s.reduction_pct());
+        replays.push(s.replays as f64);
+        wall.push(median(wall_ms));
+    }
+    let total_ms = total.elapsed().as_secs_f64() * 1e3;
+
+    let events_before_median = median(before);
+    let events_after_median = median(after);
+    let reduction_pct_median = median(reduction);
+    let replays_median = median(replays);
+    let minimize_wall_ms_median = median(wall);
+    println!(
+        "\nmedian: {events_before_median:.0} -> {events_after_median:.0} events \
+         ({reduction_pct_median:.1}% smaller), {replays_median:.0} replays, \
+         {minimize_wall_ms_median:.2} ms per minimization"
+    );
+    println!("corpus wall time: {total_ms:.0} ms");
+
+    let json = format!(
+        "{{\n  \"bugs\": {},\n  \"reps\": {reps},\n  \
+         \"events_before_median\": {events_before_median:.1},\n  \
+         \"events_after_median\": {events_after_median:.1},\n  \
+         \"reduction_pct_median\": {reduction_pct_median:.1},\n  \
+         \"replays_median\": {replays_median:.1},\n  \
+         \"minimize_wall_ms_median\": {minimize_wall_ms_median:.3},\n  \
+         \"total_wall_ms\": {total_ms:.1}\n}}\n",
+        bugs.len()
+    );
+    std::fs::write("BENCH_trace_minimize.json", json).expect("write BENCH_trace_minimize.json");
+    println!("\nwrote BENCH_trace_minimize.json");
+}

@@ -2,9 +2,8 @@
 //! resumed fuzzing campaigns.
 //!
 //! [`CampaignBuilder`] is the single entry point for running OZZ at any
-//! scale. It subsumes the old free functions — the serial
-//! `fuzzer::campaign()` and the sharded `parallel_campaign()` /
-//! `ParallelCampaign` chain — behind one fluent surface:
+//! scale — serial, sharded, and resumed campaigns all construct through
+//! one fluent surface (the old free-function shims are gone):
 //!
 //! ```
 //! use ozz::campaign::CampaignBuilder;

@@ -27,7 +27,24 @@ use kutil::codec::{ParseError, TextReader, TextWriter};
 use crate::fuzzer::FoundBug;
 
 const MAGIC: &str = "ozz-crashdb";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+
+/// Triage outcome attached to a crash record by
+/// [`crate::triage::Triager::triage`] (version 2 of the text format).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TriageInfo {
+    /// Replayable events (steps + switches) of the original recording.
+    pub events_before: usize,
+    /// Replayable events of the minimized trace.
+    pub events_after: usize,
+    /// Candidate replays the minimization spent.
+    pub replays: u64,
+    /// The bisected culprit switch key ([`kernelsim::BugId`] token), or
+    /// `None` when bisection was inconclusive.
+    pub culprit: Option<String>,
+    /// The minimized schedule, serialized (`ozz-trace v3`).
+    pub min_trace: String,
+}
 
 /// One deduplicated crash with its triage statistics.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -52,6 +69,8 @@ pub struct CrashRecord {
     pub per_model: BTreeMap<String, u64>,
     /// Sightings per bug-switch set key ([`kernelsim::BugSwitches::key`]).
     pub per_switches: BTreeMap<String, u64>,
+    /// Minimization and bisection outcome, once the record was triaged.
+    pub triage: Option<TriageInfo>,
 }
 
 /// Filter for [`CrashDb::query`]. Empty (`Default`) matches every record.
@@ -108,6 +127,7 @@ impl CrashDb {
                 first_seen_shard: shard,
                 per_model: BTreeMap::new(),
                 per_switches: BTreeMap::new(),
+                triage: None,
             });
         rec.count += sightings;
         rec.last_seen_epoch = rec.last_seen_epoch.max(epoch);
@@ -133,6 +153,18 @@ impl CrashDb {
     /// Looks up a record by its digest key.
     pub fn get(&self, digest_fnv: u64) -> Option<&CrashRecord> {
         self.records.get(&digest_fnv)
+    }
+
+    /// Attaches a triage outcome to the record keyed `digest_fnv`,
+    /// replacing any earlier one. Returns whether the record exists.
+    pub fn set_triage(&mut self, digest_fnv: u64, info: TriageInfo) -> bool {
+        match self.records.get_mut(&digest_fnv) {
+            Some(rec) => {
+                rec.triage = Some(info);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Records matching every set filter of `q`, sorted by sighting count
@@ -168,8 +200,8 @@ impl CrashDb {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<16} {:>7} {:>4} {:>11} {:<24} title",
-            "digest", "count", "type", "epochs", "models"
+            "{:<16} {:>7} {:>4} {:>11} {:<24} {:>7} title",
+            "digest", "count", "type", "epochs", "models", "min"
         );
         for r in self.query(&CrashQuery::default()) {
             let models: Vec<String> = r
@@ -177,15 +209,20 @@ impl CrashDb {
                 .iter()
                 .map(|(m, n)| format!("{m}:{n}"))
                 .collect();
+            let min = match &r.triage {
+                Some(t) => format!("{}/{}", t.events_after, t.events_before),
+                None => "-".to_string(),
+            };
             let _ = writeln!(
                 out,
-                "{:016x} {:>7} {:>4} {:>5}..{:<4} {:<24} {}",
+                "{:016x} {:>7} {:>4} {:>5}..{:<4} {:<24} {:>7} {}",
                 r.digest_fnv,
                 r.count,
                 r.reorder_type.to_string(),
                 r.first_seen_epoch,
                 r.last_seen_epoch,
                 models.join(","),
+                min,
                 r.title
             );
         }
@@ -208,6 +245,17 @@ impl CrashDb {
             w.field("first_shard", r.first_seen_shard);
             write_count_map(&mut w, "models", &r.per_model);
             write_count_map(&mut w, "switches", &r.per_switches);
+            match &r.triage {
+                None => w.field("triaged", 0),
+                Some(t) => {
+                    w.field("triaged", 1);
+                    w.field("events_before", t.events_before);
+                    w.field("events_after", t.events_after);
+                    w.field("replays", t.replays);
+                    w.str_field("culprit", t.culprit.as_deref().unwrap_or(""));
+                    w.blob("min_trace", &t.min_trace);
+                }
+            }
             w.end();
         }
         w.finish()
@@ -216,7 +264,9 @@ impl CrashDb {
     /// Parses the [`CrashDb::to_text`] form.
     pub fn parse(text: &str) -> Result<CrashDb, ParseError> {
         let (mut r, version) = TextReader::new(text, MAGIC)?;
-        if version != VERSION {
+        // Version 1 predates triage annotations; its records parse as
+        // untriaged, so checkpoints written before the bump keep loading.
+        if version != 1 && version != VERSION {
             return Err(format!("unsupported {MAGIC} version {version}"));
         }
         let count: usize = r.parse_field("records")?;
@@ -229,7 +279,7 @@ impl CrashDb {
             let reorder = r.field("reorder")?;
             let reorder_type = ReorderType::parse(reorder)
                 .ok_or_else(|| format!("bad reorder type {reorder:?}"))?;
-            let rec = CrashRecord {
+            let mut rec = CrashRecord {
                 digest_fnv,
                 title,
                 barrier_location,
@@ -240,7 +290,24 @@ impl CrashDb {
                 first_seen_shard: r.parse_field("first_shard")?,
                 per_model: read_count_map(&mut r, "models")?,
                 per_switches: read_count_map(&mut r, "switches")?,
+                triage: None,
             };
+            if version >= 2 {
+                let triaged: u32 = r.parse_field("triaged")?;
+                if triaged == 1 {
+                    let events_before = r.parse_field("events_before")?;
+                    let events_after = r.parse_field("events_after")?;
+                    let replays = r.parse_field("replays")?;
+                    let culprit = r.str_field("culprit")?;
+                    rec.triage = Some(TriageInfo {
+                        events_before,
+                        events_after,
+                        replays,
+                        culprit: (!culprit.is_empty()).then_some(culprit),
+                        min_trace: r.blob("min_trace")?,
+                    });
+                }
+            }
             r.end()?;
             db.records.insert(rec.digest_fnv, rec);
         }
@@ -315,6 +382,7 @@ mod tests {
                 first: Tid(0),
                 switches: vec![],
                 steps: vec![],
+                sparse: false,
             },
             digest_fnv: digest,
         }
@@ -398,5 +466,56 @@ mod tests {
     fn empty_db_roundtrips() {
         let db = CrashDb::new();
         assert_eq!(CrashDb::parse(&db.to_text()).unwrap(), db);
+    }
+
+    #[test]
+    fn triage_info_roundtrips_and_shows_in_report() {
+        let mut db = CrashDb::new();
+        db.record(&bug("crash a", 0x1), 0, 0, "tso", "all", 2);
+        db.record(&bug("crash b", 0x2), 0, 0, "tso", "all", 1);
+        assert!(!db.set_triage(0x999, triage_info(Some("WatchQueuePost"))));
+        assert!(db.set_triage(0x1, triage_info(Some("WatchQueuePost"))));
+        assert!(db.set_triage(0x2, triage_info(None)));
+        let text = db.to_text();
+        let back = CrashDb::parse(&text).expect("parse v2");
+        assert_eq!(back, db);
+        assert_eq!(back.to_text(), text);
+        assert_eq!(
+            back.get(0x1).unwrap().triage.as_ref().unwrap().culprit,
+            Some("WatchQueuePost".to_string())
+        );
+        assert_eq!(
+            back.get(0x2).unwrap().triage.as_ref().unwrap().culprit,
+            None
+        );
+        let report = db.report();
+        assert!(
+            report.contains("3/27"),
+            "report shows min column:\n{report}"
+        );
+    }
+
+    #[test]
+    fn version1_text_still_parses_as_untriaged() {
+        let mut db = CrashDb::new();
+        db.record(&bug("old crash", 0xa), 1, 2, "pso", "all", 3);
+        // A v1 database is exactly the v2 text minus the triage fields.
+        let v1 = db
+            .to_text()
+            .replace("ozz-crashdb v2", "ozz-crashdb v1")
+            .replace("triaged 0\n", "");
+        let back = CrashDb::parse(&v1).expect("v1 parses");
+        assert_eq!(back, db);
+        assert!(back.get(0xa).unwrap().triage.is_none());
+    }
+
+    fn triage_info(culprit: Option<&str>) -> TriageInfo {
+        TriageInfo {
+            events_before: 27,
+            events_after: 3,
+            replays: 41,
+            culprit: culprit.map(str::to_string),
+            min_trace: "ozz-trace v3\nmodel tso\nsparse\nfirst 0\nend\n".to_string(),
+        }
     }
 }

@@ -577,37 +577,6 @@ pub struct FuzzerCheckpoint {
     pub stats: FuzzStats,
 }
 
-/// Runs a Table 3-style campaign: fuzz the all-bugs kernel until every
-/// expected crash title is found or the test budget runs out; returns the
-/// fuzzer for inspection.
-///
-/// Deprecated: build campaigns through
-/// [`CampaignBuilder`](crate::campaign::CampaignBuilder) instead — a
-/// one-shard campaign reproduces this loop byte-for-byte and adds the
-/// crash database, checkpoint/resume, and sharding behind the same
-/// surface. This shim remains only for callers that need the final
-/// [`Fuzzer`] value itself.
-#[deprecated(note = "use ozz::campaign::CampaignBuilder")]
-pub fn campaign(seed: u64, max_tests: u64) -> Fuzzer {
-    let expected: Vec<&str> = kernelsim::BugId::NEW
-        .iter()
-        .map(|b| b.expected_title())
-        .collect();
-    let mut fuzzer = Fuzzer::new(FuzzConfig {
-        seed,
-        bugs: BugSwitches::all(),
-        ..FuzzConfig::default()
-    });
-    while fuzzer.stats.mtis_run < max_tests {
-        fuzzer.step();
-        let found_all = expected.iter().all(|t| fuzzer.found.contains_key(*t));
-        if found_all {
-            break;
-        }
-    }
-    fuzzer
-}
-
 /// Convenience: a fresh machine with the given switches (re-exported for
 /// benches that need raw access).
 pub fn boot_kernel(bugs: BugSwitches) -> std::sync::Arc<Kctx> {

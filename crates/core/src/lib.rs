@@ -19,7 +19,9 @@
 //! - [`checkpoint`]: full-state campaign checkpoints (kill/resume
 //!   byte-identically, even across processes);
 //! - [`crashdb`]: the digest-keyed crash database with triage queries;
-//! - [`repro`]: the directed Table 4 reproduction methodology (§6.2).
+//! - [`repro`]: the directed Table 4 reproduction methodology (§6.2);
+//! - [`triage`]: trace minimization, input shrinking, and patch bisection
+//!   over recorded reproducers.
 //!
 //! # Examples
 //!
@@ -57,6 +59,7 @@ pub mod parallel;
 pub mod report;
 pub mod repro;
 pub mod sti;
+pub mod triage;
 
 use std::sync::Arc;
 

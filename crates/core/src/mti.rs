@@ -74,11 +74,7 @@ impl Mti {
     /// so a pooled executor runs it once per pair and snapshots the machine
     /// instead of re-running it per hint.
     pub fn run_setup(&self, k: &Arc<Kctx>) {
-        for (idx, &call) in self.sti.calls.iter().enumerate().take(self.j) {
-            if idx != self.i {
-                run_one(k, Tid(0), call);
-            }
-        }
+        run_setup_prefix(k, &self.sti.calls, self.i, self.j);
     }
 
     /// Installs the Table 2 reordering instructions for the reorderer.
@@ -207,6 +203,19 @@ pub struct ReplayedRun {
     pub digest: String,
     /// Whether the replay followed the trace to the end without divergence.
     pub report: ReplayReport,
+}
+
+/// Runs the single-threaded setup prefix of a concurrent pair `(i, j)`:
+/// every call before `j` except `i`, on CPU 0. This is *the* definition of
+/// the kernel state a pair races in — [`Mti::run_setup`], trace replay
+/// ([`crate::repro::replay_trace`]) and trace minimization
+/// (`ozz::triage`) all establish it through this one function.
+pub fn run_setup_prefix(k: &Arc<Kctx>, calls: &[Syscall], i: usize, j: usize) {
+    for (idx, &call) in calls.iter().enumerate().take(j) {
+        if idx != i {
+            run_one(k, Tid(0), call);
+        }
+    }
 }
 
 /// Builds the MTIs for one STI: every ordered pair `(i, j)` annotated with

@@ -55,19 +55,18 @@
 //! [`CampaignCheckpoint`] (see [`crate::checkpoint`]) from which a later
 //! process resumes byte-identically.
 //!
-//! Construct campaigns through [`crate::campaign::CampaignBuilder`]; the
-//! entry points in this module are deprecated shims kept for one release.
+//! Construct campaigns through [`crate::campaign::CampaignBuilder`]; this
+//! module is the engine underneath it, not a public entry point.
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
-use kernelsim::BugSwitches;
 use kutil::chan::{channel, Receiver, Sender};
 use kutil::splitmix64;
 use oemu::Iid;
 
-use crate::campaign::{CampaignBuilder, CampaignReport, ShardStats};
+use crate::campaign::{CampaignReport, ShardStats};
 use crate::checkpoint::{CampaignCheckpoint, StreamCheckpoint};
 use crate::crashdb::CrashDb;
 use crate::fuzzer::{FoundBug, FuzzConfig, FuzzStats, Fuzzer, STALL_LIMIT};
@@ -577,56 +576,11 @@ fn build_checkpoint(
     }
 }
 
-/// The merged outcome of a sharded campaign — now an alias of
-/// [`CampaignReport`].
-#[deprecated(note = "use ozz::campaign::CampaignReport")]
-pub type ParallelReport = CampaignReport;
-
-/// A sharded campaign over the all-bugs kernel.
-#[deprecated(note = "use ozz::campaign::CampaignBuilder")]
-pub struct ParallelCampaign {
-    builder: CampaignBuilder,
-}
-
-#[allow(deprecated)]
-impl ParallelCampaign {
-    /// A campaign of `budget` total MTIs split across `shards` workers.
-    pub fn new(seed: u64, shards: usize, budget: u64) -> Self {
-        ParallelCampaign {
-            builder: CampaignBuilder::new(seed).shards(shards).budget(budget),
-        }
-    }
-
-    /// Overrides the epoch length (MTIs per shard between rounds).
-    pub fn epoch_mtis(mut self, epoch_mtis: u64) -> Self {
-        self.builder = self.builder.epoch_mtis(epoch_mtis);
-        self
-    }
-
-    /// Overrides the kernel build and the crash titles the campaign hunts.
-    pub fn target(mut self, bugs: BugSwitches, expected: Vec<String>) -> Self {
-        self.builder = self.builder.target(bugs, expected);
-        self
-    }
-
-    /// Runs the campaign.
-    pub fn run(self) -> CampaignReport {
-        self.builder.run()
-    }
-}
-
-/// Runs a sharded Table 3-style campaign on the all-bugs kernel.
-#[deprecated(note = "use ozz::campaign::CampaignBuilder")]
-pub fn parallel_campaign(seed: u64, shards: usize, budget: u64) -> CampaignReport {
-    CampaignBuilder::new(seed)
-        .shards(shards)
-        .budget(budget)
-        .run()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::campaign::CampaignBuilder;
+    use kernelsim::BugSwitches;
 
     #[test]
     fn slices_partition_the_budget_exactly() {
@@ -768,22 +722,5 @@ mod tests {
         assert_eq!(serial.stats().mtis_run, parallel.stats.mtis_run);
         assert_eq!(serial.stats().stis_run, parallel.stats.stis_run);
         assert_eq!(serial.stats().coverage, parallel.stats.coverage);
-    }
-
-    #[test]
-    fn deprecated_entry_points_still_run() {
-        #[allow(deprecated)]
-        let via_shim = parallel_campaign(3, 2, 200);
-        let via_builder = CampaignBuilder::new(3).shards(2).budget(200).run();
-        assert_eq!(
-            format!("{:#?}", via_shim.found),
-            format!("{:#?}", via_builder.found)
-        );
-        #[allow(deprecated)]
-        let via_struct = ParallelCampaign::new(3, 2, 200).run();
-        assert_eq!(
-            format!("{:#?}", via_struct.found),
-            format!("{:#?}", via_builder.found)
-        );
     }
 }

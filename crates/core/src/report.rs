@@ -16,6 +16,7 @@ use oemu::Tid;
 
 use crate::hints::{HintKind, PairSide, SchedHint};
 use crate::mti::Mti;
+use crate::triage::{BisectOutcome, Minimized, Reproducer};
 
 /// A rendered OZZ bug report.
 #[derive(Clone, Debug)]
@@ -115,6 +116,88 @@ impl fmt::Display for BugReport {
         writeln!(f, "order:      {}", self.execution_order())?;
         writeln!(f, "diagnosis:  {}", self.fix_hint())?;
         write!(f, "found after {} tests", self.tests)
+    }
+}
+
+/// A rendered triage report: what the minimizer and bisector concluded
+/// about one reproducer. Built by [`crate::triage::Triager::triage`].
+#[derive(Clone, Debug)]
+pub struct TriageReport {
+    /// The symptom the minimized reproducer re-produces.
+    pub verdict: String,
+    /// The concurrent pair (from the *shrunk* STI).
+    pub pair: (Syscall, Syscall),
+    /// Replayable events (steps + switches) before minimization.
+    pub events_before: usize,
+    /// Replayable events after minimization.
+    pub events_after: usize,
+    /// Context switches in the minimized schedule.
+    pub switches: usize,
+    /// STI calls before shrinking.
+    pub calls_before: usize,
+    /// STI calls after shrinking.
+    pub calls_after: usize,
+    /// Candidate replays the minimization spent.
+    pub replays: u64,
+    /// The culprit line: the named switch with its patch label, or the
+    /// inconclusive reason.
+    pub culprit: String,
+    /// The minimized schedule, serialized (`ozz-trace v3`).
+    pub trace_text: String,
+}
+
+impl TriageReport {
+    /// Renders the triage outcome for one reproducer.
+    pub fn new(r: &Reproducer, min: &Minimized, bisect: &BisectOutcome) -> TriageReport {
+        TriageReport {
+            verdict: r.verdict.describe(),
+            pair: (min.sti.calls[min.i], min.sti.calls[min.j]),
+            events_before: min.stats.events_before,
+            events_after: min.stats.events_after,
+            switches: min.trace.switches.len(),
+            calls_before: min.stats.calls_before,
+            calls_after: min.stats.calls_after,
+            replays: min.stats.replays,
+            culprit: match bisect {
+                BisectOutcome::Culprit(bug) => format!("{bug} — revert switch {}", bug.token()),
+                BisectOutcome::Inconclusive(why) => format!("inconclusive: {why}"),
+            },
+            trace_text: min.trace.to_text(),
+        }
+    }
+}
+
+impl fmt::Display for TriageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "OZZ triage report")?;
+        writeln!(f, "=================")?;
+        writeln!(f, "symptom:    {}", self.verdict)?;
+        writeln!(
+            f,
+            "pair:       {:?} (cpu0)  ||  {:?} (cpu1)",
+            self.pair.0, self.pair.1
+        )?;
+        let pct = if self.events_before == 0 {
+            0.0
+        } else {
+            100.0 * (self.events_before - self.events_after) as f64 / self.events_before as f64
+        };
+        writeln!(
+            f,
+            "schedule:   {} events -> {} ({pct:.0}% smaller), {} switch(es), {} replays",
+            self.events_before, self.events_after, self.switches, self.replays
+        )?;
+        writeln!(
+            f,
+            "input:      {} calls -> {}",
+            self.calls_before, self.calls_after
+        )?;
+        writeln!(f, "culprit:    {}", self.culprit)?;
+        writeln!(f, "minimized schedule:")?;
+        for line in self.trace_text.lines() {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
     }
 }
 

@@ -22,15 +22,15 @@
 //! crash title and the machine-state digest byte-for-byte.
 
 use kernelsim::{
-    execute, run_one, BugId, BugSwitches, ExecRequest, Kctx, MachinePool, ReorderType, RunOutcome,
-    Syscall,
+    execute, BugId, BugSwitches, ExecRequest, Kctx, MachinePool, PooledMachine, ReorderType,
+    RunOutcome, Syscall,
 };
 use kutil::fnv1a64;
-use oemu::{ScheduleTrace, Tid};
+use oemu::ScheduleTrace;
 
 use crate::fuzzer::FoundBug;
 use crate::hints::calc_hints;
-use crate::mti::build_mtis;
+use crate::mti::{build_mtis, run_setup_prefix};
 use crate::profile_sti_on;
 use crate::sti::{known_bug_sti, Sti};
 
@@ -146,13 +146,34 @@ pub fn replay_trace(
     trace: &ScheduleTrace,
 ) -> TraceReplay {
     let k = Kctx::new_with_model(bugs, trace.model);
-    for (idx, &call) in sti.calls.iter().enumerate().take(j) {
-        if idx != i {
-            run_one(&k, Tid(0), call);
-        }
-    }
+    run_setup_prefix(&k, &sti.calls, i, j);
     let (outcome, report) =
         execute(&k, ExecRequest::replay(trace, sti.calls[i], sti.calls[j])).into_replayed();
+    TraceReplay {
+        outcome,
+        digest: k.state_digest(),
+        diverged: report.diverged,
+    }
+}
+
+/// [`replay_trace`] on a pooled machine the caller has already reset:
+/// runs the setup prefix, then the pair slaved to `trace`. The machine's
+/// boot model must match the trace's — [`kernelsim::MachinePool`]
+/// checkouts key on it. Trace minimization runs hundreds of candidate
+/// replays per bug; reusing one pooled machine avoids a boot per
+/// candidate.
+pub fn replay_trace_on(
+    m: &PooledMachine,
+    sti: &Sti,
+    i: usize,
+    j: usize,
+    trace: &ScheduleTrace,
+) -> TraceReplay {
+    let k = m.kctx();
+    run_setup_prefix(k, &sti.calls, i, j);
+    let (outcome, report) = m
+        .execute(ExecRequest::replay(trace, sti.calls[i], sti.calls[j]))
+        .into_replayed();
     TraceReplay {
         outcome,
         digest: k.state_digest(),

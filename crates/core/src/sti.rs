@@ -332,6 +332,63 @@ pub fn ext_bug_sti(bug: kernelsim::BugId) -> Option<Sti> {
     Some(Sti { calls })
 }
 
+/// The directed STI that reaches `bug`'s code, for all 24 seeded bugs:
+/// the Table 4 ([`known_bug_sti`]) and extended-corpus ([`ext_bug_sti`])
+/// repro inputs where they exist, hand-directed sequences for the Table 3
+/// (new) bugs. This is the §6.2 choreography's input side, shared by the
+/// oracle matrix, the triage recorder, and the minimization bench.
+pub fn directed_bug_sti(bug: kernelsim::BugId) -> Sti {
+    use kernelsim::BugId;
+    if let Some(s) = known_bug_sti(bug) {
+        return s;
+    }
+    if let Some(s) = ext_bug_sti(bug) {
+        return s;
+    }
+    use Syscall::*;
+    let calls = match bug {
+        BugId::RdsClearBit => vec![RdsLoopXmit, RdsSendXmit, RdsLoopXmit],
+        BugId::WatchQueueFilter => vec![
+            WqSetFilter { nwords: 2 },
+            WqPost,
+            PipeRead,
+            WqSetFilter { nwords: 1 },
+        ],
+        BugId::VmciQueuePair => vec![VmciQpCreate, VmciQpAttach],
+        BugId::XskPoolPublish => vec![
+            XskRegUmem { fd: 0 },
+            XskBind { fd: 0 },
+            XskPoll { fd: 0 },
+            XskSendmsg { fd: 0 },
+            XskRx { fd: 0 },
+        ],
+        BugId::TlsGetsockopt | BugId::TlsSkProt => vec![
+            TlsInit { fd: 0 },
+            SetSockOpt { fd: 0 },
+            GetSockOpt { fd: 0 },
+        ],
+        BugId::PsockSavedReady => vec![
+            PsockInit { fd: 0 },
+            PsockInit { fd: 0 },
+            SockRecvmsg { fd: 0 },
+        ],
+        BugId::XskStateBound => vec![
+            XskRegUmem { fd: 0 },
+            XskBind { fd: 0 },
+            XskSendmsg { fd: 0 },
+        ],
+        BugId::SmcClcsock => vec![SmcConnect { fd: 0 }, SmcConnect { fd: 0 }],
+        BugId::SmcFput => vec![
+            SmcConnect { fd: 0 },
+            SmcAccept { fd: 0 },
+            SmcFputWorker { fd: 0 },
+        ],
+        BugId::GsmDlci => vec![GsmDlciAlloc { idx: 0 }, GsmDlciConfig { idx: 0 }],
+        other => unreachable!("{other}: known/extended bugs are handled above"),
+    };
+    Sti { calls }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,6 +454,18 @@ mod tests {
             known_bug_sti(BugId::TlsSkProt).is_none(),
             "new bugs have none"
         );
+    }
+
+    #[test]
+    fn every_seeded_bug_has_a_directed_sti() {
+        for bug in BugId::NEW
+            .iter()
+            .chain(BugId::KNOWN.iter())
+            .chain(BugId::EXTENDED.iter())
+        {
+            let sti = directed_bug_sti(*bug);
+            assert!(sti.calls.len() >= 2, "{bug}: writer + reader at least");
+        }
     }
 
     #[test]

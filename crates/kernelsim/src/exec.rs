@@ -110,7 +110,10 @@ pub enum ExecDrive<'t> {
     /// the reply carries the resulting [`ScheduleTrace`].
     Record(SchedulePlan),
     /// A run slaved to a recorded trace (no control sets needed); the
-    /// reply carries a [`ReplayReport`].
+    /// reply carries a [`ReplayReport`]. A sparse trace
+    /// ([`ScheduleTrace::sparse`]) replays by reinstalling its decisions
+    /// as engine controls and slaving only the scheduler to the switch
+    /// script; a full trace slaves the engine to the event stream.
     Replay(&'t ScheduleTrace),
 }
 
@@ -320,12 +323,17 @@ fn dispatch_request(k: &Arc<Kctx>, lanes: Lanes<'_>, req: ExecRequest<'_>) -> Ex
                 first,
                 switches: switches.expect("record mode logs switches"),
                 steps: k.engine.take_recorded_trace(),
+                sparse: false,
             };
             ExecReply {
                 outcome,
                 trace: Some(trace),
                 replay: None,
             }
+        }
+        ExecDrive::Replay(trace) if trace.sparse => {
+            check_replay_model(k, trace);
+            run_sparse_replay(k, lanes, trace, a, b)
         }
         ExecDrive::Replay(trace) => {
             check_replay_model(k, trace);
@@ -346,6 +354,59 @@ fn dispatch_request(k: &Arc<Kctx>, lanes: Lanes<'_>, req: ExecRequest<'_>) -> Ex
                 }),
             }
         }
+    }
+}
+
+/// Replays a *sparse* trace: the trace carries only the ordering decisions
+/// (delayed stores, versioned loads) plus the switch script, so instead of
+/// slaving the engine to an event stream, the decisions are reinstalled as
+/// Table 2 controls and only the scheduler follows the script. The run is
+/// otherwise live — and internally recorded, so fidelity is still
+/// checkable: the replay diverged iff some scripted decision never fired
+/// with its scripted effect. (Scheduler fidelity needs no separate check:
+/// a switch that fails to fire changes the interleaving, which either
+/// suppresses a decision — caught here — or changes the outcome/digest the
+/// caller compares.)
+fn run_sparse_replay(
+    k: &Arc<Kctx>,
+    lanes: Lanes<'_>,
+    trace: &ScheduleTrace,
+    a: Syscall,
+    b: Syscall,
+) -> ExecReply {
+    for step in &trace.steps {
+        match *step {
+            oemu::TraceStep::Store {
+                tid,
+                iid,
+                delayed: true,
+            } => k.engine.delay_store_at(tid, iid),
+            oemu::TraceStep::Load {
+                tid,
+                iid,
+                src: oemu::LoadSrc::Versioned,
+            } => k.engine.read_old_value_at(tid, iid),
+            // A sparse trace holds decisions only; tolerate (and ignore)
+            // anything else so a hand-pruned full trace still replays.
+            _ => {}
+        }
+    }
+    k.engine.start_trace_recording();
+    let spec = PairSched::Replay {
+        first: trace.first,
+        switches: &trace.switches,
+    };
+    let (outcome, _) = run_pair(k, lanes, spec, a, b);
+    let executed = k.engine.take_recorded_trace();
+    let consumed = trace.steps.iter().filter(|s| executed.contains(s)).count();
+    ExecReply {
+        outcome,
+        trace: None,
+        replay: Some(ReplayReport {
+            diverged: consumed != trace.steps.len(),
+            steps_consumed: consumed,
+            steps_total: trace.steps.len(),
+        }),
     }
 }
 

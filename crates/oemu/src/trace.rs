@@ -97,8 +97,19 @@ pub struct ScheduleTrace {
     pub first: Tid,
     /// Deliberate token handoffs, in occurrence order.
     pub switches: Vec<SwitchPoint>,
-    /// Every instrumented engine event, in global order.
+    /// Every instrumented engine event, in global order — or, for a
+    /// sparse trace, only the ordering *decisions* (see [`sparse`]).
+    ///
+    /// [`sparse`]: ScheduleTrace::sparse
     pub steps: Vec<TraceStep>,
+    /// A sparse trace keeps only the decision steps — delayed stores and
+    /// versioned loads — instead of the full instrumented event stream.
+    /// Replay then reinstalls those decisions as Table 2 engine controls
+    /// and slaves only the *scheduler* to the switch script, instead of
+    /// matching every engine event against the trace. Minimized traces
+    /// (`ozz::triage`) are sparse: dropping events from a full trace
+    /// would make strict stream-matching replay diverge immediately.
+    pub sparse: bool,
 }
 
 /// Replay fidelity summary returned by the engine after a replay run.
@@ -148,14 +159,78 @@ fn parse_barrier(s: &str) -> Result<BarrierKind, String> {
 }
 
 impl ScheduleTrace {
+    /// Whether a step records an ordering *decision*: a store that entered
+    /// the virtual store buffer, or a load that read an old version.
+    /// Everything else in a full trace (in-order stores, memory/forwarded
+    /// loads, RMWs, barriers, flushes) is a consequence of those decisions
+    /// plus the switch script.
+    pub fn is_decision(step: &TraceStep) -> bool {
+        matches!(
+            step,
+            TraceStep::Store { delayed: true, .. }
+                | TraceStep::Load {
+                    src: LoadSrc::Versioned,
+                    ..
+                }
+        )
+    }
+
+    /// The decision steps of this trace, in recorded order.
+    pub fn decision_steps(&self) -> impl Iterator<Item = &TraceStep> {
+        self.steps.iter().filter(|s| Self::is_decision(s))
+    }
+
+    /// Total replayable events: engine steps plus scheduler switches —
+    /// the size a human has to read, and what minimization shrinks.
+    pub fn event_count(&self) -> usize {
+        self.steps.len() + self.switches.len()
+    }
+
+    /// The sparse projection: same model/first/switches, steps reduced to
+    /// the decisions. Sparse-replaying it against the same pre-run kernel
+    /// state reproduces the full trace's execution — the dropped steps
+    /// were consequences, not choices.
+    pub fn sparsify(&self) -> ScheduleTrace {
+        ScheduleTrace {
+            model: self.model,
+            first: self.first,
+            switches: self.switches.clone(),
+            steps: self.decision_steps().cloned().collect(),
+            sparse: true,
+        }
+    }
+
+    /// A copy with `steps` replaced by the subsequence at `keep` indices
+    /// (in order). Indices must be valid and ascending.
+    pub fn with_step_subset(&self, keep: &[usize]) -> ScheduleTrace {
+        let mut t = self.clone();
+        t.steps = keep.iter().map(|&i| self.steps[i].clone()).collect();
+        t
+    }
+
+    /// A copy with `switches` replaced by the subsequence at `keep`
+    /// indices (in order). Indices must be valid and ascending.
+    pub fn with_switch_subset(&self, keep: &[usize]) -> ScheduleTrace {
+        let mut t = self.clone();
+        t.switches = keep.iter().map(|&i| self.switches[i]).collect();
+        t
+    }
+
     /// Serializes the trace to the line-oriented text format.
     ///
     /// TSO traces keep the original `ozz-trace v1` header byte-for-byte
     /// (golden traces stay pinned); non-TSO traces use `ozz-trace v2`,
     /// which adds a mandatory `model <name>` line after the header.
+    /// Sparse traces use `ozz-trace v3`: a mandatory `model` line (any
+    /// model, TSO included) followed by a `sparse` marker line — full
+    /// traces never carry the marker, so the v1/v2 bytes are untouched.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
-        if self.model == MemoryModel::Tso {
+        if self.sparse {
+            out.push_str("ozz-trace v3\n");
+            out.push_str(&format!("model {}\n", self.model.name()));
+            out.push_str("sparse\n");
+        } else if self.model == MemoryModel::Tso {
             out.push_str("ozz-trace v1\n");
         } else {
             out.push_str("ozz-trace v2\n");
@@ -204,15 +279,20 @@ impl ScheduleTrace {
 
     /// Parses the text format produced by [`ScheduleTrace::to_text`].
     ///
-    /// Accepts both versions: `v1` implies TSO (the format predates
-    /// pluggable models); `v2` requires an explicit `model` line.
+    /// Accepts all three versions: `v1` implies TSO (the format predates
+    /// pluggable models); `v2` requires an explicit `model` line; `v3`
+    /// additionally requires the `sparse` marker (the version exists only
+    /// for sparse traces).
     pub fn parse(text: &str) -> Result<ScheduleTrace, String> {
         let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
-        let v2 = match lines.next() {
-            Some("ozz-trace v1") => false,
-            Some("ozz-trace v2") => true,
+        let version = match lines.next() {
+            Some("ozz-trace v1") => 1,
+            Some("ozz-trace v2") => 2,
+            Some("ozz-trace v3") => 3,
             other => return Err(format!("bad trace header: {other:?}")),
         };
+        let v2 = version >= 2;
+        let mut sparse = false;
         let mut model = None;
         let mut first = None;
         let mut switches = Vec::new();
@@ -240,6 +320,7 @@ impl ScheduleTrace {
             let str_at =
                 |i: usize| -> Result<&str, String> { fields.get(i).copied().ok_or_else(ctx) };
             match fields[0] {
+                "sparse" if version >= 3 => sparse = true,
                 "model" if v2 => {
                     let name = str_at(1)?;
                     model = Some(
@@ -295,13 +376,17 @@ impl ScheduleTrace {
         let model = match (v2, model) {
             (false, _) => MemoryModel::Tso,
             (true, Some(m)) => m,
-            (true, None) => return Err("v2 trace missing model line".into()),
+            (true, None) => return Err(format!("v{version} trace missing model line")),
         };
+        if version >= 3 && !sparse {
+            return Err("v3 trace missing sparse marker".into());
+        }
         Ok(ScheduleTrace {
             model,
             first: first.ok_or("trace missing first line")?,
             switches,
             steps,
+            sparse,
         })
     }
 }
@@ -347,6 +432,7 @@ mod tests {
                     committed: 2,
                 },
             ],
+            sparse: false,
         }
     }
 
@@ -373,6 +459,7 @@ mod tests {
                     iid: Iid(0xdead_beef),
                 },
             ],
+            sparse: false,
         };
         let parsed = ScheduleTrace::parse(&t.to_text()).expect("parse");
         assert_eq!(t, parsed);
@@ -393,6 +480,48 @@ mod tests {
         }
     }
 
+    /// The sparse projection keeps exactly the decisions (delayed stores,
+    /// versioned loads) plus the switch script, and round-trips through
+    /// the v3 format under every model — the v1/v2 bytes of full traces
+    /// are untouched.
+    #[test]
+    fn sparsify_keeps_decisions_and_roundtrips_as_v3() {
+        let full = sample();
+        let sparse = full.sparsify();
+        assert!(sparse.sparse);
+        assert_eq!(sparse.switches, full.switches);
+        assert_eq!(
+            sparse.steps.len(),
+            2,
+            "one delayed store, one versioned load"
+        );
+        assert!(sparse.steps.iter().all(ScheduleTrace::is_decision));
+        assert!(sparse.event_count() < full.event_count());
+        for model in [MemoryModel::Tso, MemoryModel::Pso, MemoryModel::Arm] {
+            let mut t = sparse.clone();
+            t.model = model;
+            let text = t.to_text();
+            assert!(text.starts_with(&format!("ozz-trace v3\nmodel {}\nsparse\n", model.name())));
+            assert_eq!(ScheduleTrace::parse(&text).expect("parse"), t);
+        }
+        // Sparsifying a sparse trace is the identity.
+        assert_eq!(sparse.sparsify(), sparse);
+    }
+
+    #[test]
+    fn subset_helpers_select_in_order() {
+        let t = sample();
+        let sub = t.with_step_subset(&[0, 2, 4]);
+        assert_eq!(sub.steps.len(), 3);
+        assert_eq!(sub.steps[0], t.steps[0]);
+        assert_eq!(sub.steps[1], t.steps[2]);
+        assert_eq!(sub.steps[2], t.steps[4]);
+        assert_eq!(sub.switches, t.switches);
+        let none = t.with_switch_subset(&[]);
+        assert!(none.switches.is_empty());
+        assert_eq!(none.steps, t.steps);
+    }
+
     #[test]
     fn malformed_traces_are_rejected() {
         assert!(ScheduleTrace::parse("").is_err());
@@ -409,6 +538,18 @@ mod tests {
         assert!(
             ScheduleTrace::parse("ozz-trace v1\nmodel pso\nfirst 0\nend\n").is_err(),
             "v1 traces predate the model line"
+        );
+        assert!(
+            ScheduleTrace::parse("ozz-trace v3\nmodel tso\nfirst 0\nend\n").is_err(),
+            "a v3 trace without the sparse marker is rejected"
+        );
+        assert!(
+            ScheduleTrace::parse("ozz-trace v3\nsparse\nfirst 0\nend\n").is_err(),
+            "a v3 trace without a model line is rejected"
+        );
+        assert!(
+            ScheduleTrace::parse("ozz-trace v1\nsparse\nfirst 0\nend\n").is_err(),
+            "v1/v2 traces are never sparse"
         );
     }
 }

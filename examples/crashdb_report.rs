@@ -14,10 +14,15 @@
 //! # reload and filter it later, without re-fuzzing
 //! cargo run --release --example crashdb_report -- --load crashes.db --title watch_queue
 //! cargo run --release --example crashdb_report -- --load crashes.db --reorder S-S --min-count 2
+//!
+//! # fuzz, then minimize + bisect every found bug and store the results
+//! cargo run --release --example crashdb_report -- --budget 4000 --triage --save crashes.db
 //! ```
 
+use kernelsim::BugSwitches;
 use ozz::campaign::CampaignBuilder;
-use ozz::crashdb::{CrashDb, CrashQuery};
+use ozz::crashdb::{CrashDb, CrashQuery, TriageInfo};
+use ozz::triage::{BisectOutcome, Triager};
 
 fn main() {
     let mut budget: u64 = 4000;
@@ -25,6 +30,7 @@ fn main() {
     let mut seed: u64 = 2024;
     let mut save: Option<String> = None;
     let mut load: Option<String> = None;
+    let mut triage = false;
     let mut query = CrashQuery::default();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +47,7 @@ fn main() {
             "--seed" => seed = value().parse().expect("--seed takes a number"),
             "--save" => save = Some(value()),
             "--load" => load = Some(value()),
+            "--triage" => triage = true,
             "--title" => query.title_contains = Some(value()),
             "--model" => query.model = Some(value()),
             "--reorder" => {
@@ -61,6 +68,11 @@ fn main() {
 
     let db = match load {
         Some(path) => {
+            assert!(
+                !triage,
+                "--triage re-runs each bug's reproducer and needs the campaign's \
+                 recorded traces; run it without --load"
+            );
             println!("loading crash database from {path}\n");
             CrashDb::load(std::path::Path::new(&path)).expect("readable crash database")
         }
@@ -76,7 +88,30 @@ fn main() {
                 report.crashes.records().map(|r| r.count).sum::<u64>(),
                 report.rounds
             );
-            report.crashes
+            let mut db = report.crashes;
+            if triage {
+                // The campaign runs on the all-switches build; minimize and
+                // bisect each found bug's recorded trace against it.
+                let triager = Triager::new(BugSwitches::all());
+                for bug in report.found.values() {
+                    let result = triager.triage_found(bug);
+                    println!("{}", result.report);
+                    db.set_triage(
+                        bug.digest_fnv,
+                        TriageInfo {
+                            events_before: result.minimized.stats.events_before,
+                            events_after: result.minimized.stats.events_after,
+                            replays: result.minimized.stats.replays,
+                            culprit: match &result.bisect {
+                                BisectOutcome::Culprit(c) => Some(c.token().to_string()),
+                                BisectOutcome::Inconclusive(_) => None,
+                            },
+                            min_trace: result.minimized.trace.to_text(),
+                        },
+                    );
+                }
+            }
+            db
         }
     };
 

@@ -20,12 +20,13 @@ use std::path::PathBuf;
 
 use kernelsim::{BugId, BugSwitches, Syscall};
 use kutil::fnv1a64;
-use oemu::ScheduleTrace;
+use oemu::{MemoryModel, ScheduleTrace};
 use ozz::hints::calc_hints;
 use ozz::mti::build_mtis;
 use ozz::profile_sti;
 use ozz::repro::replay_trace;
 use ozz::sti::{known_bug_sti, Sti};
+use ozz::triage::{record_reproducer_under, Triager};
 
 /// The corpus: (file stem, bug, directed STI). The STI is part of the
 /// test, not the golden file — traces only make sense against the exact
@@ -178,6 +179,55 @@ fn golden_traces_replay_to_pinned_verdict_and_digest() {
             g.digest_fnv,
             "{stem}: replay reached a different kernel state than the recording"
         );
+    }
+}
+
+/// Pinned *minimized* traces: the full record-and-minimize pipeline for
+/// each corpus bug must land byte-for-byte on `tests/golden/<stem>.min.trace`,
+/// so any minimizer behavior change shows up as a review diff. Pinned under
+/// TSO — the memory-model matrix is `tests/triage_minimal.rs`'s job; a
+/// golden file is a byte pin, not a matrix sweep.
+#[test]
+fn golden_minimized_traces_are_stable() {
+    for (stem, bug, _sti) in corpus() {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(format!("{stem}.min.trace"));
+        let r = record_reproducer_under(bug, MemoryModel::Tso)
+            .unwrap_or_else(|| panic!("{bug} must record"));
+        let min = Triager::new(BugSwitches::only([bug])).minimize(&r);
+        let text = format!(
+            "bug={bug}\npair={} {}\ncalls={}\nevents={} of {}\ndigest_fnv=0x{:016x}\n--- trace ---\n{}",
+            min.i,
+            min.j,
+            min.sti.calls.len(),
+            min.stats.events_after,
+            min.stats.events_before,
+            min.digest_fnv,
+            min.trace.to_text()
+        );
+        if regen_requested() {
+            fs::create_dir_all(path.parent().unwrap()).unwrap();
+            fs::write(&path, &text).unwrap();
+        }
+        let pinned = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: {e}\nrun with OZZ_REGEN_GOLDEN=1 to (re)generate the corpus",
+                path.display()
+            )
+        });
+        assert_eq!(
+            pinned, text,
+            "{stem}: minimized golden drifted; regenerate if the change is intentional"
+        );
+        // The pinned schedule also replays to the verdict on a fresh boot.
+        let rep = replay_trace(BugSwitches::only([bug]), &min.sti, min.i, min.j, &min.trace);
+        assert!(!rep.diverged, "{stem}: minimized golden diverged on replay");
+        assert!(
+            r.verdict.holds(&rep.outcome),
+            "{stem}: minimized golden lost its verdict"
+        );
+        assert_eq!(fnv1a64(rep.digest.as_bytes()), min.digest_fnv);
     }
 }
 
